@@ -1,0 +1,60 @@
+"""PEP 517/660 build-backend shim for fully offline environments.
+
+``pip`` builds packages in an isolated environment and normally downloads
+``setuptools`` (and ``wheel``) into it first.  The reproduction
+environment has no network access, so ``pyproject.toml`` declares
+``requires = []`` with this in-tree backend (via ``backend-path``), which
+simply delegates every PEP 517/660 hook to the *host* interpreter's
+``setuptools.build_meta`` — appending the host ``site-packages`` to
+``sys.path`` if isolation hid it.
+
+In ordinary online environments this shim behaves identically (the host
+setuptools is used instead of a downloaded copy).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+
+def _ensure_host_site_packages() -> None:
+    """Make the base interpreter's site-packages importable again."""
+    version = f"python{sys.version_info.major}.{sys.version_info.minor}"
+    for prefix in {sys.base_prefix, sys.prefix}:
+        candidates = [
+            os.path.join(prefix, "lib", version, "site-packages"),
+            os.path.join(prefix, "Lib", "site-packages"),  # Windows layout
+        ]
+        for path in candidates:
+            if os.path.isdir(path) and path not in sys.path:
+                sys.path.append(path)
+
+
+_ensure_host_site_packages()
+
+from setuptools import build_meta as _backend  # noqa: E402
+
+
+def get_requires_for_build_wheel(config_settings=None):
+    """No dynamic build requirements: the host provides setuptools+wheel."""
+    return []
+
+
+def get_requires_for_build_editable(config_settings=None):
+    """No dynamic build requirements (setuptools would request 'wheel')."""
+    return []
+
+
+def get_requires_for_build_sdist(config_settings=None):
+    """No dynamic build requirements."""
+    return []
+
+
+def __getattr__(name: str):
+    """Delegate every other PEP 517/660 hook to setuptools.build_meta."""
+    return getattr(_backend, name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(dir(_backend)))

@@ -1,0 +1,60 @@
+"""Benchmark + regeneration of the protocol comparison (introduction).
+
+Times simulator runs for each MAC protocol on the same network and prints
+the collision/energy table — the quantitative form of the paper's "resend
+is evidently a waste of energy" motivation.
+"""
+
+import pytest
+
+from repro.core.theorem1 import schedule_from_prototile
+from repro.experiments.base import format_rows
+from repro.experiments.systems_experiments import run_collisions
+from repro.lattice.region import box_region
+from repro.net.model import Network
+from repro.net.protocols import (
+    CSMALike,
+    GlobalTDMA,
+    ScheduleMAC,
+    SlottedAloha,
+)
+from repro.net.simulator import simulate
+from repro.tiles.shapes import chebyshev_ball
+
+_TILE = chebyshev_ball(1)
+_POINTS = box_region((0, 0), (9, 9)).points
+_NETWORK = Network.homogeneous(_POINTS, _TILE)
+_SCHEDULE = schedule_from_prototile(_TILE)
+
+
+def test_collisions_regenerates(report, benchmark):
+    result = benchmark.pedantic(run_collisions, rounds=1, iterations=1)
+    report("Introduction — collision/energy comparison",
+           format_rows(result.rows))
+    assert result.passed
+
+
+def _protocol(name):
+    if name == "tiling":
+        return ScheduleMAC(_SCHEDULE)
+    if name == "tdma":
+        return GlobalTDMA(_NETWORK.positions)
+    if name == "aloha":
+        return SlottedAloha(0.1)
+    return CSMALike(0.1)
+
+
+@pytest.mark.parametrize("name", ["tiling", "tdma", "aloha", "csma"])
+def test_simulate_protocol(benchmark, name):
+    protocol = _protocol(name)
+
+    def run():
+        return simulate(_NETWORK, protocol, slots=90,
+                        packet_interval=_SCHEDULE.num_slots, seed=7)
+
+    metrics = benchmark(run)
+    assert metrics.slots == 90
+    if name in ("tiling", "tdma"):
+        assert metrics.failed_receptions == 0
+    else:
+        assert metrics.failed_receptions > 0

@@ -1,0 +1,57 @@
+"""Benchmark + regeneration of the Section 3 exactness machinery.
+
+Times the Beauquier-Nivat deciders (naive O(n^4) vs accelerated) against
+boundary length, the sublattice search, and the torus backtracking, and
+prints the agreement table.
+"""
+
+import pytest
+
+from repro.experiments.base import format_rows
+from repro.experiments.systems_experiments import run_exactness
+from repro.lattice.sublattice import diagonal_sublattice
+from repro.tiles.bn import (
+    find_bn_factorization,
+    find_bn_factorization_naive,
+)
+from repro.tiles.boundary import boundary_word
+from repro.tiles.exactness import find_sublattice_tiling
+from repro.tiles.shapes import rectangle_tile, s_tetromino, z_tetromino
+from repro.tiling.search import find_multi_tiling
+
+
+def test_exactness_regenerates(report, benchmark):
+    result = benchmark(run_exactness)
+    report("Section 3 — exactness deciders", format_rows(result.rows))
+    assert result.passed
+
+
+@pytest.mark.parametrize("width", [4, 8, 12])
+def test_bn_naive(benchmark, width):
+    word = boundary_word(rectangle_tile(width, 2))
+    factorization = benchmark(find_bn_factorization_naive, word)
+    assert factorization is not None
+
+
+@pytest.mark.parametrize("width", [4, 8, 12])
+def test_bn_fast(benchmark, width):
+    word = boundary_word(rectangle_tile(width, 2))
+    factorization = benchmark(find_bn_factorization, word)
+    assert factorization is not None
+
+
+@pytest.mark.parametrize("size", [6, 9, 12])
+def test_sublattice_search(benchmark, size):
+    tile = rectangle_tile(size // 3, 3)
+    sublattice = benchmark(find_sublattice_tiling, tile)
+    assert sublattice is not None
+
+
+def test_torus_backtracking(benchmark):
+    s, z = s_tetromino(), z_tetromino()
+    period = diagonal_sublattice((4, 4))
+
+    def search():
+        return find_multi_tiling([s, z], period, min_counts=[1, 1])
+
+    assert benchmark(search) is not None

@@ -1,0 +1,45 @@
+"""Benchmark + regeneration of Figure 1 (square and hexagonal lattices).
+
+Times the core lattice-geometry operations and prints the figure's data:
+bases, covolumes, minimal distances and kissing numbers.
+"""
+
+from repro.experiments.fig_experiments import run_fig1
+from repro.experiments.base import format_rows
+from repro.lattice.standard import hexagonal_lattice, square_lattice
+
+
+def test_fig1_regenerates(report, benchmark):
+    result = benchmark(run_fig1)
+    report("Figure 1 — lattices", format_rows(result.rows))
+    assert result.passed
+
+
+def test_fig1_nearest_point_throughput(benchmark):
+    lattice = hexagonal_lattice()
+    positions = [(0.31 * i, 0.17 * j)
+                 for i in range(-10, 11) for j in range(-10, 11)]
+
+    def nearest_all():
+        return [lattice.nearest_point(p) for p in positions]
+
+    points = benchmark(nearest_all)
+    assert len(points) == len(positions)
+
+
+def test_fig1_minimal_distance(benchmark):
+    lattice = hexagonal_lattice()
+    distance = benchmark(lattice.minimal_distance)
+    assert abs(distance - 1.0) < 1e-9
+
+
+def test_fig1_membership_checks(benchmark):
+    lattice = square_lattice()
+    reals = [lattice.to_real((i, j))
+             for i in range(-8, 9) for j in range(-8, 9)]
+
+    def check_all():
+        return sum(1 for p in reals if lattice.contains(p))
+
+    count = benchmark(check_all)
+    assert count == len(reals)

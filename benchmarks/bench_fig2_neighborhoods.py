@@ -1,0 +1,38 @@
+"""Benchmark + regeneration of Figure 2 (the three neighborhoods).
+
+Times exactness decisions for the paper's neighborhood shapes and prints
+their sizes and witness tilings.
+"""
+
+from repro.experiments.base import format_rows
+from repro.experiments.fig_experiments import run_fig2
+from repro.tiles.exactness import find_sublattice_tiling
+from repro.tiles.shapes import (
+    chebyshev_ball,
+    directional_antenna,
+    plus_pentomino,
+)
+
+
+def test_fig2_regenerates(report, benchmark):
+    result = benchmark(run_fig2)
+    report("Figure 2 — neighborhoods", format_rows(result.rows))
+    assert result.passed
+
+
+def test_fig2_chebyshev_exactness(benchmark):
+    tile = chebyshev_ball(1)
+    sublattice = benchmark(find_sublattice_tiling, tile)
+    assert sublattice is not None
+
+
+def test_fig2_euclidean_exactness(benchmark):
+    tile = plus_pentomino()
+    sublattice = benchmark(find_sublattice_tiling, tile)
+    assert sublattice is not None
+
+
+def test_fig2_antenna_exactness(benchmark):
+    tile = directional_antenna()
+    sublattice = benchmark(find_sublattice_tiling, tile)
+    assert sublattice is not None

@@ -1,0 +1,51 @@
+"""Benchmark + regeneration of Figure 3 (8-slot schedule from a tiling).
+
+Times the Theorem 1 pipeline for the directional-antenna neighborhood:
+building the schedule, slot lookups at scale, and the collision-freeness
+verification; prints the slot grid the figure draws.
+"""
+
+from repro.core.schedule import verify_collision_free
+from repro.core.theorem1 import schedule_from_prototile
+from repro.experiments.base import format_rows
+from repro.experiments.fig_experiments import run_fig3
+from repro.tiles.shapes import directional_antenna
+from repro.utils.vectors import box_points
+from repro.viz.ascii_art import render_schedule
+
+
+def test_fig3_regenerates(report, benchmark):
+    result = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+    schedule = schedule_from_prototile(directional_antenna())
+    art = render_schedule(schedule, (-4, -6), (7, 5))
+    report("Figure 3 — schedule from a tiling (slots 1..8)",
+           format_rows(result.rows) + "\n" + art)
+    assert result.passed
+
+
+def test_fig3_schedule_construction(benchmark):
+    schedule = benchmark(schedule_from_prototile, directional_antenna())
+    assert schedule.num_slots == 8
+
+
+def test_fig3_slot_lookup_throughput(benchmark):
+    schedule = schedule_from_prototile(directional_antenna())
+    window = list(box_points((-40, -40), (40, 40)))  # 6561 sensors
+
+    def assign_all():
+        return [schedule.slot_of(p) for p in window]
+
+    slots = benchmark(assign_all)
+    assert len(slots) == len(window)
+    assert set(slots) == set(range(8))
+
+
+def test_fig3_verification(benchmark):
+    schedule = schedule_from_prototile(directional_antenna())
+    window = list(box_points((-10, -10), (10, 10)))
+
+    def verify():
+        return verify_collision_free(schedule, window,
+                                     schedule.neighborhood_of)
+
+    assert benchmark(verify)

@@ -1,0 +1,40 @@
+"""Benchmark + regeneration of Figure 4 (Voronoi cells, quasi-polyforms).
+
+Times Voronoi cell computation on both paper lattices and prints the cell
+geometry table (edge counts and areas vs covolumes).
+"""
+
+from repro.experiments.base import format_rows
+from repro.experiments.fig_experiments import run_fig4
+from repro.lattice.standard import hexagonal_lattice, square_lattice
+from repro.lattice.voronoi import quasi_polyform_region, voronoi_cell_2d
+from repro.tiles.shapes import plus_pentomino
+
+
+def test_fig4_regenerates(report, benchmark):
+    result = benchmark(run_fig4)
+    report("Figure 4 — Voronoi cells", format_rows(result.rows))
+    assert result.passed
+
+
+def test_fig4_square_cell(benchmark):
+    lattice = square_lattice()
+    cell = benchmark(voronoi_cell_2d, lattice)
+    assert cell.num_edges == 4
+
+
+def test_fig4_hexagonal_cell(benchmark):
+    lattice = hexagonal_lattice()
+    cell = benchmark(voronoi_cell_2d, lattice)
+    assert cell.num_edges == 6
+
+
+def test_fig4_quasi_polyomino(benchmark):
+    lattice = square_lattice()
+    cells = sorted(plus_pentomino().cells)
+
+    def build():
+        return quasi_polyform_region(lattice, cells)
+
+    region = benchmark(build)
+    assert abs(sum(c.area for c in region) - len(cells)) < 1e-9

@@ -1,0 +1,58 @@
+"""Benchmark + regeneration of Figure 5 (non-respectable S/Z tilings).
+
+The paper's headline gap: the mixed S/Z tiling needs 6 slots while the
+symmetric all-S tiling needs 4.  Times the exact optimal-schedule search
+(conflict-graph construction + branch-and-bound coloring) and the torus
+backtracking that discovers a mixed tiling from scratch.
+"""
+
+from repro.core.optimality import minimum_slots
+from repro.experiments.base import format_rows
+from repro.experiments.fig_experiments import run_fig5
+from repro.core.theorem2 import schedule_from_multi_tiling
+from repro.lattice.sublattice import diagonal_sublattice
+from repro.tiles.shapes import s_tetromino, z_tetromino
+from repro.tiling.construct import (
+    figure5_mixed_tiling,
+    figure5_symmetric_tiling,
+)
+from repro.tiling.search import find_multi_tiling
+from repro.viz.ascii_art import render_schedule
+
+
+def test_fig5_regenerates(report, benchmark):
+    result = benchmark.pedantic(run_fig5, rounds=1, iterations=1)
+    mixed_art = render_schedule(
+        schedule_from_multi_tiling(figure5_mixed_tiling()), (-4, -3), (5, 4))
+    pure_art = render_schedule(
+        schedule_from_multi_tiling(figure5_symmetric_tiling()),
+        (-4, -3), (5, 4))
+    report("Figure 5 — non-respectable tilings",
+           format_rows(result.rows)
+           + "\n[mixed S/Z, m=6]\n" + mixed_art
+           + "\n[symmetric S, m=4]\n" + pure_art)
+    assert result.passed
+
+
+def test_fig5_exact_optimum_mixed(benchmark):
+    multi = figure5_mixed_tiling()
+    optimum, _ = benchmark(minimum_slots, multi)
+    assert optimum == 6
+
+
+def test_fig5_exact_optimum_symmetric(benchmark):
+    multi = figure5_symmetric_tiling()
+    optimum, _ = benchmark(minimum_slots, multi)
+    assert optimum == 4
+
+
+def test_fig5_torus_search_discovers_mixed_tiling(benchmark):
+    s, z = s_tetromino(), z_tetromino()
+    period = diagonal_sublattice((4, 2))
+
+    def search():
+        return find_multi_tiling([s, z], period, min_counts=[1, 1])
+
+    multi = benchmark(search)
+    assert multi is not None
+    assert not multi.is_respectable()

@@ -1,0 +1,37 @@
+"""Benchmark + verification of the Conclusions' finite-restriction claim.
+
+If the finite region contains a translate of ``N + N``, the restricted
+schedule remains optimal; tiny windows need genuinely fewer slots.
+"""
+
+import pytest
+
+from repro.core.optimality import minimum_slots_region
+from repro.core.restriction import restriction_criterion_holds
+from repro.experiments.base import format_rows
+from repro.experiments.theorem_experiments import run_finite
+from repro.lattice.region import box_region
+from repro.tiles.shapes import plus_pentomino
+
+
+def test_finite_regenerates(report, benchmark):
+    result = benchmark(run_finite)
+    report("Conclusions — finite restriction", format_rows(result.rows))
+    assert result.passed
+
+
+@pytest.mark.parametrize("side,expected", [(2, 4), (4, 5), (6, 5)])
+def test_finite_patch_optimum(benchmark, side, expected):
+    tile = plus_pentomino()
+    region = box_region((0, 0), (side - 1, side - 1))
+
+    def solve():
+        return minimum_slots_region(tile, region)[0]
+
+    assert benchmark(solve) == expected
+
+
+def test_finite_criterion_check(benchmark):
+    tile = plus_pentomino()
+    region = box_region((-4, -4), (4, 4))
+    assert benchmark(restriction_criterion_holds, tile, region)

@@ -1,0 +1,48 @@
+"""Benchmark + regeneration of the mobile-sensor claim (Section 5).
+
+Times the mobile send-rule evaluation and full mobile simulation runs;
+prints the tiling-rule vs mobile-ALOHA comparison.
+"""
+
+from repro.core.mobile import MobileScheduler
+from repro.core.theorem1 import schedule_from_prototile
+from repro.experiments.base import format_rows
+from repro.experiments.systems_experiments import run_mobile
+from repro.lattice.standard import square_lattice
+from repro.net.mobility import (
+    MobileSimulator,
+    MobileTilingMAC,
+    RandomWaypoint,
+)
+from repro.tiles.shapes import chebyshev_ball
+
+_SCHEDULER = MobileScheduler(square_lattice(),
+                             schedule_from_prototile(chebyshev_ball(1)))
+
+
+def test_mobile_regenerates(report, benchmark):
+    result = benchmark.pedantic(run_mobile, rounds=1, iterations=1)
+    report("Section 5 — mobile sensors", format_rows(result.rows))
+    assert result.passed
+
+
+def test_mobile_decision_throughput(benchmark):
+    positions = [(0.13 * i, 0.29 * j)
+                 for i in range(-8, 9) for j in range(-8, 9)]
+
+    def decide_all():
+        return [_SCHEDULER.decide(p, 0.45) for p in positions]
+
+    decisions = benchmark(decide_all)
+    assert any(d.fits for d in decisions)
+
+
+def test_mobile_simulation_run(benchmark):
+    def run():
+        fleet = RandomWaypoint((-6.0, -6.0, 6.0, 6.0), 0.3, 20, seed=4)
+        simulator = MobileSimulator(fleet, MobileTilingMAC(_SCHEDULER),
+                                    radius=0.45, packet_interval=9, seed=5)
+        return simulator.run(90)
+
+    metrics = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert metrics.failed_receptions == 0

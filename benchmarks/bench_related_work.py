@@ -1,0 +1,53 @@
+"""Benchmark + regeneration of the related-work and generality claims.
+
+Times the heuristic schedulers the paper cites (mean-field annealing,
+Hopfield network) against DSATUR and exact coloring, and the arbitrary-
+dimension pipeline.
+"""
+
+import pytest
+
+from repro.experiments.base import format_rows
+from repro.experiments.related_work_experiments import (
+    run_dimensions,
+    run_heuristics,
+)
+from repro.graphs.anneal import anneal_minimum_slots
+from repro.graphs.hopfield import hopfield_minimum_slots
+from repro.graphs.interference import conflict_graph_homogeneous
+from repro.core.theorem1 import schedule_from_prototile
+from repro.lattice.region import box_region
+from repro.tiles.shapes import chebyshev_ball, plus_pentomino
+
+_GRAPH = conflict_graph_homogeneous(
+    box_region((0, 0), (5, 5)).points, plus_pentomino())
+
+
+def test_heuristics_regenerates(report, benchmark):
+    result = benchmark.pedantic(run_heuristics, rounds=1, iterations=1)
+    report("Related work — scheduler comparison", format_rows(result.rows))
+    assert result.passed
+
+
+def test_dimensions_regenerates(report, benchmark):
+    result = benchmark.pedantic(run_dimensions, rounds=1, iterations=1)
+    report("Section 1 — arbitrary dimensions", format_rows(result.rows))
+    assert result.passed
+
+
+def test_mean_field_annealing(benchmark):
+    slots, _ = benchmark.pedantic(
+        lambda: anneal_minimum_slots(_GRAPH, seed=5), rounds=2, iterations=1)
+    assert slots >= 5
+
+
+def test_hopfield_network(benchmark):
+    slots, _ = benchmark(lambda: hopfield_minimum_slots(_GRAPH, seed=5))
+    assert slots == 5
+
+
+@pytest.mark.parametrize("dimension", [1, 2, 3])
+def test_theorem1_by_dimension(benchmark, dimension):
+    tile = chebyshev_ball(1, dimension=dimension)
+    schedule = benchmark(schedule_from_prototile, tile)
+    assert schedule.num_slots == 3 ** dimension

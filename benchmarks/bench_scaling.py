@@ -1,0 +1,44 @@
+"""Benchmark + regeneration of the scalability claim (contribution 2).
+
+The tiling schedule's round length stays |N| while TDMA's grows with the
+network; slot assignment per sensor is O(1) versus growing coloring cost.
+"""
+
+import pytest
+
+from repro.core.theorem1 import schedule_from_prototile
+from repro.experiments.base import format_rows
+from repro.experiments.systems_experiments import run_scaling
+from repro.graphs.coloring import dsatur_coloring
+from repro.graphs.interference import conflict_graph_homogeneous
+from repro.lattice.region import box_region
+from repro.tiles.shapes import chebyshev_ball
+
+_TILE = chebyshev_ball(1)
+_SCHEDULE = schedule_from_prototile(_TILE)
+
+
+def test_scaling_regenerates(report, benchmark):
+    result = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
+    report("Contribution 2 — scalability", format_rows(result.rows))
+    assert result.passed
+
+
+@pytest.mark.parametrize("side", [8, 16, 32])
+def test_tiling_assignment_scales_linearly(benchmark, side):
+    points = box_region((0, 0), (side - 1, side - 1)).points
+
+    def assign_all():
+        return [_SCHEDULE.slot_of(p) for p in points]
+
+    slots = benchmark(assign_all)
+    assert len(slots) == side * side
+
+
+@pytest.mark.parametrize("side", [8, 16])
+def test_dsatur_baseline_cost(benchmark, side):
+    points = box_region((0, 0), (side - 1, side - 1)).points
+    graph = conflict_graph_homogeneous(points, _TILE)
+
+    coloring = benchmark(dsatur_coloring, graph)
+    assert max(coloring.values()) + 1 >= _TILE.size

@@ -1,0 +1,52 @@
+"""Benchmark + verification of Theorem 1 across the prototile gallery.
+
+For each exact prototile: the schedule has |N| slots, is collision-free,
+and the exact distance-2 chromatic number of a core patch equals |N|.
+"""
+
+import pytest
+
+from repro.core.optimality import minimum_slots_region
+from repro.core.theorem1 import schedule_from_prototile
+from repro.experiments.base import format_rows
+from repro.experiments.theorem_experiments import run_thm1
+from repro.lattice.region import box_region
+from repro.tiles.shapes import (
+    chebyshev_ball,
+    directional_antenna,
+    plus_pentomino,
+    s_tetromino,
+)
+
+GALLERY = {
+    "chebyshev": chebyshev_ball(1),
+    "plus": plus_pentomino(),
+    "antenna": directional_antenna(),
+    "s-tetromino": s_tetromino(),
+}
+
+
+def test_thm1_regenerates(report, benchmark):
+    result = benchmark.pedantic(run_thm1, rounds=1, iterations=1)
+    report("Theorem 1 — optimal schedules from tilings",
+           format_rows(result.rows))
+    assert result.passed
+
+
+@pytest.mark.parametrize("name", sorted(GALLERY))
+def test_thm1_schedule_construction(benchmark, name):
+    tile = GALLERY[name]
+    schedule = benchmark(schedule_from_prototile, tile)
+    assert schedule.num_slots == tile.size
+
+
+@pytest.mark.parametrize("name", ["plus", "s-tetromino"])
+def test_thm1_exact_patch_optimum(benchmark, name):
+    tile = GALLERY[name]
+    region = box_region((0, 0), (5, 5))
+
+    def solve():
+        return minimum_slots_region(tile, region)
+
+    optimum, _ = benchmark(solve)
+    assert optimum == tile.size

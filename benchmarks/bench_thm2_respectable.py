@@ -1,0 +1,52 @@
+"""Benchmark + verification of Theorem 2 (respectable tilings).
+
+Times the multi-prototile schedule construction and the conflict-graph
+optimum on the respectable square+domino tiling; ``m = |N1|`` throughout.
+"""
+
+from repro.core.optimality import minimum_slots, schedule_variable_conflicts
+from repro.core.theorem2 import schedule_from_multi_tiling
+from repro.experiments.base import format_rows
+from repro.experiments.theorem_experiments import (
+    respectable_pair_tiling,
+    run_thm2,
+)
+from repro.utils.vectors import box_points
+
+
+def test_thm2_regenerates(report, benchmark):
+    result = benchmark.pedantic(run_thm2, rounds=1, iterations=1)
+    report("Theorem 2 — respectable multi-prototile tilings",
+           format_rows(result.rows))
+    assert result.passed
+
+
+def test_thm2_schedule_construction(benchmark):
+    multi = respectable_pair_tiling()
+    schedule = benchmark(schedule_from_multi_tiling, multi)
+    assert schedule.num_slots == 4
+
+
+def test_thm2_slot_lookup_throughput(benchmark):
+    multi = respectable_pair_tiling()
+    schedule = schedule_from_multi_tiling(multi)
+    window = list(box_points((-20, -20), (20, 20)))
+
+    def assign_all():
+        return [schedule.slot_of(p) for p in window]
+
+    slots = benchmark(assign_all)
+    assert len(slots) == len(window)
+
+
+def test_thm2_conflict_graph_and_optimum(benchmark):
+    multi = respectable_pair_tiling()
+
+    def solve():
+        graph = schedule_variable_conflicts(multi)
+        optimum, _ = minimum_slots(multi)
+        return len(graph), optimum
+
+    variables, optimum = benchmark(solve)
+    assert variables == 6  # 4 square cells + 2 domino cells
+    assert optimum == 4

@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark module regenerates one of the paper's figures/claims.
+The ``report`` fixture collects the regenerated rows and a terminal-
+summary hook prints them after the timing tables, so that
+``pytest benchmarks/ --benchmark-only`` doubles as the reproduction
+report recorded in EXPERIMENTS.md (pytest captures ordinary stdout, so
+printing from inside tests would be invisible on success).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+_REPORT_BLOCKS: dict[str, str] = {}
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Register a titled reproduction block for the terminal summary."""
+
+    def _report(title: str, body: str) -> None:
+        _REPORT_BLOCKS.setdefault(title, body)
+
+    return _report
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORT_BLOCKS:
+        return
+    terminalreporter.section("regenerated paper artifacts")
+    for title, body in _REPORT_BLOCKS.items():
+        terminalreporter.write_line(f"===== {title} =====")
+        for line in body.splitlines():
+            terminalreporter.write_line(line)
+        terminalreporter.write_line("")

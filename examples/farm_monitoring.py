@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Field monitoring with directional antennas: schedule vs random access.
+
+A 12x12 grid of soil sensors reports every round on a shared channel.
+Each sensor's directional antenna interferes with the 2x4 block of
+Figure 3.  We compare four MAC disciplines on identical traffic:
+
+* the paper's 8-slot tiling schedule (deterministic, collision-free),
+* global TDMA (one slot per sensor — 144-slot rounds),
+* slotted ALOHA and a CSMA-like variant (probabilistic).
+
+The point the paper's introduction makes: collisions force resends and
+"evidently a waste of energy" — here measured as energy per delivered
+report.
+
+Run:  python examples/farm_monitoring.py
+"""
+
+from repro.core.theorem1 import schedule_from_prototile
+from repro.lattice.region import box_region
+from repro.net.metrics import metrics_table
+from repro.net.model import Network
+from repro.net.protocols import (
+    CSMALike,
+    GlobalTDMA,
+    ScheduleMAC,
+    SlottedAloha,
+)
+from repro.net.simulator import compare_protocols
+from repro.tiles.shapes import directional_antenna
+from repro.viz.ascii_art import render_schedule
+
+FIELD = box_region((0, 0), (11, 11))
+ROUNDS = 40
+
+
+def main() -> None:
+    antenna = directional_antenna()
+    schedule = schedule_from_prototile(antenna)
+    print(f"Field: {len(FIELD)} sensors, antenna |N| = {antenna.size}, "
+          f"tiling schedule m = {schedule.num_slots} slots")
+    print("\nSchedule across one corner of the field:")
+    print(render_schedule(schedule, (0, 0), (11, 7)))
+
+    network = Network.homogeneous(FIELD.points, antenna)
+    protocols = [
+        ScheduleMAC(schedule),
+        GlobalTDMA(network.positions),
+        SlottedAloha(0.08),
+        CSMALike(0.08),
+    ]
+    slots = ROUNDS * schedule.num_slots
+    results = compare_protocols(network, protocols, slots=slots,
+                                packet_interval=schedule.num_slots,
+                                seed=2024)
+    print(f"\n{ROUNDS} sensing rounds ({slots} slots), one report per "
+          f"sensor per round:\n")
+    print(metrics_table(results))
+
+    tiling = results[0]
+    print(f"\nTiling schedule: {tiling.failed_receptions} collisions, "
+          f"{tiling.delivery_ratio:.0%} delivery, "
+          f"{tiling.energy_per_delivered:.2f} energy units per report.")
+    print("Every probabilistic protocol wastes transmissions on resends; "
+          "global TDMA never collides but its 144-slot rounds cannot "
+          "keep up with per-9-slot traffic.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Heterogeneous deployment (Theorem 2): mixing antenna types.
+
+A city block deploys two sensor models: long-range units covering a 2x2
+area and compact units covering a vertical 1x2 strip.  Because the large
+neighborhood contains the small one, the tiling is *respectable* and
+Theorem 2 gives an optimal 4-slot schedule.
+
+The example then swaps in the paper's Figure 5 scenario — S- and
+Z-shaped coverage where neither contains the other — and shows the
+optimum jump from 4 to 6 slots, computed exactly.
+
+Run:  python examples/heterogeneous_city.py
+"""
+
+from repro.core.optimality import minimum_slots
+from repro.core.schedule import verify_collision_free
+from repro.core.theorem2 import (
+    respectable_optimal_slots,
+    schedule_from_multi_tiling,
+)
+from repro.lattice.region import box_region
+from repro.lattice.sublattice import diagonal_sublattice
+from repro.net.metrics import metrics_table
+from repro.net.model import Network
+from repro.net.protocols import ScheduleMAC
+from repro.net.simulator import simulate
+from repro.tiles.shapes import rectangle_tile
+from repro.tiling.construct import (
+    figure5_mixed_tiling,
+    figure5_symmetric_tiling,
+)
+from repro.tiling.multi import MultiTiling
+from repro.utils.vectors import box_points
+from repro.viz.ascii_art import render_multi_tiling, render_schedule
+
+
+def respectable_city() -> MultiTiling:
+    """2x2 long-range tiles + two 1x2 compact columns per 4x2 period."""
+    large = rectangle_tile(2, 2)
+    small = rectangle_tile(1, 2)
+    return MultiTiling([large, small], [[(0, 0)], [(2, 0), (3, 0)]],
+                       diagonal_sublattice((4, 2)))
+
+
+def main() -> None:
+    # ----- Respectable case: Theorem 2 applies with m = |N1|. -----
+    city = respectable_city()
+    schedule = schedule_from_multi_tiling(city)
+    print("Respectable deployment (2x2 contains 1x2):")
+    print(render_multi_tiling(city, (0, 0), (7, 5)))
+    print(f"\nTheorem 2 slots: {schedule.num_slots} "
+          f"(= |N1| = {respectable_optimal_slots(city)}, optimal)")
+    print(render_schedule(schedule, (0, 0), (7, 5)))
+
+    window = list(box_points((-6, -6), (6, 6)))
+    assert verify_collision_free(schedule, window,
+                                 schedule.neighborhood_of)
+    print("Verified collision-free under deployment rule D1.")
+
+    region = box_region((0, 0), (9, 9))
+    network = Network.from_multi_tiling(region.points, city)
+    metrics = simulate(network, ScheduleMAC(schedule, name="thm2-schedule"),
+                       slots=20 * schedule.num_slots,
+                       packet_interval=schedule.num_slots, seed=9)
+    print()
+    print(metrics_table([metrics]))
+
+    # ----- Non-respectable case: the Figure 5 phenomenon. -----
+    print("\nNon-respectable deployment (S/Z coverage, Figure 5):")
+    mixed = figure5_mixed_tiling()
+    symmetric = figure5_symmetric_tiling()
+    optimum_mixed, _ = minimum_slots(mixed)
+    optimum_symmetric, _ = minimum_slots(symmetric)
+    print(f"  mixed S/Z tiling:  exact optimum = {optimum_mixed} slots")
+    print(f"  symmetric tiling:  exact optimum = {optimum_symmetric} slots")
+    print("The optimal slot count depends on the chosen tiling once "
+          "respectability is lost — exactly the paper's Section 4 point.")
+
+
+if __name__ == "__main__":
+    main()

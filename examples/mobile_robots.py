@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Mobile robots (Section 5): slots belong to locations, not sensors.
+
+A fleet of warehouse robots roams a floor marked with a virtual grid.
+Each grid point owns a slot from a Theorem 1 schedule; a robot may
+transmit only during its current cell's slot, and only if its radio disk
+fits inside that cell's tile — the paper's conclusions construction.
+
+The demo runs the rule against a mobile slotted-ALOHA fleet and shows the
+trade: the location rule never collides (energy 1.0 per delivery) while
+ALOHA delivers faster but burns energy on collisions.
+
+Run:  python examples/mobile_robots.py
+"""
+
+from repro.core.mobile import MobileScheduler
+from repro.core.theorem1 import schedule_from_prototile
+from repro.lattice.standard import square_lattice
+from repro.net.metrics import metrics_table
+from repro.net.mobility import (
+    MobileAlohaMAC,
+    MobileSimulator,
+    MobileTilingMAC,
+    RandomWaypoint,
+)
+from repro.tiles.shapes import chebyshev_ball
+
+FLOOR = (-8.0, -8.0, 8.0, 8.0)
+ROBOTS = 24
+RADIO_RANGE = 0.45
+SLOTS = 360
+
+
+def main() -> None:
+    schedule = schedule_from_prototile(chebyshev_ball(1))
+    scheduler = MobileScheduler(square_lattice(), schedule)
+    print(f"Floor {FLOOR}, {ROBOTS} robots, radio range {RADIO_RANGE}, "
+          f"{schedule.num_slots}-slot location schedule\n")
+
+    # Demonstrate the send rule for one robot at a few positions.
+    for position in [(0.1, 0.1), (0.5, 0.5), (3.2, -1.9)]:
+        decision = scheduler.decide(position, RADIO_RANGE)
+        print(f"robot at {position}: cell {decision.owner}, slot "
+              f"{decision.slot + 1}, range fits in tile: {decision.fits}")
+
+    results = []
+    for mac in (MobileTilingMAC(scheduler), MobileAlohaMAC(0.15)):
+        fleet = RandomWaypoint(FLOOR, speed=0.3, count=ROBOTS, seed=77)
+        simulator = MobileSimulator(fleet, mac, radius=RADIO_RANGE,
+                                    packet_interval=schedule.num_slots,
+                                    seed=78)
+        results.append(simulator.run(SLOTS))
+
+    print()
+    print(metrics_table(results))
+    tiling, aloha = results
+    print(f"\nLocation-slot rule: {tiling.failed_receptions} collisions "
+          f"over {SLOTS} slots (guaranteed); ALOHA: "
+          f"{aloha.failed_receptions}.")
+    print("The conservative fits-in-tile test trades delivery rate for a "
+          "hard zero-collision guarantee — useful when resends are "
+          "expensive (battery-powered fleets).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Tiling gallery: which neighborhoods admit optimal schedules?
+
+Walks the library's prototile gallery, decides exactness three ways
+(Beauquier-Nivat boundary criterion, exhaustive sublattice search,
+Szegedy's prime/4 reduction where applicable), and renders a tiling and
+its schedule for each exact shape.
+
+Run:  python examples/tiling_gallery.py
+"""
+
+from repro.core.theorem1 import schedule_from_tiling
+from repro.tiles.bn import find_bn_factorization
+from repro.tiles.boundary import boundary_word
+from repro.tiles.exactness import find_sublattice_tiling
+from repro.tiles.shapes import GALLERY
+from repro.tiles.szegedy import is_exact_szegedy, szegedy_applicable
+from repro.tiling.lattice_tiling import LatticeTiling
+from repro.viz.ascii_art import render_prototile, render_schedule
+
+
+def main() -> None:
+    for name in sorted(GALLERY):
+        tile = GALLERY[name]
+        print("=" * 60)
+        print(f"[{name}]  |N| = {tile.size}")
+        print(render_prototile(tile))
+
+        sublattice = find_sublattice_tiling(tile)
+        verdicts = [f"sublattice search: "
+                    f"{'exact' if sublattice else 'not exact'}"]
+        if tile.is_polyomino():
+            word = boundary_word(tile)
+            factorization = find_bn_factorization(word)
+            verdicts.append(
+                f"Beauquier-Nivat on {word!r}: "
+                f"{'exact' if factorization else 'not exact'}")
+            if factorization:
+                verdicts.append(
+                    f"  factorization A={factorization.a!r} "
+                    f"B={factorization.b!r} C={factorization.c!r}")
+        if szegedy_applicable(tile):
+            verdicts.append(
+                f"Szegedy (|N| prime or 4): "
+                f"{'exact' if is_exact_szegedy(tile) else 'not exact'}")
+        print("\n".join(verdicts))
+
+        if sublattice is None:
+            print("-> no tiling, Theorem 1 does not apply "
+                  "(graph-coloring fallback needed)")
+            continue
+        tiling = LatticeTiling(tile, sublattice)
+        schedule = schedule_from_tiling(tiling)
+        print(f"-> tiling by {sublattice.basis}, optimal schedule "
+              f"m = {schedule.num_slots}:")
+        print(render_schedule(schedule, (0, 0), (9, 5)))
+    print("=" * 60)
+
+
+if __name__ == "__main__":
+    main()

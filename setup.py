@@ -1,0 +1,11 @@
+"""Setuptools shim for legacy tooling.
+
+All metadata lives in ``pyproject.toml``; builds go through the offline-
+friendly PEP 517 backend in ``_build_backend/offline_backend.py`` (see
+the comment in ``pyproject.toml``).  This file only keeps
+``python setup.py develop`` working as a fallback installation path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,53 @@
+"""repro — reproduction of "Scheduling Sensors by Tiling Lattices".
+
+Klappenecker, Lee, Welch (PODC 2008 / arXiv:0806.1271): deterministic,
+collision-free, slot-optimal broadcast schedules for sensors on lattice
+points, derived from lattice tilings.
+
+Quickstart::
+
+    from repro import schedule_for
+
+    schedule = schedule_for(chebyshev_radius=1)   # 3x3 neighborhood
+    schedule.slot_of((10, 7))                      # -> slot in 0..8
+
+Package layout:
+
+* :mod:`repro.lattice` — Euclidean lattices, sublattices, Voronoi cells
+* :mod:`repro.tiles` — prototiles (neighborhoods), exactness deciders
+* :mod:`repro.tiling` — lattice / periodic / multi-prototile tilings
+* :mod:`repro.core` — the paper's schedules (Theorems 1 and 2), optimality
+* :mod:`repro.graphs` — baselines: distance-2 coloring, TDMA, annealing
+* :mod:`repro.net` — slotted wireless simulator with the paper's collision
+  semantics
+* :mod:`repro.viz` — ASCII and SVG rendering of the paper's figures
+* :mod:`repro.experiments` — per-figure reproduction harness
+"""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"
+
+from repro.tiles.prototile import Prototile
+from repro.tiles.shapes import chebyshev_ball, directional_antenna, plus_pentomino
+
+
+def schedule_for(chebyshev_radius: int = 1, dimension: int = 2):
+    """Convenience: optimal schedule for a Chebyshev-ball neighborhood.
+
+    Builds the radius-``r`` Chebyshev neighborhood, finds a tiling, and
+    returns the Theorem 1 schedule (``(2r+1)^d`` slots).
+    """
+    from repro.core.theorem1 import schedule_from_prototile
+
+    return schedule_from_prototile(chebyshev_ball(chebyshev_radius, dimension))
+
+
+__all__ = [
+    "Prototile",
+    "chebyshev_ball",
+    "directional_antenna",
+    "plus_pentomino",
+    "schedule_for",
+    "__version__",
+]

@@ -1,0 +1,86 @@
+"""The paper's contribution: tiling schedules, optimality, extensions."""
+
+from repro.core.analysis import (
+    ScheduleAnalysis,
+    analyze_schedule,
+    tiling_vs_tdma,
+)
+from repro.core.mobile import MobileDecision, MobileScheduler
+from repro.core.optimality import (
+    AssignmentSchedule,
+    as_multi_tiling,
+    clique_lower_bound,
+    minimum_slots,
+    minimum_slots_region,
+    optimal_schedule,
+    schedule_variable_conflicts,
+)
+from repro.core.restriction import (
+    restrict_schedule,
+    restricted_optimum,
+    restriction_criterion_holds,
+    restriction_report,
+)
+from repro.core.serialize import (
+    schedule_from_dict,
+    schedule_from_json,
+    schedule_to_dict,
+    schedule_to_json,
+)
+from repro.core.schedule import (
+    MappingSchedule,
+    MultiTilingSchedule,
+    Schedule,
+    TilingSchedule,
+    conflict_offsets,
+    find_collisions,
+    verify_collision_free,
+)
+from repro.core.theorem1 import (
+    optimal_slot_count,
+    pairwise_conflicting_cells,
+    schedule_from_prototile,
+    schedule_from_tiling,
+)
+from repro.core.theorem2 import (
+    respectable_optimal_slots,
+    schedule_from_multi_tiling,
+    theorem2_slot_count,
+)
+
+__all__ = [
+    "AssignmentSchedule",
+    "MappingSchedule",
+    "MobileDecision",
+    "MobileScheduler",
+    "MultiTilingSchedule",
+    "Schedule",
+    "ScheduleAnalysis",
+    "TilingSchedule",
+    "analyze_schedule",
+    "as_multi_tiling",
+    "clique_lower_bound",
+    "conflict_offsets",
+    "find_collisions",
+    "minimum_slots",
+    "minimum_slots_region",
+    "optimal_schedule",
+    "optimal_slot_count",
+    "pairwise_conflicting_cells",
+    "respectable_optimal_slots",
+    "restrict_schedule",
+    "restricted_optimum",
+    "restriction_criterion_holds",
+    "restriction_report",
+    "schedule_from_dict",
+    "schedule_from_json",
+    "schedule_from_multi_tiling",
+    "schedule_from_prototile",
+    "schedule_from_tiling",
+    "schedule_to_dict",
+    "schedule_to_json",
+    "schedule_variable_conflicts",
+    "theorem2_slot_count",
+    "tiling_vs_tdma",
+    "verify_collision_free",
+]

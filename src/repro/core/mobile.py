@@ -1,0 +1,183 @@
+"""Mobile sensors (the paper's Conclusions / Section 5 construction).
+
+    *One straightforward way is to use our schedule to assign time slots
+    to the locations rather than to the sensors.  Let us assume that the
+    lattice points are spaced fine enough to ensure that only one sensor
+    is within a Voronoi region of a lattice point.  If the time slot k is
+    assigned to a lattice point p, then a sensor s within the open Voronoi
+    region about p can send at time t if and only if t = k (mod m) and the
+    interference range of s fits within the tile of p.*
+
+:class:`MobileScheduler` implements this literally on a 2-D lattice:
+
+* slots belong to lattice points via a Theorem 1 schedule;
+* a moving sensor is owned by the lattice point whose (open) Voronoi cell
+  contains it;
+* the "interference range fits within the tile" test is made discrete and
+  exact: the sensor's interference disk touches a finite set of Voronoi
+  cells, and the fit holds iff every touched cell belongs to the tile
+  (the translate ``t + N`` that covers the owner).
+
+Collision-freeness then follows the paper's argument: same-slot owners lie
+in *distinct* tiles, distinct tiles are disjoint, and each sender's
+interference stays inside its own tile.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.schedule import TilingSchedule
+from repro.lattice.lattice import Lattice
+from repro.lattice.voronoi import VoronoiCell, voronoi_cell_2d
+from repro.utils.vectors import IntVec, vadd
+from repro.utils.validation import require
+
+__all__ = ["MobileScheduler", "MobileDecision"]
+
+
+class MobileDecision:
+    """Outcome of a mobile send query.
+
+    Attributes:
+        owner: lattice point whose Voronoi cell contains the sensor.
+        slot: the slot owned by that lattice point.
+        fits: whether the sensor's interference disk fits in the tile.
+        touched_points: lattice points whose cells the disk touches.
+    """
+
+    def __init__(self, owner: IntVec, slot: int, fits: bool,
+                 touched_points: frozenset[IntVec]):
+        self.owner = owner
+        self.slot = slot
+        self.fits = fits
+        self.touched_points = touched_points
+
+    def may_send(self, time: int, num_slots: int) -> bool:
+        """The paper's rule: correct slot *and* range fits in the tile."""
+        return self.fits and time % num_slots == self.slot
+
+    def __repr__(self) -> str:
+        return (f"MobileDecision(owner={self.owner}, slot={self.slot}, "
+                f"fits={self.fits})")
+
+
+class MobileScheduler:
+    """Location-based slots for mobile sensors on a 2-D lattice.
+
+    Args:
+        lattice: the (2-D) lattice whose points own the slots.
+        schedule: a Theorem 1 tiling schedule on that lattice's
+            coordinates.
+    """
+
+    def __init__(self, lattice: Lattice, schedule: TilingSchedule):
+        require(lattice.dimension == 2,
+                "the mobile construction is implemented for 2-D lattices")
+        self.lattice = lattice
+        self.schedule = schedule
+        self._base_cell: VoronoiCell = voronoi_cell_2d(lattice)
+        # Circumradius of the Voronoi cell bounds which cells a disk of
+        # radius r can touch: centers within r + circumradius.
+        self._circumradius = max(
+            math.hypot(vx - self._base_cell.center[0],
+                       vy - self._base_cell.center[1])
+            for vx, vy in self._base_cell.vertices)
+
+    @property
+    def num_slots(self) -> int:
+        return self.schedule.num_slots
+
+    # ------------------------------------------------------------------
+    def owner_of(self, position: Sequence[float]) -> IntVec:
+        """The lattice point whose Voronoi cell contains the position.
+
+        Positions on cell boundaries are resolved to the nearest point
+        with deterministic tie-breaking; the paper's "one sensor per open
+        Voronoi region" assumption makes ties measure-zero events.
+        """
+        return self.lattice.nearest_point(position)
+
+    def cell_of(self, point: Sequence[int]) -> VoronoiCell:
+        """The Voronoi cell of a lattice point."""
+        center = self.lattice.to_real(point)
+        offset = (center[0] - self._base_cell.center[0],
+                  center[1] - self._base_cell.center[1])
+        return self._base_cell.translated(offset)
+
+    def touched_lattice_points(self, position: Sequence[float],
+                               radius: float) -> frozenset[IntVec]:
+        """Lattice points whose closed Voronoi cell meets the closed disk.
+
+        These are exactly the locations whose (potential) occupants could
+        be interfered with by a transmission of range ``radius`` from
+        ``position``.
+        """
+        require(radius >= 0, "radius must be nonnegative")
+        center = np.asarray(position, dtype=float)
+        # A touched cell's lattice point lies within radius + circumradius
+        # of the position, and the position is within circumradius of its
+        # owner, so searching around the owner needs radius + 2R.
+        search = radius + 2.0 * self._circumradius + 1e-9
+        candidates = self.lattice.points_within_distance(
+            search, self.owner_of(position))
+        touched = set()
+        for point in candidates:
+            cell = self.cell_of(point)
+            if _distance_to_cell(center, cell) <= radius + 1e-9:
+                touched.add(point)
+        return frozenset(touched)
+
+    def tile_points_of(self, owner: Sequence[int]) -> frozenset[IntVec]:
+        """The lattice points of the tile ``t + N`` covering ``owner``."""
+        translation, _ = self.schedule.tiling.decompose(owner)
+        return frozenset(vadd(translation, cell)
+                         for cell in self.schedule.prototile.cells)
+
+    def decide(self, position: Sequence[float],
+               radius: float) -> MobileDecision:
+        """Evaluate the paper's send rule for a sensor at ``position``.
+
+        The interference disk "fits within the tile" iff every Voronoi
+        cell it touches belongs to the tile of the owner.
+        """
+        owner = self.owner_of(position)
+        slot = self.schedule.slot_of(owner)
+        touched = self.touched_lattice_points(position, radius)
+        fits = touched <= self.tile_points_of(owner)
+        return MobileDecision(owner, slot, fits, touched)
+
+    def may_send(self, position: Sequence[float], radius: float,
+                 time: int) -> bool:
+        """Convenience wrapper: may the sensor send at this time step?"""
+        return self.decide(position, radius).may_send(time, self.num_slots)
+
+
+def _distance_to_cell(point: np.ndarray, cell: VoronoiCell) -> float:
+    """Euclidean distance from a point to a convex polygon (0 if inside)."""
+    if cell.contains_point(point):
+        return 0.0
+    best = math.inf
+    count = len(cell.vertices)
+    for i in range(count):
+        ax, ay = cell.vertices[i]
+        bx, by = cell.vertices[(i + 1) % count]
+        best = min(best, _distance_to_segment(point, (ax, ay), (bx, by)))
+    return best
+
+
+def _distance_to_segment(point: np.ndarray, a: tuple[float, float],
+                         b: tuple[float, float]) -> float:
+    ax, ay = a
+    bx, by = b
+    px, py = float(point[0]), float(point[1])
+    dx, dy = bx - ax, by - ay
+    length_sq = dx * dx + dy * dy
+    if length_sq == 0.0:
+        return math.hypot(px - ax, py - ay)
+    t = max(0.0, min(1.0, ((px - ax) * dx + (py - ay) * dy) / length_sq))
+    cx, cy = ax + t * dx, ay + t * dy
+    return math.hypot(px - cx, py - cy)

@@ -1,0 +1,117 @@
+"""Serialization of schedules for sensor configuration.
+
+The paper notes that keeping the schedule identical across translated
+tiles "simplifies configuring the sensor network"; in practice a deployed
+network needs the schedule shipped to the sensors.  This module round-
+trips the library's schedules through plain JSON-able dictionaries:
+
+* a :class:`~repro.core.schedule.TilingSchedule` over a lattice tiling is
+  fully described by the prototile cells, the sublattice basis and the
+  cell (slot) enumeration;
+* a :class:`~repro.core.schedule.MultiTilingSchedule` additionally
+  carries the per-prototile anchors and the period basis;
+* a :class:`~repro.core.schedule.MappingSchedule` is an explicit table.
+
+Each sensor can then answer "may I send at time t?" from a few integers —
+no global state, matching the paper's distributed setting.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.schedule import (
+    MappingSchedule,
+    MultiTilingSchedule,
+    Schedule,
+    TilingSchedule,
+)
+from repro.lattice.sublattice import Sublattice
+from repro.tiles.prototile import Prototile
+from repro.tiling.lattice_tiling import LatticeTiling
+from repro.tiling.multi import MultiTiling
+
+__all__ = ["schedule_to_dict", "schedule_from_dict",
+           "schedule_to_json", "schedule_from_json"]
+
+
+def schedule_to_dict(schedule: Schedule) -> dict:
+    """A JSON-able description of a schedule.
+
+    Raises:
+        TypeError: for schedule types without a serial form (e.g. a
+            ``TilingSchedule`` over a non-lattice periodic tiling; ship
+            the anchors via a ``MultiTilingSchedule`` instead).
+    """
+    if isinstance(schedule, TilingSchedule):
+        tiling = schedule.tiling
+        if not isinstance(tiling, LatticeTiling):
+            raise TypeError(
+                "only lattice-tiling schedules serialize via this form; "
+                "wrap periodic tilings as MultiTilingSchedule")
+        return {
+            "kind": "tiling",
+            "cells": [list(c) for c in schedule.cells],
+            "prototile": sorted(list(c) for c in tiling.prototile.cells),
+            "sublattice_basis": [list(v) for v in
+                                 tiling.sublattice.basis],
+        }
+    if isinstance(schedule, MultiTilingSchedule):
+        multi = schedule.multi
+        return {
+            "kind": "multi",
+            "cells": [list(c) for c in schedule.cells],
+            "prototiles": [sorted(list(c) for c in tile.cells)
+                           for tile in multi.prototiles],
+            "anchor_sets": [sorted(list(a) for a in multi.anchor_set(k))
+                            for k in range(multi.num_prototiles)],
+            "period_basis": [list(v) for v in multi.period.basis],
+        }
+    if isinstance(schedule, MappingSchedule):
+        return {
+            "kind": "mapping",
+            "assignment": [[list(point), slot]
+                           for point, slot in sorted(
+                               (p, schedule.slot_of(p))
+                               for p in schedule.points)],
+        }
+    raise TypeError(f"cannot serialize {type(schedule).__name__}")
+
+
+def schedule_from_dict(data: dict) -> Schedule:
+    """Rebuild a schedule from :func:`schedule_to_dict` output.
+
+    All tiling invariants are re-validated during reconstruction, so a
+    corrupted description is rejected rather than silently mis-scheduling.
+    """
+    kind = data.get("kind")
+    if kind == "tiling":
+        prototile = Prototile(tuple(c) for c in data["prototile"])
+        sublattice = Sublattice([tuple(v) for v in
+                                 data["sublattice_basis"]])
+        tiling = LatticeTiling(prototile, sublattice)
+        cells = [tuple(c) for c in data["cells"]]
+        return TilingSchedule(tiling, cells)
+    if kind == "multi":
+        prototiles = [Prototile(tuple(c) for c in cells)
+                      for cells in data["prototiles"]]
+        period = Sublattice([tuple(v) for v in data["period_basis"]])
+        anchor_sets = [[tuple(a) for a in anchors]
+                       for anchors in data["anchor_sets"]]
+        multi = MultiTiling(prototiles, anchor_sets, period)
+        cells = [tuple(c) for c in data["cells"]]
+        return MultiTilingSchedule(multi, cells)
+    if kind == "mapping":
+        return MappingSchedule({tuple(point): slot
+                                for point, slot in data["assignment"]})
+    raise ValueError(f"unknown schedule kind: {kind!r}")
+
+
+def schedule_to_json(schedule: Schedule) -> str:
+    """Serialize a schedule to a JSON string."""
+    return json.dumps(schedule_to_dict(schedule), sort_keys=True)
+
+
+def schedule_from_json(text: str) -> Schedule:
+    """Rebuild a schedule from :func:`schedule_to_json` output."""
+    return schedule_from_dict(json.loads(text))

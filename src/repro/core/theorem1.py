@@ -1,0 +1,102 @@
+"""Theorem 1: optimal collision-free schedules from lattice tilings.
+
+    *Let T be a tiling of a Euclidean lattice L in R^d with neighborhoods
+    of the form N.  Then there exists a deterministic periodic schedule
+    that avoids collision problems using m = |N| time slots.  The schedule
+    is optimal in the sense that one cannot achieve this property with
+    fewer than m time slots.*
+
+The construction (:func:`schedule_from_tiling`) is the proof's: enumerate
+``N = {n_1, ..., n_m}`` and give slot ``k`` to the sensors at ``n_k + T``.
+The lower bound (:func:`pairwise_conflicting_cells`) is the proof's clique
+argument: any two ``n', n''`` in ``N`` conflict because ``n' + n''`` lies
+in both ``n' + N`` and ``n'' + N``, so all ``|N|`` cells need distinct
+slots in *any* collision-free periodic schedule.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.schedule import TilingSchedule
+from repro.tiles.exactness import find_sublattice_tiling
+from repro.tiles.prototile import Prototile
+from repro.tiling.base import Tiling
+from repro.tiling.construct import find_tiling
+from repro.tiling.lattice_tiling import LatticeTiling
+from repro.utils.vectors import IntVec, vadd
+
+__all__ = [
+    "schedule_from_tiling",
+    "schedule_from_prototile",
+    "optimal_slot_count",
+    "pairwise_conflicting_cells",
+]
+
+
+def schedule_from_tiling(tiling: Tiling,
+                         cells: Sequence[IntVec] | None = None
+                         ) -> TilingSchedule:
+    """The Theorem 1 schedule for a tiling (slots = ``|N|``).
+
+    Args:
+        tiling: a validated tiling of ``Z^d`` by the neighborhood ``N``.
+        cells: optional enumeration ``n_1, ..., n_m`` of ``N``; defaults
+            to lexicographic order.  Any enumeration yields a collision-
+            free optimal schedule — the theorem does not depend on it.
+    """
+    return TilingSchedule(tiling, cells)
+
+
+def schedule_from_prototile(prototile: Prototile,
+                            max_period_side: int = 6) -> TilingSchedule:
+    """Find a tiling for the neighborhood and return its schedule.
+
+    Raises:
+        ValueError: if the prototile is not exact (no tiling found), in
+            which case Theorem 1 does not apply; fall back to the
+            graph-coloring baselines of :mod:`repro.graphs`.
+    """
+    tiling = find_tiling(prototile, max_period_side=max_period_side)
+    if tiling is None:
+        raise ValueError(
+            f"prototile {prototile.name!r} admits no tiling (not exact); "
+            f"Theorem 1 does not apply")
+    return schedule_from_tiling(tiling)
+
+
+def optimal_slot_count(prototile: Prototile) -> int:
+    """The optimal number of slots, ``m = |N|``.
+
+    By Theorem 1 this is achievable whenever the prototile is exact, and
+    by the clique argument no collision-free periodic schedule for the
+    full lattice can use fewer.
+    """
+    return prototile.size
+
+
+def pairwise_conflicting_cells(prototile: Prototile) -> list[tuple[IntVec, IntVec, IntVec]]:
+    """Witnesses for the lower-bound clique argument.
+
+    For every pair ``n' != n''`` of cells, returns ``(n', n'', w)`` where
+    ``w = n' + n''`` lies in both ``n' + N`` and ``n'' + N`` — proving the
+    two sensors' ranges intersect, hence all ``|N|`` cells must occupy
+    pairwise distinct slots.
+    """
+    witnesses = []
+    cells = prototile.sorted_cells()
+    for i, first in enumerate(cells):
+        for second in cells[i + 1:]:
+            witness = vadd(first, second)
+            assert witness in prototile.translate(first)
+            assert witness in prototile.translate(second)
+            witnesses.append((first, second, witness))
+    return witnesses
+
+
+def lattice_schedule_or_none(prototile: Prototile) -> TilingSchedule | None:
+    """Schedule via a sublattice tiling only (O(d^2) slot lookups)."""
+    sublattice = find_sublattice_tiling(prototile)
+    if sublattice is None:
+        return None
+    return schedule_from_tiling(LatticeTiling(prototile, sublattice))

@@ -1,0 +1,68 @@
+"""Theorem 2: optimal schedules for tilings with several prototiles.
+
+    *Let T_1, ..., T_n be a respectable tiling of a Euclidean lattice L
+    with neighborhoods of the type N_1, ..., N_n.  Suppose that the
+    sensors are deployed according to the scheme D1.  Then there exists a
+    deterministic periodic schedule that avoids collision problems using
+    m = |N_1| time slots.  The schedule is optimal in the sense that one
+    cannot achieve this property with fewer than m time slots.*
+
+The constructive schedule (from the proof) works for *any* multi-prototile
+tiling, respectable or not, and uses ``m = |N_1 | ... | N_n|`` slots; the
+respectability hypothesis (``N_1`` contains every ``N_k``) makes that
+union equal ``N_1`` and yields the optimality.  Section 4 shows optimality
+genuinely fails without it: see :mod:`repro.core.optimality` and the
+Figure 5 experiment.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.schedule import MultiTilingSchedule
+from repro.tiling.multi import MultiTiling
+from repro.utils.vectors import IntVec
+
+__all__ = [
+    "schedule_from_multi_tiling",
+    "theorem2_slot_count",
+    "respectable_optimal_slots",
+]
+
+
+def schedule_from_multi_tiling(multi: MultiTiling,
+                               cells: Sequence[IntVec] | None = None
+                               ) -> MultiTilingSchedule:
+    """The Theorem 2 schedule: slot = index of a sensor's cell in ``|_| N_k``.
+
+    With ``N = N_1 | ... | N_n = {n_1, ..., n_m}``, the sensors at
+    ``n_k + T_l`` broadcast at slot ``k`` iff ``n_k`` is in ``N_l`` —
+    exactly the proof's assignment.  GT1 guarantees every sensor gets a
+    slot; GT2 guarantees no collision (verified in the test suite).
+
+    Works for non-respectable tilings as well, where the slot count
+    ``m = |N|`` may exceed the (tiling-dependent) optimum.
+    """
+    return MultiTilingSchedule(multi, cells)
+
+
+def theorem2_slot_count(multi: MultiTiling) -> int:
+    """Slot count of the constructive schedule: ``|N_1 | ... | N_n|``."""
+    return multi.union_prototile().size
+
+
+def respectable_optimal_slots(multi: MultiTiling) -> int:
+    """Optimal slot count ``|N_1|`` for a respectable tiling.
+
+    Raises:
+        ValueError: if the tiling is not respectable — then no tiling-
+            independent optimum exists (Section 4), and
+            :func:`repro.core.optimality.minimum_slots` must be used.
+    """
+    index = multi.respectable_index()
+    if index is None:
+        raise ValueError(
+            "tiling is not respectable; the optimal slot count depends on "
+            "the tiling (paper, Section 4) — use "
+            "repro.core.optimality.minimum_slots")
+    return multi.prototiles[index].size

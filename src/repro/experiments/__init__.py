@@ -1,0 +1,7 @@
+"""Reproduction experiments: one per paper figure, theorem and claim."""
+
+from repro.experiments.base import ExperimentResult, format_rows
+from repro.experiments.registry import EXPERIMENTS, run_all, run_experiment
+
+__all__ = ["EXPERIMENTS", "ExperimentResult", "format_rows", "run_all",
+           "run_experiment"]

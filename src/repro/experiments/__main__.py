@@ -1,0 +1,54 @@
+"""CLI: ``python -m repro.experiments [id ... | all] [--figures DIR]``.
+
+Runs the requested reproduction experiments and prints their reports;
+with ``--figures`` also regenerates the paper's five figures as SVG.
+Exits nonzero if any experiment fails its paper expectation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's figures, theorems and claims.")
+    parser.add_argument(
+        "experiments", nargs="*", default=["all"],
+        help=f"experiment ids ({', '.join(EXPERIMENTS)}) or 'all'")
+    parser.add_argument(
+        "--figures", metavar="DIR", default=None,
+        help="also write the five figures as SVG files into DIR")
+    args = parser.parse_args(argv)
+
+    requested = list(args.experiments)
+    if not requested or "all" in requested:
+        requested = list(EXPERIMENTS)
+
+    failures = 0
+    for experiment_id in requested:
+        result = run_experiment(experiment_id)
+        print(result.render())
+        print()
+        if not result.passed:
+            failures += 1
+
+    if args.figures:
+        from repro.viz.figures import all_figures
+        for artifact in all_figures():
+            paths = artifact.save_svgs(args.figures)
+            print(f"wrote {artifact.figure_id}: {', '.join(paths)}")
+
+    if failures:
+        print(f"{failures} experiment(s) FAILED", file=sys.stderr)
+        return 1
+    print(f"all {len(requested)} experiment(s) passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

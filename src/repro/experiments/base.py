@@ -1,0 +1,62 @@
+"""Shared experiment infrastructure: results, tables, registry.
+
+Every experiment module exposes ``run() -> ExperimentResult``; the result
+carries the regenerated rows, the paper's expectation, and a pass flag so
+``python -m repro.experiments all`` doubles as a reproduction check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ExperimentResult", "format_rows"]
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one reproduction experiment.
+
+    Attributes:
+        experiment_id: short id (``fig1`` ... ``fig5``, ``thm1``, ...).
+        title: human-readable name.
+        paper_expectation: what the paper claims (the "expected shape").
+        rows: regenerated data rows.
+        passed: whether the measured rows match the expectation.
+        notes: free-form commentary (deviations, parameters).
+    """
+
+    experiment_id: str
+    title: str
+    paper_expectation: str
+    rows: list[dict] = field(default_factory=list)
+    passed: bool = False
+    notes: str = ""
+
+    def render(self) -> str:
+        """Multi-line report for terminals and EXPERIMENTS.md."""
+        status = "PASS" if self.passed else "FAIL"
+        lines = [
+            f"[{self.experiment_id}] {self.title} — {status}",
+            f"  paper: {self.paper_expectation}",
+        ]
+        if self.rows:
+            table = format_rows(self.rows)
+            lines.extend("  " + line for line in table.splitlines())
+        if self.notes:
+            lines.append(f"  notes: {self.notes}")
+        return "\n".join(lines)
+
+
+def format_rows(rows: list[dict]) -> str:
+    """Fixed-width table over a homogeneous list of dict rows."""
+    if not rows:
+        return "(no rows)"
+    headers = list(rows[0])
+    widths = {h: max(len(str(h)), *(len(str(r.get(h, ""))) for r in rows))
+              for h in headers}
+    lines = ["  ".join(str(h).ljust(widths[h]) for h in headers)]
+    lines.append("  ".join("-" * widths[h] for h in headers))
+    for row in rows:
+        lines.append("  ".join(str(row.get(h, "")).ljust(widths[h])
+                               for h in headers))
+    return "\n".join(lines)

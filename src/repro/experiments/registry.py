@@ -1,0 +1,68 @@
+"""Experiment registry: id -> runner, in paper order."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.fig_experiments import (
+    run_fig1,
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+)
+from repro.experiments.related_work_experiments import (
+    run_dimensions,
+    run_heuristics,
+)
+from repro.experiments.systems_experiments import (
+    run_collisions,
+    run_exactness,
+    run_mobile,
+    run_scaling,
+)
+from repro.experiments.theorem_experiments import (
+    run_finite,
+    run_thm1,
+    run_thm2,
+)
+
+__all__ = ["EXPERIMENTS", "run_experiment", "run_all"]
+
+EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
+    "fig1": run_fig1,
+    "fig2": run_fig2,
+    "fig3": run_fig3,
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+    "thm1": run_thm1,
+    "thm2": run_thm2,
+    "finite": run_finite,
+    "collisions": run_collisions,
+    "scaling": run_scaling,
+    "mobile": run_mobile,
+    "exactness": run_exactness,
+    "heuristics": run_heuristics,
+    "dimensions": run_dimensions,
+}
+
+
+def run_experiment(experiment_id: str) -> ExperimentResult:
+    """Run one experiment by id.
+
+    Raises:
+        KeyError: for unknown ids (the CLI lists the registry).
+    """
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {known}") from None
+    return runner()
+
+
+def run_all() -> list[ExperimentResult]:
+    """Run every experiment in paper order."""
+    return [runner() for runner in EXPERIMENTS.values()]

@@ -1,0 +1,99 @@
+"""Experiments heuristics/dimensions: related work and generality claims.
+
+* ``heuristics`` — the related-work landscape on finite instances: plain
+  TDMA, greedy, DSATUR, Wang–Ansari mean-field annealing, Shi–Wang
+  Hopfield network, exact branch-and-bound, and the tiling schedule.  On
+  lattice patches the tiling schedule matches the exact optimum while
+  costing O(1) per sensor; the heuristics approach it from above.
+* ``dimensions`` — "We formulate our results for arbitrary lattices in
+  arbitrary dimensions": Theorem 1 run end to end on ``Z^d`` for
+  ``d = 1, 2, 3`` with Chebyshev balls, with collision-freeness verified
+  in every dimension.
+"""
+
+from __future__ import annotations
+
+from repro.core.schedule import verify_collision_free
+from repro.core.theorem1 import schedule_from_prototile
+from repro.experiments.base import ExperimentResult
+from repro.graphs.anneal import anneal_minimum_slots
+from repro.graphs.coloring import (
+    dsatur_coloring,
+    exact_chromatic_number,
+    greedy_coloring,
+)
+from repro.graphs.hopfield import hopfield_minimum_slots
+from repro.graphs.interference import conflict_graph_homogeneous
+from repro.lattice.region import box_region
+from repro.tiles.shapes import chebyshev_ball, plus_pentomino
+from repro.utils.vectors import box_points
+
+__all__ = ["run_heuristics", "run_dimensions"]
+
+
+def run_heuristics(side: int = 6, seed: int = 5) -> ExperimentResult:
+    """Scheduler shoot-out on a lattice patch (related-work landscape)."""
+    rows = []
+    for tile in (plus_pentomino(), chebyshev_ball(1)):
+        region = box_region((0, 0), (side - 1, side - 1))
+        points = list(region.points)
+        graph = conflict_graph_homogeneous(points, tile)
+        exact, _ = exact_chromatic_number(graph)
+        greedy = max(greedy_coloring(graph).values()) + 1
+        dsatur = max(dsatur_coloring(graph).values()) + 1
+        mfa, _ = anneal_minimum_slots(graph, seed=seed)
+        hopfield, _ = hopfield_minimum_slots(graph, seed=seed)
+        schedule = schedule_from_prototile(tile)
+        rows.append({
+            "prototile": tile.name,
+            "sensors": len(points),
+            "tdma": len(points),
+            "greedy": greedy,
+            "dsatur": dsatur,
+            "mean-field": mfa,
+            "hopfield": hopfield,
+            "exact": exact,
+            "tiling": schedule.num_slots,
+        })
+    passed = all(
+        row["tiling"] == row["exact"]
+        and row["exact"] <= row["dsatur"] <= row["greedy"] <= row["tdma"]
+        and row["exact"] <= row["mean-field"]
+        and row["exact"] <= row["hopfield"]
+        for row in rows)
+    return ExperimentResult(
+        "heuristics", "Related-work scheduler comparison",
+        "NP-hard in general (McCormick; Lloyd-Ramanathan); heuristics "
+        "(annealing, neural nets) upper-bound the optimum, while the "
+        "tiling schedule attains it directly on lattices",
+        rows, passed, notes=f"{side}x{side} patch, seed={seed}")
+
+
+def run_dimensions(max_dimension: int = 3) -> ExperimentResult:
+    """Theorem 1 in d = 1..max_dimension (arbitrary-dimension claim)."""
+    rows = []
+    all_ok = True
+    for dimension in range(1, max_dimension + 1):
+        tile = chebyshev_ball(1, dimension=dimension)
+        schedule = schedule_from_prototile(tile)
+        radius = 4 if dimension < 3 else 2
+        lo = (-radius,) * dimension
+        hi = (radius,) * dimension
+        window = list(box_points(lo, hi))
+        collision_free = verify_collision_free(
+            schedule, window, schedule.neighborhood_of)
+        expected = 3 ** dimension
+        all_ok &= collision_free and schedule.num_slots == expected
+        rows.append({
+            "dimension": dimension,
+            "|N|": tile.size,
+            "slots": schedule.num_slots,
+            "expected": expected,
+            "window sensors": len(window),
+            "collision-free": collision_free,
+        })
+    return ExperimentResult(
+        "dimensions", "Arbitrary dimensions (Section 1)",
+        "the tiling construction works verbatim on Z^d for any d; "
+        "Chebyshev ball of radius 1 needs 3^d slots",
+        rows, all_ok)

@@ -1,0 +1,185 @@
+"""Systems experiments: collisions/energy, scaling, mobility, exactness.
+
+These regenerate the quantitative story of the paper's introduction and
+related-work discussion:
+
+* ``collisions`` — the tiling schedule versus probabilistic MACs and
+  global TDMA on the simulator (collisions, delivery, energy / packet);
+* ``scaling`` — round length and per-sensor scheduling cost as the
+  network grows (the "TDMA does not scale" argument, and the O(1)
+  slot-lookup of the lattice schedule versus coloring baselines);
+* ``mobile`` — Section 5's location-slot rule on a random-waypoint fleet;
+* ``exactness`` — the Section 3 deciders agree and their runtimes scale
+  with boundary length as expected.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.theorem1 import schedule_from_prototile
+from repro.experiments.base import ExperimentResult
+from repro.graphs.anneal import anneal_minimum_slots
+from repro.graphs.coloring import dsatur_coloring, greedy_coloring
+from repro.graphs.hopfield import hopfield_minimum_slots
+from repro.graphs.interference import conflict_graph_homogeneous
+from repro.lattice.region import box_region
+from repro.lattice.standard import square_lattice
+from repro.net.metrics import SimulationMetrics
+from repro.net.mobility import (
+    MobileAlohaMAC,
+    MobileSimulator,
+    MobileTilingMAC,
+    RandomWaypoint,
+)
+from repro.net.model import Network
+from repro.net.protocols import CSMALike, GlobalTDMA, ScheduleMAC, SlottedAloha
+from repro.net.simulator import compare_protocols
+from repro.core.mobile import MobileScheduler
+from repro.tiles.bn import (
+    find_bn_factorization,
+    find_bn_factorization_naive,
+)
+from repro.tiles.boundary import boundary_word
+from repro.tiles.exactness import find_sublattice_tiling
+from repro.tiles.shapes import chebyshev_ball, rectangle_tile
+
+__all__ = ["run_collisions", "run_scaling", "run_mobile", "run_exactness"]
+
+
+def run_collisions(slots: int = 270, seed: int = 7) -> ExperimentResult:
+    """Protocol comparison on a 10x10 grid with the 3x3 neighborhood."""
+    tile = chebyshev_ball(1)
+    points = box_region((0, 0), (9, 9)).points
+    network = Network.homogeneous(points, tile)
+    schedule = schedule_from_prototile(tile)
+    protocols = [
+        ScheduleMAC(schedule),
+        GlobalTDMA(network.positions),
+        SlottedAloha(0.1),
+        CSMALike(0.1),
+    ]
+    results = compare_protocols(network, protocols, slots=slots,
+                                packet_interval=schedule.num_slots,
+                                seed=seed)
+    rows = [m.as_row() for m in results]
+    tiling, tdma, aloha, csma = results
+    passed = (
+        tiling.failed_receptions == 0
+        and tiling.delivery_ratio > 0.95
+        and tdma.failed_receptions == 0
+        and tdma.mean_latency > tiling.mean_latency
+        and aloha.failed_receptions > 0
+        and aloha.energy_per_delivered > tiling.energy_per_delivered
+        and csma.failed_receptions > 0
+    )
+    return ExperimentResult(
+        "collisions", "Collision/energy comparison (introduction's motivation)",
+        "tiling schedule: zero collisions, delivery ~1, energy 1/packet; "
+        "random access wastes energy on resends; TDMA is collision-free "
+        "but slow",
+        rows, passed,
+        notes=f"{len(points)} sensors, {slots} slots, traffic every "
+              f"{schedule.num_slots} slots")
+
+
+def run_scaling(sides: tuple[int, ...] = (4, 6, 8, 10, 14),
+                seed: int = 3) -> ExperimentResult:
+    """Round length and scheduling cost versus network size."""
+    tile = chebyshev_ball(1)
+    schedule = schedule_from_prototile(tile)
+    rows = []
+    for side in sides:
+        region = box_region((0, 0), (side - 1, side - 1))
+        points = list(region.points)
+        start = time.perf_counter()
+        for point in points:
+            schedule.slot_of(point)
+        tiling_time = time.perf_counter() - start
+        graph = conflict_graph_homogeneous(points, tile)
+        start = time.perf_counter()
+        dsatur = dsatur_coloring(graph)
+        dsatur_time = time.perf_counter() - start
+        greedy = greedy_coloring(graph)
+        rows.append({
+            "sensors": len(points),
+            "tiling slots": schedule.num_slots,
+            "tdma slots": len(points),
+            "dsatur slots": max(dsatur.values()) + 1,
+            "greedy slots": max(greedy.values()) + 1,
+            "tiling us/sensor": round(1e6 * tiling_time / len(points), 2),
+            "dsatur us/sensor": round(1e6 * dsatur_time / len(points), 2),
+        })
+    constant_round = len({row["tiling slots"] for row in rows}) == 1
+    tdma_grows = all(rows[i]["tdma slots"] < rows[i + 1]["tdma slots"]
+                     for i in range(len(rows) - 1))
+    never_worse = all(row["tiling slots"] <= row["dsatur slots"]
+                      and row["tiling slots"] <= row["greedy slots"]
+                      for row in rows)
+    passed = constant_round and tdma_grows and never_worse
+    return ExperimentResult(
+        "scaling", "Scalability (contribution 2)",
+        "tiling round stays |N| = 9 while TDMA's grows with the network; "
+        "tiling slot lookup is O(1) per sensor",
+        rows, passed, notes=f"seed={seed}")
+
+
+def run_mobile(slots: int = 270, count: int = 30,
+               seed: int = 11) -> ExperimentResult:
+    """Section 5's mobile rule versus mobile ALOHA."""
+    lattice = square_lattice()
+    schedule = schedule_from_prototile(chebyshev_ball(1))
+    scheduler = MobileScheduler(lattice, schedule)
+    results: list[SimulationMetrics] = []
+    for mac in (MobileTilingMAC(scheduler), MobileAlohaMAC(0.15)):
+        fleet = RandomWaypoint((-8.0, -8.0, 8.0, 8.0), speed=0.3,
+                               count=count, seed=seed)
+        simulator = MobileSimulator(fleet, mac, radius=0.45,
+                                    packet_interval=schedule.num_slots,
+                                    seed=seed + 1)
+        results.append(simulator.run(slots))
+    rows = [m.as_row() for m in results]
+    tiling, aloha = results
+    passed = (tiling.failed_receptions == 0
+              and aloha.failed_receptions > 0
+              and tiling.energy_per_delivered <= 1.0 + 1e-9)
+    return ExperimentResult(
+        "mobile", "Mobile sensors (Conclusions / Section 5)",
+        "location-owned slots with the fits-in-tile rule are collision-"
+        "free for moving sensors; probabilistic sending collides",
+        rows, passed,
+        notes="delivery under the tiling rule trades against the "
+              "conservative fits-in-tile test; collisions stay zero")
+
+
+def run_exactness(max_width: int = 7) -> ExperimentResult:
+    """Section 3 deciders: agreement and runtime growth."""
+    rows = []
+    agree = True
+    for width in range(2, max_width + 1):
+        tile = rectangle_tile(width, 2)
+        word = boundary_word(tile)
+        start = time.perf_counter()
+        naive = find_bn_factorization_naive(word)
+        naive_time = time.perf_counter() - start
+        start = time.perf_counter()
+        fast = find_bn_factorization(word)
+        fast_time = time.perf_counter() - start
+        start = time.perf_counter()
+        sublattice = find_sublattice_tiling(tile)
+        sublattice_time = time.perf_counter() - start
+        agree &= (naive is None) == (fast is None) == (sublattice is None)
+        rows.append({
+            "prototile": tile.name,
+            "boundary n": len(word),
+            "naive ms": round(1e3 * naive_time, 3),
+            "fast ms": round(1e3 * fast_time, 3),
+            "sublattice ms": round(1e3 * sublattice_time, 3),
+            "exact": fast is not None,
+        })
+    passed = agree and all(row["exact"] for row in rows)
+    return ExperimentResult(
+        "exactness", "Deciding exactness (Section 3)",
+        "Beauquier-Nivat criterion decides polyomino exactness in time "
+        "polynomial in the boundary length; deciders agree",
+        rows, passed)

@@ -1,0 +1,150 @@
+"""Experiments thm1/thm2/finite: the theorems and the conclusions' claim.
+
+* ``thm1`` — for a gallery of exact prototiles: the tiling schedule is
+  collision-free on a large window, uses exactly ``|N|`` slots, and the
+  exact chromatic number of a core patch equals ``|N|``.
+* ``thm2`` — respectable multi-prototile tilings: the Theorem 2 schedule
+  is collision-free with ``m = |N_1|`` slots, certified optimal.
+* ``finite`` — restriction to finite regions: optimality persists exactly
+  when the region contains a translate of ``N + N``.
+"""
+
+from __future__ import annotations
+
+from repro.core.optimality import minimum_slots, minimum_slots_region
+from repro.core.restriction import (
+    restriction_criterion_holds,
+    restriction_report,
+)
+from repro.core.schedule import verify_collision_free
+from repro.core.theorem1 import schedule_from_prototile
+from repro.core.theorem2 import (
+    respectable_optimal_slots,
+    schedule_from_multi_tiling,
+)
+from repro.experiments.base import ExperimentResult
+from repro.lattice.region import box_region
+from repro.lattice.sublattice import diagonal_sublattice
+from repro.tiles.shapes import (
+    chebyshev_ball,
+    directional_antenna,
+    plus_pentomino,
+    rectangle_tile,
+    s_tetromino,
+    t_tetromino,
+)
+from repro.tiling.multi import MultiTiling
+from repro.utils.vectors import box_points
+
+__all__ = ["run_thm1", "run_thm2", "run_finite", "respectable_pair_tiling"]
+
+
+def run_thm1() -> ExperimentResult:
+    """Theorem 1 across a prototile gallery, with exact-coloring oracle."""
+    gallery = [
+        chebyshev_ball(1),
+        plus_pentomino(),
+        directional_antenna(),
+        s_tetromino(),
+        t_tetromino(),
+        rectangle_tile(2, 3),
+    ]
+    rows = []
+    window = list(box_points((-7, -7), (7, 7)))
+    for tile in gallery:
+        schedule = schedule_from_prototile(tile)
+        collision_free = verify_collision_free(
+            schedule, window, schedule.neighborhood_of)
+        # Exact optimum on a core patch large enough to contain N + N.
+        lo, hi = tile.bounding_box()
+        span = max(hi[i] - lo[i] for i in range(2)) + 1
+        patch = box_region((0, 0), (2 * span, 2 * span))
+        optimum, _ = minimum_slots_region(tile, patch)
+        rows.append({
+            "prototile": tile.name,
+            "|N|": tile.size,
+            "schedule slots": schedule.num_slots,
+            "patch optimum": optimum,
+            "collision-free": collision_free,
+        })
+    passed = all(r["schedule slots"] == r["|N|"] == r["patch optimum"]
+                 and r["collision-free"] for r in rows)
+    return ExperimentResult(
+        "thm1", "Theorem 1: optimal schedules from tilings",
+        "m = |N| slots, collision-free, optimal (distance-2 chromatic "
+        "number of any core patch equals |N|)",
+        rows, passed)
+
+
+def respectable_pair_tiling() -> MultiTiling:
+    """A respectable two-prototile tiling used by thm2.
+
+    ``N_1`` is the 2x2 square tetromino, ``N_2`` the vertical domino
+    (``N_2`` a subset of ``N_1``, so the tiling is respectable).  Period
+    ``4Z x 2Z``: one square tile plus two domino columns.
+    """
+    square = rectangle_tile(2, 2)
+    domino = rectangle_tile(1, 2)
+    period = diagonal_sublattice((4, 2))
+    return MultiTiling([square, domino], [[(0, 0)], [(2, 0), (3, 0)]],
+                       period)
+
+
+def run_thm2() -> ExperimentResult:
+    """Theorem 2 on a respectable two-prototile tiling."""
+    multi = respectable_pair_tiling()
+    schedule = schedule_from_multi_tiling(multi)
+    window = list(box_points((-8, -8), (8, 8)))
+    collision_free = verify_collision_free(
+        schedule, window, schedule.neighborhood_of)
+    optimum, _ = minimum_slots(multi)
+    expected = respectable_optimal_slots(multi)
+    rows = [{
+        "prototiles": "2x2 square + 1x2 domino",
+        "respectable": multi.is_respectable(),
+        "|N1|": expected,
+        "thm2 slots": schedule.num_slots,
+        "exact optimum": optimum,
+        "collision-free": collision_free,
+    }]
+    passed = (multi.is_respectable() and collision_free
+              and schedule.num_slots == expected == optimum)
+    return ExperimentResult(
+        "thm2", "Theorem 2: respectable multi-prototile tilings",
+        "m = |N1| slots, collision-free, optimal",
+        rows, passed)
+
+
+def run_finite() -> ExperimentResult:
+    """Conclusions: restriction to a finite region D."""
+    tile = plus_pentomino()
+    schedule = schedule_from_prototile(tile)
+    regions = [
+        ("1x1", box_region((0, 0), (0, 0))),
+        ("2x2", box_region((0, 0), (1, 1))),
+        ("3x3", box_region((-1, -1), (1, 1))),
+        ("5x5", box_region((-2, -2), (2, 2))),
+        ("7x7", box_region((-3, -3), (3, 3))),
+        ("9x9", box_region((-4, -4), (4, 4))),
+    ]
+    rows = []
+    for label, region in regions:
+        report = restriction_report(tile, region, schedule)
+        report["region"] = label
+        rows.append({key: report[key] for key in
+                     ("region", "region_points", "criterion_n_plus_n",
+                      "tiling_slots", "finite_optimum")})
+    # Expectation: criterion true -> optimum == |N|; criterion false is
+    # *sufficient only*, but small windows should show optimum < |N|.
+    criterion_ok = all(
+        row["finite_optimum"] == tile.size
+        for row in rows if row["criterion_n_plus_n"])
+    small_window_gain = any(
+        row["finite_optimum"] < tile.size for row in rows)
+    passed = criterion_ok and small_window_gain
+    return ExperimentResult(
+        "finite", "Finite restriction (Conclusions)",
+        "if D contains a translate of N+N, the restricted schedule "
+        "remains optimal (needs |N| slots); tiny windows need fewer",
+        rows, passed,
+        notes="criterion is sufficient, not necessary")

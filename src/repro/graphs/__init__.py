@@ -1,0 +1,40 @@
+"""Scheduling baselines: interference graphs, coloring, TDMA, heuristics."""
+
+from repro.graphs.anneal import anneal_minimum_slots, mean_field_coloring
+from repro.graphs.coloring import (
+    dsatur_coloring,
+    exact_chromatic_number,
+    greedy_clique,
+    greedy_coloring,
+    is_proper_coloring,
+    k_coloring,
+)
+from repro.graphs.hopfield import hopfield_coloring, hopfield_minimum_slots
+from repro.graphs.interference import (
+    conflict_graph,
+    conflict_graph_homogeneous,
+    distance2_conflicts,
+    graph_degree_stats,
+    interference_graph,
+)
+from repro.graphs.tdma import tdma_round_length, tdma_schedule
+
+__all__ = [
+    "anneal_minimum_slots",
+    "conflict_graph",
+    "conflict_graph_homogeneous",
+    "distance2_conflicts",
+    "dsatur_coloring",
+    "exact_chromatic_number",
+    "graph_degree_stats",
+    "greedy_clique",
+    "greedy_coloring",
+    "hopfield_coloring",
+    "hopfield_minimum_slots",
+    "interference_graph",
+    "is_proper_coloring",
+    "k_coloring",
+    "mean_field_coloring",
+    "tdma_round_length",
+    "tdma_schedule",
+]

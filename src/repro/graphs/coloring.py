@@ -1,0 +1,185 @@
+"""Graph coloring: greedy, DSATUR, and exact branch-and-bound.
+
+The scheduling problem the paper studies is NP-complete in general
+(McCormick; Lloyd–Ramanathan for planar graphs with 7 slots), which is why
+the tiling construction matters: it produces *provably optimal* schedules
+on lattices in polynomial time.  These general-graph algorithms serve as
+the baselines the paper positions itself against, and as independent
+oracles for the optimality claims on finite patches.
+
+All functions operate on undirected graphs in adjacency-set form
+(``dict[node, set[node]]``); nodes may be any hashable values.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+
+__all__ = [
+    "greedy_coloring",
+    "dsatur_coloring",
+    "greedy_clique",
+    "k_coloring",
+    "exact_chromatic_number",
+    "is_proper_coloring",
+]
+
+Node = Hashable
+AdjGraph = dict
+
+
+def is_proper_coloring(graph: AdjGraph, coloring: dict) -> bool:
+    """True when no edge is monochromatic and every node is colored."""
+    for node, neighbors in graph.items():
+        if node not in coloring:
+            return False
+        for other in neighbors:
+            if coloring[node] == coloring.get(other):
+                return False
+    return True
+
+
+def greedy_coloring(graph: AdjGraph,
+                    order: Sequence[Node] | None = None) -> dict:
+    """First-fit coloring in the given (default: sorted) vertex order.
+
+    Uses at most ``max_degree + 1`` colors; order-sensitive, which tests
+    exploit to show the gap to the tiling optimum.
+    """
+    if order is None:
+        order = sorted(graph)
+    coloring: dict = {}
+    for node in order:
+        used = {coloring[n] for n in graph[node] if n in coloring}
+        color = 0
+        while color in used:
+            color += 1
+        coloring[node] = color
+    return coloring
+
+
+def dsatur_coloring(graph: AdjGraph) -> dict:
+    """DSATUR (Brelaz): color the most saturation-constrained vertex first.
+
+    Exact on many structured graphs and a strong general upper bound;
+    used as the initial bound for the exact solver.
+    """
+    coloring: dict = {}
+    saturation: dict = {node: set() for node in graph}
+    uncolored = set(graph)
+    while uncolored:
+        node = max(uncolored,
+                   key=lambda v: (len(saturation[v]), len(graph[v]),
+                                  _stable_key(v)))
+        used = saturation[node]
+        color = 0
+        while color in used:
+            color += 1
+        coloring[node] = color
+        uncolored.discard(node)
+        for neighbor in graph[node]:
+            if neighbor in uncolored:
+                saturation[neighbor].add(color)
+    return coloring
+
+
+def greedy_clique(graph: AdjGraph) -> list:
+    """A maximal clique found greedily from the highest-degree vertex.
+
+    Its size lower-bounds the chromatic number; on prototile conflict
+    graphs the cells of ``N`` form such a clique (the paper's Theorem 1
+    lower-bound argument).
+    """
+    if not graph:
+        return []
+    start = max(graph, key=lambda v: (len(graph[v]), _stable_key(v)))
+    clique = [start]
+    candidates = set(graph[start])
+    while candidates:
+        node = max(candidates, key=lambda v: (len(graph[v] & candidates),
+                                              _stable_key(v)))
+        clique.append(node)
+        candidates &= graph[node]
+    return clique
+
+
+def k_coloring(graph: AdjGraph, k: int,
+               preassigned: dict | None = None) -> dict | None:
+    """Find a proper ``k``-coloring by backtracking, or ``None``.
+
+    Branches on the uncolored vertex with the fewest available colors
+    (fail-first), with forward checking.  ``preassigned`` pins colors
+    (used to break symmetry by fixing a clique).
+    """
+    coloring: dict = dict(preassigned or {})
+    for node, color in coloring.items():
+        if color >= k:
+            return None
+        for other in graph[node]:
+            if coloring.get(other) == color:
+                return None
+    available: dict = {}
+    for node in graph:
+        if node in coloring:
+            continue
+        used = {coloring[n] for n in graph[node] if n in coloring}
+        available[node] = set(range(k)) - used
+        if not available[node]:
+            return None
+
+    def backtrack() -> bool:
+        if not available:
+            return True
+        node = min(available,
+                   key=lambda v: (len(available[v]), -len(graph[v]),
+                                  _stable_key(v)))
+        choices = sorted(available.pop(node))
+        for color in choices:
+            touched = []
+            feasible = True
+            for neighbor in graph[node]:
+                if neighbor in available and color in available[neighbor]:
+                    available[neighbor].discard(color)
+                    touched.append(neighbor)
+                    if not available[neighbor]:
+                        feasible = False
+            coloring[node] = color
+            if feasible and backtrack():
+                return True
+            del coloring[node]
+            for neighbor in touched:
+                available[neighbor].add(color)
+        available[node] = set(choices)
+        return False
+
+    return coloring if backtrack() else None
+
+
+def exact_chromatic_number(graph: AdjGraph) -> tuple[int, dict]:
+    """Exact chromatic number with a witness coloring.
+
+    Lower bound from a greedy clique, upper bound from DSATUR, then
+    descending ``k``-coloring searches with the clique pre-colored to
+    break symmetry.  Exponential worst case (the problem is NP-complete);
+    intended for the small certificate graphs of the experiments.
+    """
+    if not graph:
+        return 0, {}
+    clique = greedy_clique(graph)
+    lower = len(clique)
+    best = dsatur_coloring(graph)
+    upper = max(best.values()) + 1
+    if upper == lower:
+        return lower, best
+    for k in range(upper - 1, lower - 1, -1):
+        preassigned = {node: i for i, node in enumerate(clique)}
+        attempt = k_coloring(graph, k, preassigned)
+        if attempt is None:
+            return k + 1, best
+        best = attempt
+    return lower, best
+
+
+def _stable_key(value) -> str:
+    """Deterministic tiebreak for heterogeneous node types."""
+    return repr(value)

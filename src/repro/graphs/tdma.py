@@ -1,0 +1,33 @@
+"""Plain TDMA: the paper's non-scalable baseline.
+
+"The simplest way to ensure that the communication will be collision-free
+is to use a time division multiple access (TDMA) scheme.  Here each of the
+k sensors is assigned a different time slot and scheduling is done in a
+round robin fashion.  [...]  The obvious disadvantage of TDMA is that it
+does not scale."
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core.schedule import MappingSchedule
+from repro.utils.vectors import as_intvec
+
+__all__ = ["tdma_schedule", "tdma_round_length"]
+
+
+def tdma_schedule(points: Iterable[Sequence[int]]) -> MappingSchedule:
+    """One distinct slot per sensor, in sorted position order.
+
+    Trivially collision-free for any interference structure, with a round
+    length equal to the number of sensors — the quantity the scaling
+    experiment plots against the tiling schedule's constant ``|N|``.
+    """
+    ordered = sorted(as_intvec(p) for p in points)
+    return MappingSchedule({p: i for i, p in enumerate(ordered)})
+
+
+def tdma_round_length(num_sensors: int) -> int:
+    """Round length of plain TDMA (identity; kept for report symmetry)."""
+    return num_sensors

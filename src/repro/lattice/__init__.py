@@ -1,0 +1,47 @@
+"""Euclidean lattice substrate: lattices, sublattices, Voronoi geometry."""
+
+from repro.lattice.lattice import Lattice
+from repro.lattice.region import (
+    Region,
+    box_region,
+    chebyshev_ball_region,
+    euclidean_ball_region,
+)
+from repro.lattice.standard import (
+    cubic_lattice,
+    hexagonal_lattice,
+    rectangular_lattice,
+    scaled_lattice,
+    square_lattice,
+)
+from repro.lattice.sublattice import (
+    Sublattice,
+    all_sublattices_of_index,
+    diagonal_sublattice,
+)
+from repro.lattice.voronoi import (
+    VoronoiCell,
+    polygon_area,
+    quasi_polyform_region,
+    voronoi_cell_2d,
+)
+
+__all__ = [
+    "Lattice",
+    "Region",
+    "Sublattice",
+    "VoronoiCell",
+    "all_sublattices_of_index",
+    "box_region",
+    "chebyshev_ball_region",
+    "cubic_lattice",
+    "diagonal_sublattice",
+    "euclidean_ball_region",
+    "hexagonal_lattice",
+    "polygon_area",
+    "quasi_polyform_region",
+    "rectangular_lattice",
+    "scaled_lattice",
+    "square_lattice",
+    "voronoi_cell_2d",
+]

@@ -1,0 +1,223 @@
+"""Euclidean lattices: discrete full-rank subgroups of ``R^d``.
+
+A :class:`Lattice` is specified by an embedding basis ``{v_1, ..., v_d}``
+(linearly independent over the reals).  Sensor positions are *integer
+coordinate vectors* ``a`` with real position ``sum_k a_k v_k``; all
+combinatorics (prototiles, tilings, schedules) happen on the integer
+coordinates, which makes the machinery identical for the square lattice,
+the hexagonal lattice, and any other lattice — exactly the abstraction the
+paper uses ("the group L is isomorphic to the additive abelian group Z^d").
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+from repro.utils.vectors import IntVec, as_intvec
+from repro.utils.validation import require, require_dimension, require_positive
+
+__all__ = ["Lattice"]
+
+
+class Lattice:
+    """A full-rank Euclidean lattice ``L = B Z^d`` with basis matrix ``B``.
+
+    Args:
+        basis: sequence of ``d`` basis vectors, each of length ``d``.  The
+            vectors must be linearly independent.
+
+    Attributes:
+        dimension: ambient (and lattice) dimension ``d``.
+        name: optional human-readable name (e.g. ``"square"``).
+    """
+
+    def __init__(self, basis: Sequence[Sequence[float]], name: str = "lattice"):
+        matrix = np.array(basis, dtype=float).T  # columns are basis vectors
+        require(matrix.ndim == 2 and matrix.shape[0] == matrix.shape[1],
+                "basis must be a square set of vectors")
+        determinant = float(np.linalg.det(matrix))
+        require(abs(determinant) > 1e-12,
+                "basis vectors must be linearly independent")
+        self._basis = matrix
+        self._inverse = np.linalg.inv(matrix)
+        self.dimension = matrix.shape[0]
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Basic geometry
+    # ------------------------------------------------------------------
+    @property
+    def basis_vectors(self) -> list[tuple[float, ...]]:
+        """The basis vectors ``v_1, ..., v_d`` as tuples of floats."""
+        return [tuple(float(x) for x in self._basis[:, j])
+                for j in range(self.dimension)]
+
+    @property
+    def basis_matrix(self) -> np.ndarray:
+        """Copy of the ``d x d`` basis matrix (columns are basis vectors)."""
+        return self._basis.copy()
+
+    @property
+    def gram_matrix(self) -> np.ndarray:
+        """Gram matrix ``B^T B`` of inner products of basis vectors."""
+        return self._basis.T @ self._basis
+
+    @property
+    def covolume(self) -> float:
+        """Volume of a fundamental domain, ``|det B|``.
+
+        Equals the area/volume of the Voronoi cell about any lattice point
+        (used to cross-check :mod:`repro.lattice.voronoi`).
+        """
+        return abs(float(np.linalg.det(self._basis)))
+
+    def to_real(self, coordinates: Sequence[int]) -> tuple[float, ...]:
+        """Real position of the lattice point with the given coordinates."""
+        require_dimension(coordinates, self.dimension, "coordinates")
+        return tuple(float(x) for x in
+                     self._basis @ np.asarray(coordinates, dtype=float))
+
+    def to_coordinates(self, position: Sequence[float]) -> tuple[float, ...]:
+        """Real-valued lattice coordinates of an arbitrary real position."""
+        require_dimension(position, self.dimension, "position")
+        return tuple(float(x) for x in
+                     self._inverse @ np.asarray(position, dtype=float))
+
+    def contains(self, position: Sequence[float], tolerance: float = 1e-9) -> bool:
+        """True when a real position is (numerically) a lattice point."""
+        coords = self.to_coordinates(position)
+        return all(abs(c - round(c)) <= tolerance for c in coords)
+
+    def coordinates_of(self, position: Sequence[float],
+                       tolerance: float = 1e-9) -> IntVec:
+        """Integer coordinates of a real position that is a lattice point.
+
+        Raises:
+            ValueError: if the position is not a lattice point.
+        """
+        coords = self.to_coordinates(position)
+        rounded = tuple(round(c) for c in coords)
+        if any(abs(c - r) > tolerance for c, r in zip(coords, rounded)):
+            raise ValueError(f"position {position!r} is not a lattice point")
+        return as_intvec(rounded)
+
+    # ------------------------------------------------------------------
+    # Metric queries
+    # ------------------------------------------------------------------
+    def distance(self, a: Sequence[int], b: Sequence[int]) -> float:
+        """Euclidean distance between two lattice points (by coordinates)."""
+        pa = np.asarray(self.to_real(a))
+        pb = np.asarray(self.to_real(b))
+        return float(np.linalg.norm(pa - pb))
+
+    def norm(self, coordinates: Sequence[int]) -> float:
+        """Euclidean length of a lattice vector (by coordinates)."""
+        return float(np.linalg.norm(self._basis @ np.asarray(coordinates, float)))
+
+    def minimal_distance(self) -> float:
+        """Length of a shortest nonzero lattice vector.
+
+        Found by searching coordinate vectors in a Chebyshev box whose
+        radius is certified by the basis geometry: any vector with some
+        ``|a_k| > r`` has length at least ``r / ||row_k(B^-1)||``, so a box
+        of radius ``r`` suffices once that bound exceeds the best candidate
+        found so far.
+        """
+        inverse_row_norms = np.linalg.norm(self._inverse, axis=0)
+        best = min(self.norm(e) for e in _unit_vectors(self.dimension))
+        radius = 1
+        while True:
+            for coords in itertools.product(range(-radius, radius + 1),
+                                            repeat=self.dimension):
+                if all(c == 0 for c in coords):
+                    continue
+                best = min(best, self.norm(coords))
+            guaranteed = (radius + 1) / float(np.max(inverse_row_norms))
+            if guaranteed >= best:
+                return best
+            radius += 1
+
+    def nearest_point(self, position: Sequence[float]) -> IntVec:
+        """Coordinates of a nearest lattice point to a real position.
+
+        Uses Babai rounding refined by a local search over the ``4^d``
+        surrounding candidates (coordinate offsets ``-1..2`` around the
+        floor), which is exact for the moderately skewed 2-D/3-D bases
+        this library works with: the nearest point of a basis whose
+        Gram matrix is within Lagrange reduction of diagonal lies in
+        that candidate box.
+        """
+        coords = self.to_coordinates(position)
+        base = [math.floor(c) for c in coords]
+        target = np.asarray(position, dtype=float)
+        best_point: IntVec | None = None
+        best_distance = math.inf
+        for offset in itertools.product((-1, 0, 1, 2),
+                                        repeat=self.dimension):
+            candidate = tuple(b + o for b, o in zip(base, offset))
+            distance = float(np.linalg.norm(
+                self._basis @ np.asarray(candidate, float) - target))
+            if distance < best_distance:
+                best_distance = distance
+                best_point = candidate
+        assert best_point is not None
+        return best_point
+
+    # ------------------------------------------------------------------
+    # Point generation
+    # ------------------------------------------------------------------
+    def points_in_box(self, radius: int) -> Iterator[IntVec]:
+        """All coordinate vectors in the Chebyshev box ``[-radius, radius]^d``."""
+        require_positive(radius, "radius")
+        yield from itertools.product(range(-radius, radius + 1),
+                                     repeat=self.dimension)
+
+    def points_within_distance(self, radius: float,
+                               center: Sequence[int] | None = None
+                               ) -> list[IntVec]:
+        """Lattice points within Euclidean distance ``radius`` of a point.
+
+        The search box is certified by the operator norm of the inverse
+        basis: any point at coordinate-distance greater than
+        ``radius * max_row_norm(B^-1)`` is farther than ``radius``.
+        """
+        require(radius >= 0, "radius must be nonnegative")
+        if center is None:
+            center = (0,) * self.dimension
+        bound = int(math.ceil(radius * float(
+            np.max(np.linalg.norm(self._inverse, axis=1))))) + 1
+        center_real = np.asarray(self.to_real(center))
+        result = []
+        for offset in itertools.product(range(-bound, bound + 1),
+                                        repeat=self.dimension):
+            point = tuple(c + o for c, o in zip(center, offset))
+            position = self._basis @ np.asarray(point, dtype=float)
+            if float(np.linalg.norm(position - center_real)) <= radius + 1e-9:
+                result.append(point)
+        return result
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        vectors = ", ".join(
+            "(" + ", ".join(f"{x:g}" for x in v) + ")" for v in self.basis_vectors
+        )
+        return f"Lattice({self.name!r}, basis=[{vectors}])"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Lattice):
+            return NotImplemented
+        return (self.dimension == other.dimension
+                and np.allclose(self._basis, other._basis))
+
+    def __hash__(self) -> int:
+        return hash((self.dimension, self.name,
+                     tuple(np.round(self._basis, 12).flatten())))
+
+
+def _unit_vectors(dimension: int) -> Iterator[IntVec]:
+    for k in range(dimension):
+        yield tuple(1 if i == k else 0 for i in range(dimension))

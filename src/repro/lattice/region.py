@@ -1,0 +1,130 @@
+"""Finite regions of lattice points: windows, boxes and balls.
+
+The paper's schedules are defined on the infinite lattice; its conclusions
+study the *restriction* to a finite subset ``D``.  A :class:`Region` is any
+finite set of coordinate vectors with convenience constructors for the
+shapes used in experiments (axis-aligned boxes, Chebyshev and Euclidean
+balls).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.lattice.lattice import Lattice
+from repro.utils.vectors import (
+    IntVec,
+    as_intvec,
+    bounding_box,
+    box_points,
+    chebyshev_distance,
+    translate_set,
+    vadd,
+)
+from repro.utils.validation import require, require_nonnegative
+
+__all__ = ["Region", "box_region", "chebyshev_ball_region", "euclidean_ball_region"]
+
+
+class Region:
+    """An immutable finite set of lattice coordinate vectors."""
+
+    def __init__(self, points: Iterable[Sequence[int]]):
+        cells = frozenset(as_intvec(p) for p in points)
+        require(len(cells) > 0, "a region must contain at least one point")
+        dimension = len(next(iter(cells)))
+        for cell in cells:
+            require(len(cell) == dimension, "region points have mixed dimensions")
+        self._points = cells
+        self.dimension = dimension
+
+    @property
+    def points(self) -> frozenset[IntVec]:
+        """The points of the region as a frozen set."""
+        return self._points
+
+    def __iter__(self) -> Iterator[IntVec]:
+        return iter(sorted(self._points))
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __contains__(self, point: Sequence[int]) -> bool:
+        return tuple(point) in self._points
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Region):
+            return NotImplemented
+        return self._points == other._points
+
+    def __hash__(self) -> int:
+        return hash(self._points)
+
+    def translated(self, offset: Sequence[int]) -> Region:
+        """The region translated by an integer offset."""
+        return Region(translate_set(self._points, as_intvec(offset)))
+
+    def union(self, other: Region) -> Region:
+        """Set union of two regions (dimensions must agree)."""
+        require(self.dimension == other.dimension,
+                "cannot union regions of different dimensions")
+        return Region(self._points | other._points)
+
+    def intersection(self, other: Region) -> Region:
+        """Set intersection (must be non-empty)."""
+        return Region(self._points & other._points)
+
+    def contains_translate_of(self, pattern: Iterable[IntVec]) -> bool:
+        """True when some translate of ``pattern`` lies inside the region.
+
+        This implements the conclusions' optimality criterion: the
+        restricted schedule remains optimal when ``D`` contains a translate
+        of ``N1 + N1``.
+        """
+        pattern_list = [as_intvec(p) for p in pattern]
+        require(len(pattern_list) > 0, "pattern must not be empty")
+        anchor = pattern_list[0]
+        offsets = [tuple(x - a for x, a in zip(p, anchor)) for p in pattern_list]
+        for base in self._points:
+            if all(vadd(base, offset) in self._points for offset in offsets):
+                return True
+        return False
+
+    def bounding_box(self) -> tuple[IntVec, IntVec]:
+        """Tight axis-aligned bounding box ``(lo, hi)``."""
+        return bounding_box(self._points)
+
+    def __repr__(self) -> str:
+        lo, hi = self.bounding_box()
+        return f"Region({len(self)} points, box {lo}..{hi})"
+
+
+def box_region(lo: Sequence[int], hi: Sequence[int]) -> Region:
+    """All lattice points in the closed axis-aligned box ``[lo, hi]``."""
+    return Region(box_points(as_intvec(lo), as_intvec(hi)))
+
+
+def chebyshev_ball_region(radius: int, dimension: int = 2,
+                          center: Sequence[int] | None = None) -> Region:
+    """Chebyshev ball ``{x : max_i |x_i - c_i| <= radius}``."""
+    require_nonnegative(radius, "radius")
+    if center is None:
+        center = (0,) * dimension
+    center = as_intvec(center)
+    lo = tuple(c - radius for c in center)
+    hi = tuple(c + radius for c in center)
+    points = [p for p in box_points(lo, hi)
+              if chebyshev_distance(p, center) <= radius]
+    return Region(points)
+
+
+def euclidean_ball_region(lattice: Lattice, radius: float,
+                          center: Sequence[int] | None = None) -> Region:
+    """Lattice points within real Euclidean distance ``radius`` of a point.
+
+    Uses the lattice embedding, so the same call produces 5 points on the
+    square lattice (radius 1) and 7 on the hexagonal lattice.
+    """
+    if center is None:
+        center = (0,) * lattice.dimension
+    return Region(lattice.points_within_distance(radius, as_intvec(center)))

@@ -1,0 +1,151 @@
+"""Sublattices of ``Z^d`` and their quotient groups.
+
+A sublattice ``T`` of finite index is the natural home of a lattice tiling:
+the translation set of a tiling by a prototile ``N`` is (in the simplest
+and most useful case) a sublattice with ``[Z^d : T] = |N|`` whose cosets
+are represented exactly by the elements of ``N``.
+
+The class wraps :class:`repro.utils.intlin.CosetSpace`, adding the
+lattice-level vocabulary used by the tiling and scheduling layers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+from repro.utils.intlin import (
+    CosetSpace,
+    IntMatrix,
+    determinant,
+    enumerate_hnf_matrices,
+    mat_vec,
+    matrix_columns,
+    matrix_from_columns,
+)
+from repro.utils.vectors import IntVec, as_intvec
+from repro.utils.validation import require, require_positive
+
+__all__ = ["Sublattice", "all_sublattices_of_index", "diagonal_sublattice"]
+
+
+class Sublattice:
+    """A finite-index sublattice of ``Z^d``.
+
+    Args:
+        generators: ``d`` integer generator vectors (each of length ``d``)
+            that must be linearly independent.
+
+    Two ``Sublattice`` objects compare equal iff they contain the same
+    vectors (their Hermite normal forms coincide), regardless of the
+    generators used to construct them.
+    """
+
+    def __init__(self, generators: Sequence[Sequence[int]]):
+        vectors = [as_intvec(g) for g in generators]
+        require(len(vectors) > 0, "a sublattice needs at least one generator")
+        dimension = len(vectors[0])
+        require(len(vectors) == dimension,
+                "need exactly d generators for a finite-index sublattice of Z^d")
+        matrix = matrix_from_columns(vectors)
+        require(determinant(matrix) != 0, "generators must be linearly independent")
+        self._cosets = CosetSpace(matrix)
+        self.dimension = dimension
+
+    # ------------------------------------------------------------------
+    @property
+    def index(self) -> int:
+        """Group index ``[Z^d : T]`` (the absolute determinant)."""
+        return self._cosets.index
+
+    @property
+    def hnf_matrix(self) -> IntMatrix:
+        """Canonical Hermite-normal-form generator matrix (columns)."""
+        return [list(row) for row in self._cosets.hnf]
+
+    @property
+    def basis(self) -> list[IntVec]:
+        """Canonical basis vectors (columns of the HNF)."""
+        return matrix_columns(self._cosets.hnf)
+
+    def contains(self, vector: Sequence[int]) -> bool:
+        """Membership test for an integer vector."""
+        return self._cosets.contains(vector)
+
+    def canonical_representative(self, vector: Sequence[int]) -> IntVec:
+        """Canonical representative of ``vector + T`` (HNF box form)."""
+        return self._cosets.canonical(vector)
+
+    def same_coset(self, a: Sequence[int], b: Sequence[int]) -> bool:
+        """True when ``a - b`` belongs to the sublattice."""
+        return self._cosets.same_coset(a, b)
+
+    def coset_representatives(self) -> Iterator[IntVec]:
+        """Iterate one canonical representative per coset (``index`` many)."""
+        yield from self._cosets.representatives()
+
+    def quotient_invariants(self) -> list[int]:
+        """Invariant factors of ``Z^d / T`` (nontrivial entries of the SNF).
+
+        E.g. the index-4 sublattice ``2Z x 2Z`` has invariants ``[2, 2]``
+        (Klein group) while ``Z x 4Z`` has ``[4]`` (cyclic).
+        """
+        return self._cosets.invariant_factors()
+
+    def points_near_origin(self, radius: int) -> list[IntVec]:
+        """All sublattice vectors in the Chebyshev box ``[-radius, radius]^d``.
+
+        Enumerates integer combinations of the HNF basis within a
+        certified coefficient bound, then filters by the box.
+        """
+        require_positive(radius, "radius")
+        basis = self.basis
+        # Coefficient of basis vector i only affects coordinates >= i
+        # (lower-triangular), so bound each coefficient by box / diagonal.
+        import itertools
+        bounds = []
+        for i, vector in enumerate(basis):
+            diag = vector[i]
+            bounds.append(radius // diag + 1)
+        result = []
+        for coeffs in itertools.product(
+                *(range(-b, b + 1) for b in bounds)):
+            vector = mat_vec(self._cosets.hnf, coeffs)
+            if all(abs(x) <= radius for x in vector):
+                result.append(vector)
+        return result
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Sublattice):
+            return NotImplemented
+        return self._cosets.hnf == other._cosets.hnf
+
+    def __hash__(self) -> int:
+        return hash(tuple(tuple(row) for row in self._cosets.hnf))
+
+    def __repr__(self) -> str:
+        basis = ", ".join(str(v) for v in self.basis)
+        return f"Sublattice(basis=[{basis}], index={self.index})"
+
+
+def all_sublattices_of_index(dimension: int, index: int) -> Iterator[Sublattice]:
+    """Every sublattice of ``Z^dimension`` with the given index.
+
+    For ``dimension == 2`` there are ``sigma(index)`` of them (sum of
+    divisors); this enumeration is the engine of the exactness decision
+    procedure for lattice tilings (:mod:`repro.tiles.exactness`).
+    """
+    for hnf in enumerate_hnf_matrices(dimension, index):
+        yield Sublattice(matrix_columns(hnf))
+
+
+def diagonal_sublattice(periods: Sequence[int]) -> Sublattice:
+    """The sublattice ``p_1 Z x ... x p_d Z`` (axis-aligned periods)."""
+    for p in periods:
+        require_positive(p, "period")
+    dimension = len(periods)
+    generators = [
+        tuple(periods[j] if i == j else 0 for i in range(dimension))
+        for j in range(dimension)
+    ]
+    return Sublattice(generators)

@@ -1,0 +1,257 @@
+"""Voronoi cells of 2-D lattices and quasi-polyform regions (Figure 4).
+
+Section 3 of the paper converts lattice tilings into tilings of ``R^d`` by
+taking ``K`` = union of closed Voronoi regions about the points of the
+prototile ``N``; the translates ``t + K`` with ``t`` in the translation set
+then tile the plane.  For the square lattice the Voronoi cell is a unit
+square (tiles ``K`` are *quasi-polyominoes*); for the hexagonal lattice it
+is a regular hexagon (*quasi-polyhexes*).
+
+The computation here is classical: reduce the basis (Lagrange–Gauss), take
+the at most six relevant vectors, and intersect the half-planes
+``{x : <x, v> <= <v, v>/2}``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.lattice.lattice import Lattice
+from repro.utils.vectors import IntVec
+from repro.utils.validation import require
+
+__all__ = [
+    "reduced_basis_2d",
+    "relevant_vectors_2d",
+    "voronoi_cell_2d",
+    "polygon_area",
+    "point_in_polygon",
+    "VoronoiCell",
+    "quasi_polyform_region",
+]
+
+_EPS = 1e-9
+
+
+def reduced_basis_2d(lattice: Lattice) -> tuple[np.ndarray, np.ndarray]:
+    """Lagrange–Gauss reduced basis of a 2-D lattice.
+
+    Returns two real vectors ``(b1, b2)`` spanning the lattice with
+    ``|b1| <= |b2|`` and ``|<b1, b2>| <= |b1|^2 / 2`` — the 2-D analogue of
+    LLL, for which the reduction is exact and terminates quickly.
+    """
+    require(lattice.dimension == 2, "reduced_basis_2d requires a 2-D lattice")
+    b1 = np.asarray(lattice.basis_vectors[0], dtype=float)
+    b2 = np.asarray(lattice.basis_vectors[1], dtype=float)
+    if np.dot(b1, b1) > np.dot(b2, b2):
+        b1, b2 = b2, b1
+    while True:
+        mu = round(float(np.dot(b1, b2) / np.dot(b1, b1)))
+        b2 = b2 - mu * b1
+        if np.dot(b2, b2) >= np.dot(b1, b1) - _EPS:
+            return b1, b2
+        b1, b2 = b2, b1
+
+
+def relevant_vectors_2d(lattice: Lattice) -> list[np.ndarray]:
+    """The Voronoi-relevant vectors of a 2-D lattice.
+
+    For a reduced basis ``b1, b2`` the relevant vectors are among
+    ``+-b1, +-b2, +-(b1 + b2), +-(b1 - b2)``; a candidate is relevant iff
+    it is a strict local minimum of the norm in its coset of ``2L`` —
+    equivalently (and robustly for our use), iff its half-plane actually
+    supports an edge of the cell.  We return the candidate set; redundant
+    half-planes are harmless for clipping.
+    """
+    b1, b2 = reduced_basis_2d(lattice)
+    candidates = [b1, b2, b1 + b2, b1 - b2]
+    vectors: list[np.ndarray] = []
+    for v in candidates:
+        if float(np.dot(v, v)) > _EPS:
+            vectors.append(v)
+            vectors.append(-v)
+    return vectors
+
+
+def _clip_polygon_halfplane(polygon: list[np.ndarray], normal: np.ndarray,
+                            offset: float) -> list[np.ndarray]:
+    """Clip a convex polygon against the half-plane ``<x, normal> <= offset``."""
+    if not polygon:
+        return []
+    result: list[np.ndarray] = []
+    count = len(polygon)
+    for i in range(count):
+        current = polygon[i]
+        nxt = polygon[(i + 1) % count]
+        current_inside = float(np.dot(current, normal)) <= offset + _EPS
+        next_inside = float(np.dot(nxt, normal)) <= offset + _EPS
+        if current_inside:
+            result.append(current)
+        if current_inside != next_inside:
+            direction = nxt - current
+            denom = float(np.dot(direction, normal))
+            if abs(denom) > _EPS:
+                t = (offset - float(np.dot(current, normal))) / denom
+                result.append(current + t * direction)
+    return result
+
+
+def polygon_area(vertices: Sequence[Sequence[float]]) -> float:
+    """Area of a simple polygon via the shoelace formula."""
+    if len(vertices) < 3:
+        return 0.0
+    area = 0.0
+    count = len(vertices)
+    for i in range(count):
+        x1, y1 = vertices[i]
+        x2, y2 = vertices[(i + 1) % count]
+        area += x1 * y2 - x2 * y1
+    return abs(area) / 2.0
+
+
+def point_in_polygon(point: Sequence[float],
+                     vertices: Sequence[Sequence[float]],
+                     tolerance: float = _EPS) -> bool:
+    """Point-in-convex-polygon test (boundary counts as inside).
+
+    Assumes the vertices are in counterclockwise or clockwise order, as
+    produced by :func:`voronoi_cell_2d`.
+    """
+    count = len(vertices)
+    if count < 3:
+        return False
+    sign = 0
+    px, py = float(point[0]), float(point[1])
+    for i in range(count):
+        x1, y1 = vertices[i]
+        x2, y2 = vertices[(i + 1) % count]
+        cross = (x2 - x1) * (py - y1) - (y2 - y1) * (px - x1)
+        if cross > tolerance:
+            if sign < 0:
+                return False
+            sign = 1
+        elif cross < -tolerance:
+            if sign > 0:
+                return False
+            sign = -1
+    return True
+
+
+class VoronoiCell:
+    """The closed Voronoi cell of a lattice point, as a convex polygon.
+
+    Attributes:
+        center: real position of the lattice point the cell surrounds.
+        vertices: polygon vertices in counterclockwise order.
+    """
+
+    def __init__(self, center: Sequence[float],
+                 vertices: Sequence[Sequence[float]]):
+        self.center = tuple(float(x) for x in center)
+        self.vertices = [tuple(float(x) for x in v) for v in vertices]
+
+    @property
+    def area(self) -> float:
+        """Polygon area; equals the lattice covolume."""
+        return polygon_area(self.vertices)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges (4 for the square lattice, 6 for hexagonal)."""
+        return len(self.vertices)
+
+    def contains_point(self, point: Sequence[float]) -> bool:
+        """True when the (closed) cell contains the real point."""
+        return point_in_polygon(point, self.vertices)
+
+    def contains_disk(self, center: Sequence[float], radius: float) -> bool:
+        """True when a disk fits entirely inside the (closed) cell.
+
+        Used by the mobile-sensor rule of Section 5 ("the interference
+        range of s fits within the tile of p").
+        """
+        cx, cy = float(center[0]), float(center[1])
+        count = len(self.vertices)
+        if not self.contains_point((cx, cy)):
+            return False
+        for i in range(count):
+            x1, y1 = self.vertices[i]
+            x2, y2 = self.vertices[(i + 1) % count]
+            # Distance from the disk center to the supporting line of edge i.
+            edge = np.array([x2 - x1, y2 - y1])
+            length = float(np.linalg.norm(edge))
+            if length < _EPS:
+                continue
+            distance = abs((x2 - x1) * (y1 - cy) - (x1 - cx) * (y2 - y1)) / length
+            if distance < radius - _EPS:
+                return False
+        return True
+
+    def translated(self, offset: Sequence[float]) -> VoronoiCell:
+        """The cell translated by a real offset vector."""
+        ox, oy = float(offset[0]), float(offset[1])
+        return VoronoiCell(
+            (self.center[0] + ox, self.center[1] + oy),
+            [(x + ox, y + oy) for x, y in self.vertices],
+        )
+
+    def __repr__(self) -> str:
+        return (f"VoronoiCell(center={self.center}, "
+                f"edges={self.num_edges}, area={self.area:.6f})")
+
+
+def voronoi_cell_2d(lattice: Lattice,
+                    point: IntVec = (0, 0)) -> VoronoiCell:
+    """Compute the Voronoi cell of a 2-D lattice point (Figure 4).
+
+    The cell about the origin is the intersection of the half-planes
+    determined by the relevant vectors; cells about other points are
+    translates (lattices are vertex-transitive).
+    """
+    require(lattice.dimension == 2, "voronoi_cell_2d requires a 2-D lattice")
+    vectors = relevant_vectors_2d(lattice)
+    # Start from a box certainly containing the cell.
+    bound = 2.0 * max(float(np.linalg.norm(v)) for v in vectors)
+    polygon = [
+        np.array([-bound, -bound]),
+        np.array([bound, -bound]),
+        np.array([bound, bound]),
+        np.array([-bound, bound]),
+    ]
+    for v in vectors:
+        polygon = _clip_polygon_halfplane(polygon, v, float(np.dot(v, v)) / 2.0)
+    # Remove duplicate vertices produced by touching half-planes.
+    cleaned: list[np.ndarray] = []
+    for vertex in polygon:
+        if not cleaned or float(np.linalg.norm(vertex - cleaned[-1])) > 1e-7:
+            cleaned.append(vertex)
+    if len(cleaned) > 1 and float(np.linalg.norm(cleaned[0] - cleaned[-1])) <= 1e-7:
+        cleaned.pop()
+    center = lattice.to_real(point)
+    offset = np.asarray(center)
+    return VoronoiCell(center, [tuple(v + offset) for v in cleaned])
+
+
+def quasi_polyform_region(lattice: Lattice,
+                          points: Iterable[IntVec]) -> list[VoronoiCell]:
+    """The quasi-polyform ``K`` = union of Voronoi cells about ``points``.
+
+    Returns one :class:`VoronoiCell` per lattice point; their union is the
+    plane tile of Section 3 (a quasi-polyomino on ``L_S``, a quasi-polyhex
+    on ``L_H``).  Total area is ``|points| * covolume``.
+    """
+    base = voronoi_cell_2d(lattice)
+    cells = []
+    for point in points:
+        center = lattice.to_real(point)
+        offset = (center[0] - base.center[0], center[1] - base.center[1])
+        cells.append(base.translated(offset))
+    return cells
+
+
+def hexagon_expected_area() -> float:
+    """Closed-form area of the hexagonal lattice's Voronoi cell, sqrt(3)/2."""
+    return math.sqrt(3.0) / 2.0

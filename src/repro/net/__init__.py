@@ -1,0 +1,40 @@
+"""Slotted wireless broadcast simulator with the paper's collision rules."""
+
+from repro.net.energy import UNIT_TX_MODEL, EnergyModel
+from repro.net.metrics import SimulationMetrics, metrics_table
+from repro.net.mobility import (
+    MobileAlohaMAC,
+    MobileSimulator,
+    MobileTilingMAC,
+    RandomWaypoint,
+)
+from repro.net.model import Network, SensorNode
+from repro.net.protocols import (
+    CSMALike,
+    GlobalTDMA,
+    MACProtocol,
+    ScheduleMAC,
+    SlottedAloha,
+)
+from repro.net.simulator import BroadcastSimulator, compare_protocols, simulate
+
+__all__ = [
+    "BroadcastSimulator",
+    "CSMALike",
+    "EnergyModel",
+    "UNIT_TX_MODEL",
+    "GlobalTDMA",
+    "MACProtocol",
+    "MobileAlohaMAC",
+    "MobileSimulator",
+    "MobileTilingMAC",
+    "Network",
+    "RandomWaypoint",
+    "ScheduleMAC",
+    "SensorNode",
+    "SimulationMetrics",
+    "SlottedAloha",
+    "compare_protocols",
+    "metrics_table",
+    "simulate",
+]

@@ -1,0 +1,119 @@
+"""Network model: sensors on lattice points with interference sets.
+
+The paper's introduction defines the two collision problems the simulator
+must reproduce:
+
+1. if sensors ``A`` and ``B`` send at the same time and ``B`` is within
+   the interference range of ``A``, hardware limitations prevent ``B``
+   from receiving ``A``'s message;
+2. if ``A`` and ``B`` send at the same time and a sensor ``C`` is within
+   interference range of both, ``C`` receives neither message.
+
+A :class:`Network` is a finite set of sensors, each with a position (its
+lattice coordinates) and an interference set (``position + N`` under the
+homogeneous model, or the D1 deployment sets of a multi-prototile tiling).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.tiles.prototile import Prototile
+from repro.tiling.multi import MultiTiling
+from repro.utils.vectors import IntVec, as_intvec
+from repro.utils.validation import require
+
+__all__ = ["SensorNode", "Network"]
+
+
+class SensorNode:
+    """One sensor: a position and the set of points it interferes with.
+
+    Attributes:
+        position: lattice coordinates of the sensor.
+        interference: the points affected by this sensor's transmissions
+            (always includes the sensor's own position, since prototiles
+            contain 0).
+    """
+
+    def __init__(self, position: Sequence[int],
+                 interference: Iterable[Sequence[int]]):
+        self.position = as_intvec(position)
+        self.interference = frozenset(as_intvec(p) for p in interference)
+        require(self.position in self.interference,
+                "a sensor interferes with its own position by definition")
+
+    def __repr__(self) -> str:
+        return (f"SensorNode({self.position}, "
+                f"range={len(self.interference)} points)")
+
+
+class Network:
+    """A finite sensor network with precomputed reception topology."""
+
+    def __init__(self, nodes: Iterable[SensorNode]):
+        node_list = list(nodes)
+        require(len(node_list) > 0, "a network needs at least one sensor")
+        positions = [node.position for node in node_list]
+        require(len(set(positions)) == len(positions),
+                "two sensors share a position")
+        self._nodes = {node.position: node for node in node_list}
+        # receivers_of[a] = sensors (other than a) inside a's range.
+        self._receivers: dict[IntVec, frozenset[IntVec]] = {}
+        # in_range_of[c] = senders whose range covers sensor c.
+        self._in_range_of: dict[IntVec, set[IntVec]] = {
+            p: set() for p in self._nodes
+        }
+        for node in node_list:
+            receivers = frozenset(
+                p for p in node.interference
+                if p in self._nodes and p != node.position)
+            self._receivers[node.position] = receivers
+            for receiver in receivers:
+                self._in_range_of[receiver].add(node.position)
+
+    # ------------------------------------------------------------------
+    @property
+    def positions(self) -> list[IntVec]:
+        """Sorted sensor positions."""
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, position: Sequence[int]) -> bool:
+        return tuple(position) in self._nodes
+
+    def node(self, position: Sequence[int]) -> SensorNode:
+        """The sensor at a position."""
+        return self._nodes[as_intvec(position)]
+
+    def receivers_of(self, sender: Sequence[int]) -> frozenset[IntVec]:
+        """Sensors inside the sender's interference range (excluding it)."""
+        return self._receivers[as_intvec(sender)]
+
+    def senders_covering(self, receiver: Sequence[int]) -> set[IntVec]:
+        """Sensors whose interference range covers the given sensor."""
+        return self._in_range_of[as_intvec(receiver)]
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def homogeneous(points: Iterable[Sequence[int]],
+                    prototile: Prototile) -> Network:
+        """Every sensor has the same neighborhood ``N`` (Theorem 1 model)."""
+        return Network(
+            SensorNode(p, prototile.translate(as_intvec(p)))
+            for p in points)
+
+    @staticmethod
+    def from_multi_tiling(points: Iterable[Sequence[int]],
+                          multi: MultiTiling) -> Network:
+        """Deployment rule D1: neighborhood type from the covering tile."""
+        return Network(
+            SensorNode(p, multi.neighborhood_of(as_intvec(p)))
+            for p in points)
+
+    def __repr__(self) -> str:
+        return f"Network({len(self)} sensors)"

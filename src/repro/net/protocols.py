@@ -1,0 +1,131 @@
+"""MAC protocols: when does a sensor decide to transmit?
+
+The paper contrasts its deterministic tiling schedule with the
+probabilistic protocols "most communication protocols for wireless sensor
+networks" use.  Four policies are provided:
+
+* :class:`ScheduleMAC` — drives any :class:`repro.core.schedule.Schedule`
+  (tiling schedules, Theorem 2 schedules, coloring-based schedules);
+* :class:`GlobalTDMA` — the paper's strawman: one slot per sensor,
+  round-robin; collision-free but with a round length that grows with
+  the network;
+* :class:`SlottedAloha` — transmit pending packets with probability ``p``;
+* :class:`CSMALike` — probabilistic, but defers when a sensor whose range
+  covers this one transmitted in the previous slot (a crude carrier
+  sense).
+
+A protocol sees only local information: its own position, the time, and
+last slot's activity as observed at its position.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from collections.abc import Sequence
+
+from repro.core.schedule import Schedule
+from repro.utils.validation import require_probability
+from repro.utils.vectors import IntVec, as_intvec
+
+__all__ = ["MACProtocol", "ScheduleMAC", "GlobalTDMA", "SlottedAloha",
+           "CSMALike"]
+
+
+class MACProtocol(abc.ABC):
+    """Decision interface: should a backlogged sensor transmit now?"""
+
+    name = "mac"
+
+    @abc.abstractmethod
+    def wants_to_send(self, position: IntVec, time: int,
+                      heard_last_slot: bool, rng: random.Random) -> bool:
+        """Decide whether the sensor at ``position`` transmits at ``time``.
+
+        Args:
+            position: the sensor's lattice coordinates.
+            time: current slot number.
+            heard_last_slot: whether any sensor covering this position
+                transmitted in the previous slot (local carrier sense).
+            rng: per-simulation random source (unused by deterministic
+                protocols).
+        """
+
+    def slots_per_round(self) -> int | None:
+        """Round length for periodic protocols, ``None`` for random ones."""
+        return None
+
+
+class ScheduleMAC(MACProtocol):
+    """Deterministic MAC driven by a periodic schedule."""
+
+    def __init__(self, schedule: Schedule, name: str = "tiling-schedule"):
+        self.schedule = schedule
+        self.name = name
+
+    def wants_to_send(self, position: IntVec, time: int,
+                      heard_last_slot: bool, rng: random.Random) -> bool:
+        return self.schedule.may_send(position, time)
+
+    def slots_per_round(self) -> int | None:
+        return self.schedule.num_slots
+
+
+class GlobalTDMA(MACProtocol):
+    """One slot per sensor, round-robin over the whole network.
+
+    "The obvious disadvantage of TDMA is that it does not scale: if the
+    number k of sensors is large, then the sensors cannot communicate
+    frequently enough" — the round length equals the network size.
+    """
+
+    name = "global-tdma"
+
+    def __init__(self, positions: Sequence[IntVec]):
+        ordered = sorted(as_intvec(p) for p in positions)
+        self._slot_of = {p: i for i, p in enumerate(ordered)}
+
+    @property
+    def num_slots(self) -> int:
+        return len(self._slot_of)
+
+    def wants_to_send(self, position: IntVec, time: int,
+                      heard_last_slot: bool, rng: random.Random) -> bool:
+        return time % self.num_slots == self._slot_of[as_intvec(position)]
+
+    def slots_per_round(self) -> int | None:
+        return self.num_slots
+
+
+class SlottedAloha(MACProtocol):
+    """Transmit each pending packet with probability ``p`` per slot."""
+
+    def __init__(self, p: float):
+        require_probability(p, "p")
+        self.p = p
+        self.name = f"slotted-aloha(p={p:g})"
+
+    def wants_to_send(self, position: IntVec, time: int,
+                      heard_last_slot: bool, rng: random.Random) -> bool:
+        return rng.random() < self.p
+
+
+class CSMALike(MACProtocol):
+    """ALOHA with one-slot carrier-sense backoff.
+
+    If a covering sensor transmitted last slot, stay silent; otherwise
+    behave like slotted ALOHA with probability ``p``.  Still collision-
+    prone (two sensors can start in the same slot), as the experiments
+    show.
+    """
+
+    def __init__(self, p: float):
+        require_probability(p, "p")
+        self.p = p
+        self.name = f"csma-like(p={p:g})"
+
+    def wants_to_send(self, position: IntVec, time: int,
+                      heard_last_slot: bool, rng: random.Random) -> bool:
+        if heard_last_slot:
+            return False
+        return rng.random() < self.p

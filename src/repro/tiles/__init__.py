@@ -1,0 +1,72 @@
+"""Prototiles (sensor neighborhoods), boundary words, exactness deciders."""
+
+from repro.tiles.bn import (
+    BNFactorization,
+    find_bn_factorization,
+    find_bn_factorization_naive,
+    is_exact_polyomino,
+)
+from repro.tiles.boundary import (
+    boundary_word,
+    complement_word,
+    hat,
+    polyomino_from_boundary,
+    word_vector,
+)
+from repro.tiles.exactness import (
+    all_sublattice_tilings,
+    find_sublattice_tiling,
+    is_exact,
+    is_exact_lattice,
+    tiles_by_sublattice,
+)
+from repro.tiles.prototile import Prototile
+from repro.tiles.shapes import (
+    GALLERY,
+    TETROMINOES,
+    chebyshev_ball,
+    directional_antenna,
+    euclidean_ball,
+    l_tetromino,
+    line_tile,
+    plus_pentomino,
+    rectangle_tile,
+    s_tetromino,
+    square_tetromino,
+    t_tetromino,
+    z_tetromino,
+)
+from repro.tiles.szegedy import is_exact_szegedy, szegedy_applicable
+
+__all__ = [
+    "BNFactorization",
+    "GALLERY",
+    "Prototile",
+    "TETROMINOES",
+    "all_sublattice_tilings",
+    "boundary_word",
+    "chebyshev_ball",
+    "complement_word",
+    "directional_antenna",
+    "euclidean_ball",
+    "find_bn_factorization",
+    "find_bn_factorization_naive",
+    "find_sublattice_tiling",
+    "hat",
+    "is_exact",
+    "is_exact_lattice",
+    "is_exact_polyomino",
+    "is_exact_szegedy",
+    "l_tetromino",
+    "line_tile",
+    "plus_pentomino",
+    "polyomino_from_boundary",
+    "rectangle_tile",
+    "s_tetromino",
+    "square_tetromino",
+    "szegedy_applicable",
+    "t_tetromino",
+    "tiles_by_sublattice",
+    "word_vector",
+    "z_tetromino",
+]

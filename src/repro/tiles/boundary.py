@@ -1,0 +1,187 @@
+"""Boundary words of polyominoes over the alphabet ``{u, d, l, r}``.
+
+Section 3 of the paper describes polyomino exactness tests that operate on
+the boundary of the tile "described by a word over the alphabet
+``{u, d, l, r}``".  This module extracts that word: the counterclockwise
+trace of the boundary of the union of unit squares of a connected,
+hole-free prototile, starting at the bottom-left corner of the bottom-most,
+left-most cell.
+
+Word algebra: the *complement* swaps ``u <-> d`` and ``l <-> r``; the *hat*
+``X^`` of the Beauquier–Nivat criterion is the reversed complement (the
+same path walked backwards).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.tiles.prototile import Prototile
+from repro.utils.vectors import IntVec
+from repro.utils.validation import require
+
+__all__ = [
+    "LETTERS",
+    "STEPS",
+    "complement_letter",
+    "complement_word",
+    "hat",
+    "word_vector",
+    "word_is_closed",
+    "cyclic_rotations",
+    "boundary_word",
+    "polyomino_from_boundary",
+]
+
+LETTERS = "udlr"
+
+STEPS: dict[str, IntVec] = {
+    "r": (1, 0),
+    "u": (0, 1),
+    "l": (-1, 0),
+    "d": (0, -1),
+}
+
+_COMPLEMENT = {"u": "d", "d": "u", "l": "r", "r": "l"}
+
+
+def complement_letter(letter: str) -> str:
+    """Complement of one letter (``u <-> d``, ``l <-> r``)."""
+    try:
+        return _COMPLEMENT[letter]
+    except KeyError:
+        raise ValueError(f"invalid boundary letter {letter!r}") from None
+
+
+def complement_word(word: str) -> str:
+    """Letterwise complement of a word."""
+    return "".join(complement_letter(ch) for ch in word)
+
+
+def hat(word: str) -> str:
+    """The Beauquier–Nivat hat ``X^``: reversed complement of ``X``."""
+    return complement_word(word[::-1])
+
+
+def word_vector(word: str) -> IntVec:
+    """Total displacement of a word (sum of its unit steps)."""
+    x = y = 0
+    for letter in word:
+        dx, dy = STEPS[letter]
+        x += dx
+        y += dy
+    return (x, y)
+
+
+def word_is_closed(word: str) -> bool:
+    """True when the word returns to its starting vertex."""
+    return word_vector(word) == (0, 0)
+
+
+def cyclic_rotations(word: str) -> Iterator[str]:
+    """All cyclic rotations of a word (boundary words are cyclic objects)."""
+    for start in range(len(word)):
+        yield word[start:] + word[:start]
+
+
+def boundary_word(prototile: Prototile) -> str:
+    """Counterclockwise boundary word of a polyomino prototile.
+
+    The prototile must be 2-D, edge-connected and hole-free (a polyomino
+    whose Voronoi-square union is a topological disk).  The trace keeps the
+    interior on its left and starts along the bottom edge of the
+    bottom-most then left-most cell, so the first letter is always ``r``.
+
+    Raises:
+        ValueError: if the prototile is not a polyomino, or if its boundary
+            pinches (touches itself at a vertex), in which case the plane
+            tile is not homeomorphic to a disk.
+    """
+    require(prototile.dimension == 2, "boundary words are 2-D objects")
+    require(prototile.is_connected(), "prototile must be edge-connected")
+    require(not prototile.has_holes(), "prototile must not have holes")
+    cells = prototile.cells
+
+    # Directed boundary edges with the interior on the left.
+    outgoing: dict[IntVec, list[tuple[IntVec, str]]] = {}
+
+    def add_edge(start: IntVec, end: IntVec, letter: str) -> None:
+        outgoing.setdefault(start, []).append((end, letter))
+
+    total_edges = 0
+    for (x, y) in cells:
+        if (x, y - 1) not in cells:
+            add_edge((x, y), (x + 1, y), "r")
+            total_edges += 1
+        if (x + 1, y) not in cells:
+            add_edge((x + 1, y), (x + 1, y + 1), "u")
+            total_edges += 1
+        if (x, y + 1) not in cells:
+            add_edge((x + 1, y + 1), (x, y + 1), "l")
+            total_edges += 1
+        if (x - 1, y) not in cells:
+            add_edge((x, y + 1), (x, y), "d")
+            total_edges += 1
+
+    start_cell = min(cells, key=lambda c: (c[1], c[0]))
+    start_vertex: IntVec = (start_cell[0], start_cell[1])
+    word_letters: list[str] = []
+    vertex = start_vertex
+    used = 0
+    while True:
+        edges = outgoing.get(vertex, [])
+        if len(edges) != 1:
+            raise ValueError(
+                "boundary pinches at a vertex; the tile is not homeomorphic "
+                "to a disk (not a polyomino in the paper's sense)")
+        end, letter = edges[0]
+        word_letters.append(letter)
+        used += 1
+        del outgoing[vertex]
+        vertex = end
+        if vertex == start_vertex:
+            break
+    if used != total_edges:
+        raise ValueError("boundary is not a single closed curve")
+    return "".join(word_letters)
+
+
+def polyomino_from_boundary(word: str, name: str = "from-boundary") -> Prototile:
+    """Reconstruct the polyomino enclosed by a counterclockwise boundary word.
+
+    The inverse of :func:`boundary_word` up to translation: the enclosed
+    unit cells are recovered by a scanline parity fill, then translated so
+    the cell set contains the origin (rebased at its bottom-left-most
+    cell).
+
+    Raises:
+        ValueError: if the word is not closed or encloses no cells.
+    """
+    require(word_is_closed(word), "boundary word must be closed")
+    # Collect vertical edges with orientation for parity counting.
+    vertical_edges: dict[tuple[int, int], int] = {}
+    x = y = 0
+    for letter in word:
+        dx, dy = STEPS[letter]
+        if letter == "u":
+            vertical_edges[(x, y)] = vertical_edges.get((x, y), 0) + 1
+        elif letter == "d":
+            vertical_edges[(x, y - 1)] = vertical_edges.get((x, y - 1), 0) + 1
+        x += dx
+        y += dy
+    if not vertical_edges:
+        raise ValueError("boundary word encloses no cells")
+    xs = [pos[0] for pos in vertical_edges]
+    ys = [pos[1] for pos in vertical_edges]
+    cells: list[IntVec] = []
+    for row in range(min(ys), max(ys) + 1):
+        crossings = sorted(px for (px, py), count in vertical_edges.items()
+                           if py == row for _ in range(count))
+        # Pair up crossings: between the (2k)-th and (2k+1)-th lies interior.
+        for i in range(0, len(crossings) - 1, 2):
+            for col in range(crossings[i], crossings[i + 1]):
+                cells.append((col, row))
+    require(len(cells) > 0, "boundary word encloses no cells")
+    anchor = min(cells, key=lambda c: (c[1], c[0]))
+    shifted = [(cx - anchor[0], cy - anchor[1]) for cx, cy in cells]
+    return Prototile(shifted, name=name)

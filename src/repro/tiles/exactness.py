@@ -1,0 +1,105 @@
+"""Deciding exactness: when does a prototile admit a tiling? (Section 3.)
+
+The paper's question Q1 asks when a prototile ``N`` is *exact*, i.e. when
+some translate set ``T`` satisfies the tiling conditions T1 and T2.  This
+module implements the decision procedures:
+
+* **Sublattice search** (:func:`find_sublattice_tiling`): enumerate all
+  sublattices of ``Z^d`` of index ``|N|`` and test whether the elements of
+  ``N`` represent every coset exactly once.  Complete for *lattice*
+  tilings in any dimension; by Beauquier–Nivat, for polyominoes a lattice
+  tiling exists iff any tiling exists, so the search is a full exactness
+  decider for polyominoes (and, by Szegedy's theorem, for prototiles of
+  prime cardinality or cardinality 4 — see :mod:`repro.tiles.szegedy`).
+
+* **Boundary-word criterion** (via :mod:`repro.tiles.bn`): polynomial in
+  the boundary length for polyominoes, and constructive.
+
+The torus backtracking search for general periodic (non-lattice) tilings
+lives in :mod:`repro.tiling.search`, layered above this module.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.lattice.sublattice import Sublattice, all_sublattices_of_index
+from repro.tiles.bn import find_bn_factorization
+from repro.tiles.boundary import boundary_word
+from repro.tiles.prototile import Prototile
+
+__all__ = [
+    "tiles_by_sublattice",
+    "find_sublattice_tiling",
+    "all_sublattice_tilings",
+    "is_exact_lattice",
+    "is_exact",
+]
+
+
+def tiles_by_sublattice(prototile: Prototile, sublattice: Sublattice) -> bool:
+    """Check whether ``prototile + sublattice`` tiles ``Z^d``.
+
+    Conditions T1 and T2 hold together iff the sublattice has index
+    ``|N|`` and the cells of ``N`` fall into pairwise distinct cosets —
+    then ``N`` is a complete set of coset representatives, so every lattice
+    point is covered exactly once.
+    """
+    if sublattice.index != prototile.size:
+        return False
+    representatives = {
+        sublattice.canonical_representative(cell) for cell in prototile.cells
+    }
+    return len(representatives) == prototile.size
+
+
+def find_sublattice_tiling(prototile: Prototile) -> Sublattice | None:
+    """Find some sublattice ``T`` with ``N + T = Z^d`` a tiling, or ``None``.
+
+    Enumerates every sublattice of index ``|N|`` (there are finitely many;
+    ``sigma(|N|)`` in two dimensions).
+    """
+    for sublattice in all_sublattices_of_index(prototile.dimension,
+                                               prototile.size):
+        if tiles_by_sublattice(prototile, sublattice):
+            return sublattice
+    return None
+
+
+def all_sublattice_tilings(prototile: Prototile) -> Iterator[Sublattice]:
+    """Iterate *every* sublattice that tiles with the prototile.
+
+    Useful for studying how many essentially different lattice tilings a
+    neighborhood admits (the paper's Theorem 1 holds for each of them).
+    """
+    for sublattice in all_sublattices_of_index(prototile.dimension,
+                                               prototile.size):
+        if tiles_by_sublattice(prototile, sublattice):
+            yield sublattice
+
+
+def is_exact_lattice(prototile: Prototile) -> bool:
+    """True when the prototile admits a *lattice* tiling."""
+    return find_sublattice_tiling(prototile) is not None
+
+
+def is_exact(prototile: Prototile) -> bool:
+    """Decide exactness of a prototile (question Q1).
+
+    Strategy:
+
+    1. If a sublattice tiling exists, the prototile is exact.
+    2. Otherwise, if the prototile is a polyomino, Beauquier–Nivat is a
+       complete decider: no pseudo-hexagon factorization means no tiling
+       of any kind.
+
+    For disconnected prototiles with no lattice tiling the function
+    returns ``False`` with the caveat that exotic non-lattice tilings are
+    not searched here; use :func:`repro.tiling.search.find_periodic_tiling`
+    to hunt for those explicitly.
+    """
+    if is_exact_lattice(prototile):
+        return True
+    if prototile.is_polyomino():
+        return find_bn_factorization(boundary_word(prototile)) is not None
+    return False

@@ -1,0 +1,249 @@
+"""Prototiles (neighborhoods): finite subsets of the lattice containing 0.
+
+The paper calls a finite subset ``N`` of the lattice a *prototile* or a
+*neighborhood* of the point 0 iff it contains 0 itself; ``N`` describes the
+set of sensors affected by the wireless communication of the sensor at 0
+(and, translated, of every other sensor).  Its shape is determined by the
+antenna and the signal strength.
+
+The class below is the library's central immutable value type.  Key derived
+objects:
+
+* the *difference set* ``N - N``: sensors at ``s`` and ``t`` have
+  intersecting interference ranges iff ``t - s`` belongs to it — the
+  collision kernel used by schedule verification;
+* the *Minkowski sum* ``N + N``: the conclusions' finite-restriction
+  criterion asks for a translate of it inside the finite domain.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.utils.vectors import (
+    IntVec,
+    as_intvec,
+    bounding_box,
+    difference_set,
+    minkowski_sum,
+    reflect_x,
+    rotate90,
+    vadd,
+    vneg,
+    vsub,
+)
+from repro.utils.validation import require
+
+__all__ = ["Prototile"]
+
+
+class Prototile:
+    """An immutable prototile: a finite set of integer points containing 0.
+
+    Args:
+        cells: the points of the prototile.  Must contain the origin and be
+            non-empty; all points must share one dimension.
+        name: optional label used in reports and figures.
+    """
+
+    def __init__(self, cells: Iterable[Sequence[int]], name: str = "prototile"):
+        points = frozenset(as_intvec(c) for c in cells)
+        require(len(points) > 0, "a prototile must contain at least one cell")
+        dimension = len(next(iter(points)))
+        for point in points:
+            require(len(point) == dimension,
+                    "prototile cells have mixed dimensions")
+        origin = (0,) * dimension
+        require(origin in points,
+                "a prototile must contain the origin (paper, Section 2)")
+        self._cells = points
+        self.dimension = dimension
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def cells(self) -> frozenset[IntVec]:
+        """The cells of the prototile as a frozen set."""
+        return self._cells
+
+    @property
+    def size(self) -> int:
+        """Number of cells ``|N|`` — the slot count of the optimal schedule."""
+        return len(self._cells)
+
+    def sorted_cells(self) -> list[IntVec]:
+        """Cells in lexicographic order (the canonical slot enumeration)."""
+        return sorted(self._cells)
+
+    def __iter__(self) -> Iterator[IntVec]:
+        return iter(self.sorted_cells())
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __contains__(self, point: Sequence[int]) -> bool:
+        return tuple(point) in self._cells
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Prototile):
+            return NotImplemented
+        return self._cells == other._cells
+
+    def __hash__(self) -> int:
+        return hash(self._cells)
+
+    def __repr__(self) -> str:
+        return f"Prototile({self.name!r}, size={self.size})"
+
+    # ------------------------------------------------------------------
+    # Set-theoretic structure
+    # ------------------------------------------------------------------
+    def translate(self, offset: Sequence[int]) -> frozenset[IntVec]:
+        """The translated point set ``offset + N`` (a plain set).
+
+        The result usually does not contain the origin, hence is not
+        returned as a ``Prototile``.
+        """
+        offset = as_intvec(offset)
+        return frozenset(vadd(cell, offset) for cell in self._cells)
+
+    def rebased_at(self, cell: Sequence[int]) -> Prototile:
+        """The prototile translated so that ``cell`` becomes the origin.
+
+        ``cell`` must belong to the prototile; the result contains 0.
+        """
+        cell = as_intvec(cell)
+        require(cell in self._cells, f"{cell} is not a cell of the prototile")
+        return Prototile((vsub(c, cell) for c in self._cells),
+                         name=f"{self.name}@{cell}")
+
+    def difference_set(self) -> frozenset[IntVec]:
+        """The collision kernel ``N - N``."""
+        return difference_set(self.sorted_cells())
+
+    def minkowski_with(self, other: Prototile) -> frozenset[IntVec]:
+        """Minkowski sum ``N + M``."""
+        require(self.dimension == other.dimension,
+                "cannot sum prototiles of different dimensions")
+        return minkowski_sum(self._cells, other.sorted_cells())
+
+    def self_sum(self) -> frozenset[IntVec]:
+        """``N + N``, the conclusions' finite-restriction pattern."""
+        return self.minkowski_with(self)
+
+    def contains_prototile(self, other: Prototile) -> bool:
+        """True when ``other``'s cells are a subset of this prototile's.
+
+        The *respectable* condition of Theorem 2 requires ``N1`` to contain
+        every other prototile.
+        """
+        return other._cells <= self._cells
+
+    # ------------------------------------------------------------------
+    # Rigid motions (2-D)
+    # ------------------------------------------------------------------
+    def rotated90(self, times: int = 1) -> Prototile:
+        """The prototile rotated by ``times * 90`` degrees counterclockwise.
+
+        Rotation fixes the origin, so the result is again a prototile.
+        Only defined in two dimensions.
+        """
+        require(self.dimension == 2, "rotations are implemented for 2-D tiles")
+        cells = self._cells
+        for _ in range(times % 4):
+            cells = frozenset(rotate90(c) for c in cells)
+        return Prototile(cells, name=f"{self.name}-rot{(times % 4) * 90}")
+
+    def reflected(self) -> Prototile:
+        """The prototile reflected across the x-axis (2-D only)."""
+        require(self.dimension == 2, "reflections are implemented for 2-D tiles")
+        return Prototile((reflect_x(c) for c in self._cells),
+                         name=f"{self.name}-mirror")
+
+    def negated(self) -> Prototile:
+        """The point reflection ``-N`` (valid in any dimension)."""
+        return Prototile((vneg(c) for c in self._cells), name=f"-{self.name}")
+
+    def all_rotations(self) -> list[Prototile]:
+        """The four rotations of a 2-D prototile (deduplicated)."""
+        seen: dict[frozenset[IntVec], Prototile] = {}
+        for times in range(4):
+            rotated = self.rotated90(times)
+            seen.setdefault(rotated.cells, rotated)
+        return list(seen.values())
+
+    # ------------------------------------------------------------------
+    # Topology (used by the boundary-word machinery)
+    # ------------------------------------------------------------------
+    def is_connected(self) -> bool:
+        """Edge-connectivity of the cells (4-connectivity in 2-D).
+
+        Connected, hole-free 2-D prototiles are *polyominoes* in the
+        paper's sense (their Voronoi-square unions are topological disks).
+        """
+        cells = self._cells
+        start = next(iter(cells))
+        seen = {start}
+        frontier = [start]
+        neighbors = _axis_neighbors(self.dimension)
+        while frontier:
+            current = frontier.pop()
+            for offset in neighbors:
+                candidate = vadd(current, offset)
+                if candidate in cells and candidate not in seen:
+                    seen.add(candidate)
+                    frontier.append(candidate)
+        return len(seen) == len(cells)
+
+    def has_holes(self) -> bool:
+        """True when the complement has a bounded component (2-D).
+
+        Flood-fills the complement of the cells inside the bounding box
+        inflated by one; complement cells unreachable from the outside are
+        holes.
+        """
+        require(self.dimension == 2, "hole detection is implemented for 2-D")
+        lo, hi = bounding_box(self._cells)
+        lo = (lo[0] - 1, lo[1] - 1)
+        hi = (hi[0] + 1, hi[1] + 1)
+        outside_seen: set[IntVec] = set()
+        frontier = [lo]
+        outside_seen.add(lo)
+        neighbors = _axis_neighbors(2)
+        while frontier:
+            current = frontier.pop()
+            for offset in neighbors:
+                candidate = vadd(current, offset)
+                if (lo[0] <= candidate[0] <= hi[0]
+                        and lo[1] <= candidate[1] <= hi[1]
+                        and candidate not in self._cells
+                        and candidate not in outside_seen):
+                    outside_seen.add(candidate)
+                    frontier.append(candidate)
+        total_box = (hi[0] - lo[0] + 1) * (hi[1] - lo[1] + 1)
+        return len(outside_seen) + len(self._cells) != total_box
+
+    def is_polyomino(self) -> bool:
+        """Connected and hole-free — eligible for the boundary-word tests."""
+        return self.dimension == 2 and self.is_connected() and not self.has_holes()
+
+    # ------------------------------------------------------------------
+    def bounding_box(self) -> tuple[IntVec, IntVec]:
+        """Tight axis-aligned bounding box of the cells."""
+        return bounding_box(self._cells)
+
+    def diameter_bound(self) -> int:
+        """Chebyshev diameter bound: interactions vanish beyond this range."""
+        lo, hi = self.bounding_box()
+        return max(h - l for l, h in zip(lo, hi))
+
+
+def _axis_neighbors(dimension: int) -> list[IntVec]:
+    offsets = []
+    for axis in range(dimension):
+        for sign in (1, -1):
+            offsets.append(tuple(sign if i == axis else 0
+                                 for i in range(dimension)))
+    return offsets

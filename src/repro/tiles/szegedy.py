@@ -1,0 +1,66 @@
+"""Exactness for prototiles of prime cardinality or cardinality 4.
+
+The paper cites Szegedy [FOCS'98], who "derived an algorithm to decide
+whether a prototile N in a lattice L is exact assuming that the
+cardinality of N is a prime or is equal to 4".  Szegedy's structural
+result is that in these cases every tiling can be taken *quasi-periodic*,
+and tileability reduces to the existence of a lattice (sublattice)
+tiling — which our Hermite-normal-form enumeration decides exhaustively.
+
+This module packages that reduction with the cardinality guard, so callers
+get a decider whose completeness is backed by the cited theorem (instead
+of the best-effort fallback in :func:`repro.tiles.exactness.is_exact`).
+"""
+
+from __future__ import annotations
+
+from repro.lattice.sublattice import Sublattice
+from repro.tiles.exactness import find_sublattice_tiling
+from repro.tiles.prototile import Prototile
+
+__all__ = ["is_prime", "szegedy_applicable", "is_exact_szegedy",
+           "szegedy_witness"]
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic primality test by trial division (inputs are tiny)."""
+    if n < 2:
+        return False
+    if n < 4:
+        return True
+    if n % 2 == 0:
+        return False
+    divisor = 3
+    while divisor * divisor <= n:
+        if n % divisor == 0:
+            return False
+        divisor += 2
+    return True
+
+
+def szegedy_applicable(prototile: Prototile) -> bool:
+    """True when Szegedy's theorem covers the prototile's cardinality."""
+    return is_prime(prototile.size) or prototile.size == 4
+
+
+def is_exact_szegedy(prototile: Prototile) -> bool:
+    """Decide exactness for ``|N|`` prime or 4 (complete in those cases).
+
+    Raises:
+        ValueError: if the cardinality is neither prime nor 4, where the
+            reduction to lattice tilings is not known to be complete.
+    """
+    if not szegedy_applicable(prototile):
+        raise ValueError(
+            f"Szegedy's decider requires |N| prime or 4, got |N| = "
+            f"{prototile.size}")
+    return find_sublattice_tiling(prototile) is not None
+
+
+def szegedy_witness(prototile: Prototile) -> Sublattice | None:
+    """The witnessing sublattice tiling, if the prototile is exact."""
+    if not szegedy_applicable(prototile):
+        raise ValueError(
+            f"Szegedy's decider requires |N| prime or 4, got |N| = "
+            f"{prototile.size}")
+    return find_sublattice_tiling(prototile)

@@ -1,0 +1,42 @@
+"""Tilings of lattices: lattice, periodic, multi-prototile; search."""
+
+from repro.tiling.base import Tiling, verify_tiling_window
+from repro.tiling.construct import (
+    alternating_column_tiling,
+    brick_wall_tiling,
+    figure5_mixed_tiling,
+    figure5_symmetric_tiling,
+    find_tiling,
+    tiling_from_boundary_factorization,
+    tiling_from_sublattice,
+)
+from repro.tiling.lattice_tiling import LatticeTiling
+from repro.tiling.multi import MultiTiling
+from repro.tiling.periodic import PeriodicTiling
+from repro.tiling.search import (
+    find_multi_tiling,
+    find_rotation_tiling,
+    find_periodic_tiling,
+    search_tilings_over_periods,
+    torus_covers,
+)
+
+__all__ = [
+    "LatticeTiling",
+    "MultiTiling",
+    "PeriodicTiling",
+    "Tiling",
+    "alternating_column_tiling",
+    "brick_wall_tiling",
+    "figure5_mixed_tiling",
+    "figure5_symmetric_tiling",
+    "find_multi_tiling",
+    "find_periodic_tiling",
+    "find_rotation_tiling",
+    "find_tiling",
+    "search_tilings_over_periods",
+    "tiling_from_boundary_factorization",
+    "tiling_from_sublattice",
+    "torus_covers",
+    "verify_tiling_window",
+]

@@ -1,0 +1,87 @@
+"""The tiling interface: conditions T1/T2 as a decomposition contract.
+
+A tiling of the lattice ``L`` by a prototile ``N`` is a translate set
+``T`` with ``T + N = L`` (T1, coverage) and ``(s+N) cap (t+N) = empty``
+for distinct ``s, t`` in ``T`` (T2, disjointness).  T1 and T2 together say
+every lattice point ``x`` has a *unique* decomposition ``x = t + n`` with
+``t in T`` and ``n in N`` — which is the operation schedules need, so the
+abstract interface is exactly that decomposition.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Iterator, Sequence
+
+from repro.tiles.prototile import Prototile
+from repro.utils.vectors import IntVec, box_points, vsub
+
+__all__ = ["Tiling", "verify_tiling_window"]
+
+
+class Tiling(abc.ABC):
+    """Abstract tiling of ``Z^d`` with translates of a single prototile."""
+
+    @property
+    @abc.abstractmethod
+    def prototile(self) -> Prototile:
+        """The prototile ``N`` being translated."""
+
+    @property
+    def dimension(self) -> int:
+        """Ambient dimension of the tiling."""
+        return self.prototile.dimension
+
+    @abc.abstractmethod
+    def decompose(self, point: Sequence[int]) -> tuple[IntVec, IntVec]:
+        """Unique ``(t, n)`` with ``point = t + n``, ``t in T``, ``n in N``."""
+
+    @abc.abstractmethod
+    def contains_translation(self, vector: Sequence[int]) -> bool:
+        """Membership test for the translate set ``T``."""
+
+    # ------------------------------------------------------------------
+    # Derived operations
+    # ------------------------------------------------------------------
+    def translation_of(self, point: Sequence[int]) -> IntVec:
+        """The translate ``t`` whose tile ``t + N`` covers the point."""
+        return self.decompose(point)[0]
+
+    def cell_of(self, point: Sequence[int]) -> IntVec:
+        """The prototile cell ``n`` such that ``point = t + n``."""
+        return self.decompose(point)[1]
+
+    def translations_in_box(self, lo: Sequence[int],
+                            hi: Sequence[int]) -> Iterator[IntVec]:
+        """All translates ``t in T`` inside the closed box ``[lo, hi]``."""
+        for point in box_points(tuple(lo), tuple(hi)):
+            if self.contains_translation(point):
+                yield point
+
+    def tile_at(self, translation: Sequence[int]) -> frozenset[IntVec]:
+        """The tile ``t + N`` for a translate ``t`` (must lie in ``T``)."""
+        t = tuple(translation)
+        if not self.contains_translation(t):
+            raise ValueError(f"{t} is not a translate of this tiling")
+        return self.prototile.translate(t)
+
+
+def verify_tiling_window(tiling: Tiling, lo: Sequence[int],
+                         hi: Sequence[int]) -> bool:
+    """Independently re-check T1 and T2 on a finite window.
+
+    For every point ``x`` of the box, verify that exactly one pair
+    ``(t, n)`` with ``t = x - n`` and ``t in T`` exists, and that it agrees
+    with ``decompose``.  This does not rely on any internal invariant of
+    the tiling object, so it serves as an oracle in tests.
+    """
+    cells = tiling.prototile.sorted_cells()
+    for point in box_points(tuple(lo), tuple(hi)):
+        covers = [vsub(point, n) for n in cells
+                  if tiling.contains_translation(vsub(point, n))]
+        if len(covers) != 1:
+            return False
+        t, n = tiling.decompose(point)
+        if t != covers[0] or vsub(point, t) != n:
+            return False
+    return True

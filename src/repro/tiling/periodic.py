@@ -1,0 +1,108 @@
+"""Periodic tilings: translate sets of the form ``anchors + period``.
+
+Not every tiling is a lattice tiling — brick-wall layouts of rectangles,
+for instance, use several anchor classes per period.  A
+:class:`PeriodicTiling` represents ``T = {a + p : a in anchors, p in P}``
+for a period sublattice ``P``; validation reduces to an exact finite check
+on the fundamental domain ``Z^d / P``: every coset must be covered by
+exactly one (anchor, cell) pair.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.lattice.sublattice import Sublattice
+from repro.tiles.prototile import Prototile
+from repro.tiling.base import Tiling
+from repro.utils.vectors import IntVec, as_intvec, vadd, vsub
+from repro.utils.validation import require
+
+__all__ = ["PeriodicTiling"]
+
+
+class PeriodicTiling(Tiling):
+    """A tiling whose translate set is a finite union of period-cosets.
+
+    Args:
+        prototile: the neighborhood ``N``.
+        anchors: finitely many translates; the full translate set is
+            ``anchors + period``.  Anchors are stored by their canonical
+            period-coset representative.
+        period: sublattice of periods; its index must equal
+            ``len(anchors) * |N|``.
+
+    Raises:
+        ValueError: if the data does not define a tiling (coverage with
+            multiplicity one fails on the fundamental domain).
+    """
+
+    def __init__(self, prototile: Prototile,
+                 anchors: Iterable[Sequence[int]],
+                 period: Sublattice):
+        require(prototile.dimension == period.dimension,
+                "prototile and period dimensions differ")
+        anchor_reps = []
+        seen: set[IntVec] = set()
+        for anchor in anchors:
+            representative = period.canonical_representative(as_intvec(anchor))
+            if representative in seen:
+                raise ValueError(
+                    f"anchors {anchor} duplicates a period coset; the "
+                    f"translate set would double-cover")
+            seen.add(representative)
+            anchor_reps.append(representative)
+        require(len(anchor_reps) > 0, "a periodic tiling needs >= 1 anchor")
+        expected = len(anchor_reps) * prototile.size
+        if period.index != expected:
+            raise ValueError(
+                f"period index {period.index} != anchors x |N| = {expected}; "
+                f"coverage with multiplicity one is impossible")
+        # Exact validation: each coset of the period covered exactly once.
+        cover: dict[IntVec, tuple[IntVec, IntVec]] = {}
+        for anchor in anchor_reps:
+            for cell in prototile.sorted_cells():
+                covered = period.canonical_representative(vadd(anchor, cell))
+                if covered in cover:
+                    other_anchor, other_cell = cover[covered]
+                    raise ValueError(
+                        f"tiles at anchors {other_anchor} and {anchor} "
+                        f"overlap (cells {other_cell} / {cell}); T2 fails")
+                cover[covered] = (anchor, cell)
+        if len(cover) != period.index:
+            raise ValueError("tiles do not cover every coset; T1 fails")
+        self._prototile = prototile
+        self._period = period
+        self._anchor_set = frozenset(anchor_reps)
+        self._cover = cover
+
+    # ------------------------------------------------------------------
+    @property
+    def prototile(self) -> Prototile:
+        return self._prototile
+
+    @property
+    def period(self) -> Sublattice:
+        """The period sublattice ``P`` (``T`` is invariant under it)."""
+        return self._period
+
+    @property
+    def anchors(self) -> frozenset[IntVec]:
+        """Canonical anchor representatives (one per translate class)."""
+        return self._anchor_set
+
+    def decompose(self, point: Sequence[int]) -> tuple[IntVec, IntVec]:
+        point = as_intvec(point)
+        representative = self._period.canonical_representative(point)
+        anchor, cell = self._cover[representative]
+        return vsub(point, cell), cell
+
+    def contains_translation(self, vector: Sequence[int]) -> bool:
+        representative = self._period.canonical_representative(
+            as_intvec(vector))
+        return representative in self._anchor_set
+
+    def __repr__(self) -> str:
+        return (f"PeriodicTiling(prototile={self._prototile.name!r}, "
+                f"anchors={sorted(self._anchor_set)}, "
+                f"period_index={self._period.index})")

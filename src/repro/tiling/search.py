@@ -1,0 +1,200 @@
+"""Backtracking search for periodic tilings on a torus.
+
+A periodic tiling of ``Z^d`` with period sublattice ``P`` is the same
+thing as an exact cover of the finite torus ``Z^d / P`` by (wrapped)
+translates of the prototiles.  This module searches such covers by the
+classic exact-cover strategy: repeatedly take the smallest uncovered
+coset and branch on every placement that covers it.
+
+The search is complete for the given period: if no cover exists for any
+anchor combination, no tiling with that period exists.  It handles both
+single-prototile tilings (returning :class:`PeriodicTiling`) and
+multi-prototile tilings (returning :class:`MultiTiling`), and is how the
+library builds Figure 5's mixed S/Z tiling from scratch.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+from repro.lattice.sublattice import Sublattice, diagonal_sublattice
+from repro.tiles.prototile import Prototile
+from repro.tiling.multi import MultiTiling
+from repro.tiling.periodic import PeriodicTiling
+from repro.utils.vectors import IntVec, vadd, vsub
+from repro.utils.validation import require
+
+__all__ = [
+    "torus_covers",
+    "find_periodic_tiling",
+    "find_multi_tiling",
+    "search_tilings_over_periods",
+]
+
+Placement = tuple[int, IntVec]  # (prototile index, anchor representative)
+
+
+def torus_covers(prototiles: Sequence[Prototile],
+                 period: Sublattice,
+                 min_counts: Sequence[int] | None = None,
+                 ) -> Iterator[list[Placement]]:
+    """Enumerate exact covers of the torus ``Z^d / period``.
+
+    Args:
+        prototiles: available prototiles (translates only; add rotations
+            explicitly if desired).
+        period: period sublattice defining the torus.
+        min_counts: optional per-prototile minimum number of placements
+            (e.g. ``[1, 1]`` to force a genuinely mixed tiling).
+
+    Yields:
+        Lists of ``(prototile index, anchor)`` placements forming an exact
+        cover; anchors are canonical coset representatives.
+    """
+    require(len(prototiles) > 0, "need at least one prototile")
+    cosets = sorted(period.coset_representatives())
+    total = len(cosets)
+    order = {coset: i for i, coset in enumerate(cosets)}
+
+    # Precompute, for each prototile and each coset it could cover, the
+    # placements (anchor, covered-coset-set).  A placement is valid only if
+    # the wrapped tile does not self-overlap on the torus.
+    placements_covering: dict[IntVec, list[tuple[Placement, frozenset[IntVec]]]]
+    placements_covering = {coset: [] for coset in cosets}
+    for k, tile in enumerate(prototiles):
+        for anchor in cosets:
+            covered = frozenset(
+                period.canonical_representative(vadd(anchor, cell))
+                for cell in tile.cells)
+            if len(covered) != tile.size:
+                continue  # tile self-overlaps when wrapped; skip
+            placement = (k, anchor)
+            for coset in covered:
+                placements_covering[coset].append((placement, covered))
+
+    min_counts = list(min_counts) if min_counts is not None else \
+        [0] * len(prototiles)
+    require(len(min_counts) == len(prototiles),
+            "min_counts must have one entry per prototile")
+
+    covered_flags = [False] * total
+    chosen: list[tuple[Placement, frozenset[IntVec]]] = []
+
+    def remaining_needed() -> int:
+        counts = [0] * len(prototiles)
+        for (k, _), _ in chosen:
+            counts[k] += 1
+        return sum(max(0, need - have)
+                   for need, have in zip(min_counts, counts))
+
+    def backtrack(num_covered: int) -> Iterator[list[Placement]]:
+        if num_covered == total:
+            if remaining_needed() == 0:
+                yield [placement for placement, _ in chosen]
+            return
+        # Smallest uncovered coset must be covered by the next placement.
+        target = cosets[next(i for i in range(total) if not covered_flags[i])]
+        for placement, covered in placements_covering[target]:
+            if any(covered_flags[order[c]] for c in covered):
+                continue
+            for c in covered:
+                covered_flags[order[c]] = True
+            chosen.append((placement, covered))
+            yield from backtrack(num_covered + len(covered))
+            chosen.pop()
+            for c in covered:
+                covered_flags[order[c]] = False
+
+    yield from backtrack(0)
+
+
+def find_periodic_tiling(prototile: Prototile,
+                         period: Sublattice) -> PeriodicTiling | None:
+    """Find a single-prototile periodic tiling with the given period."""
+    if period.index % prototile.size != 0:
+        return None
+    for cover in torus_covers([prototile], period):
+        anchors = [anchor for _, anchor in cover]
+        return PeriodicTiling(prototile, anchors, period)
+    return None
+
+
+def find_multi_tiling(prototiles: Sequence[Prototile],
+                      period: Sublattice,
+                      min_counts: Sequence[int] | None = None,
+                      ) -> MultiTiling | None:
+    """Find a multi-prototile tiling with the given period.
+
+    With ``min_counts=[1] * n`` the result genuinely uses every prototile
+    — the setting of Figure 5's non-respectable example.
+    """
+    for cover in torus_covers(prototiles, period, min_counts=min_counts):
+        anchor_sets: list[list[IntVec]] = [[] for _ in prototiles]
+        for k, anchor in cover:
+            anchor_sets[k].append(anchor)
+        if any(len(anchors) == 0 for anchors in anchor_sets):
+            continue  # MultiTiling requires nonempty translate sets
+        return MultiTiling(prototiles, anchor_sets, period)
+    return None
+
+
+def find_rotation_tiling(prototile: Prototile,
+                         period: Sublattice,
+                         ) -> MultiTiling | None:
+    """Tile allowing all four rotations of a 2-D prototile.
+
+    Section 4's motivation: "we might want to allow different rotated
+    versions of the tile if the radiation pattern of the antenna used by
+    a sensor is asymmetrical."  Rotations fix the origin, so each rotated
+    copy is itself a prototile; the torus search treats them as a
+    multi-prototile family.  Prototiles that are *not* exact by
+    translations alone (the U-pentomino, for instance) often tile once
+    rotations are allowed, and Theorem 2's schedule still applies —
+    collision-free with ``|union of rotations|`` slots, though without
+    the respectability optimality guarantee.
+    """
+    rotations = prototile.all_rotations()
+    covers = torus_covers(rotations, period)
+    for cover in covers:
+        used = sorted({k for k, _ in cover})
+        anchor_sets: list[list[IntVec]] = [[] for _ in rotations]
+        for k, anchor in cover:
+            anchor_sets[k].append(anchor)
+        kept_tiles = [rotations[k] for k in used]
+        kept_anchors = [anchor_sets[k] for k in used]
+        return MultiTiling(kept_tiles, kept_anchors, period)
+    return None
+
+
+def search_tilings_over_periods(prototile: Prototile,
+                                max_side: int = 6,
+                                ) -> PeriodicTiling | None:
+    """Try axis-aligned periods up to ``max_side`` in each direction.
+
+    A convenience fallback for prototiles with no lattice tiling: searches
+    tori ``p_1 Z x ... x p_d Z`` whose index is a multiple of ``|N|``.
+    Completeness holds only up to the period bound (deciding exactness of
+    arbitrary disconnected prototiles is not known to be decidable).
+    """
+    import itertools
+    dimension = prototile.dimension
+    candidates = sorted(
+        itertools.product(range(1, max_side + 1), repeat=dimension),
+        key=lambda sides: (_product(sides), sides))
+    for sides in candidates:
+        if _product(sides) % prototile.size != 0:
+            continue
+        lo, hi = prototile.bounding_box()
+        if any(side < 1 for side in sides):
+            continue
+        tiling = find_periodic_tiling(prototile, diagonal_sublattice(sides))
+        if tiling is not None:
+            return tiling
+    return None
+
+
+def _product(values: Sequence[int]) -> int:
+    result = 1
+    for value in values:
+        result *= value
+    return result

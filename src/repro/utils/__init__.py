@@ -1,0 +1,25 @@
+"""Foundational utilities: exact vector/matrix algebra, validation, RNG."""
+
+from repro.utils.intlin import (
+    CosetSpace,
+    determinant,
+    enumerate_hnf_matrices,
+    hermite_normal_form,
+    smith_normal_form,
+)
+from repro.utils.rng import make_rng, spawn_rng
+from repro.utils.vectors import IntVec, as_intvec, difference_set, minkowski_sum
+
+__all__ = [
+    "CosetSpace",
+    "IntVec",
+    "as_intvec",
+    "determinant",
+    "difference_set",
+    "enumerate_hnf_matrices",
+    "hermite_normal_form",
+    "make_rng",
+    "minkowski_sum",
+    "smith_normal_form",
+    "spawn_rng",
+]

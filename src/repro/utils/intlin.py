@@ -1,0 +1,413 @@
+"""Exact integer linear algebra for lattice computations.
+
+Implements, from scratch and with arbitrary-precision Python integers:
+
+* Bareiss fraction-free determinants,
+* column-style Hermite normal form (HNF),
+* Smith normal form (SNF) with transform matrices,
+* canonical coset representatives modulo a sublattice (:class:`CosetSpace`),
+* enumeration of all sublattices of ``Z^d`` of a given index.
+
+These primitives power the tiling machinery: a sublattice tiling of ``Z^d``
+by a prototile ``N`` is exactly a sublattice of index ``|N|`` whose cosets
+are represented bijectively by the elements of ``N`` (see
+:mod:`repro.tiles.exactness`).
+
+Matrices are lists of row lists of ``int``; column ``j`` of ``M`` is
+``[M[i][j] for i in range(d)]``.  Columns are generator vectors.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Iterator, Sequence
+from fractions import Fraction
+
+from repro.utils.vectors import IntVec
+
+IntMatrix = list[list[int]]
+
+__all__ = [
+    "IntMatrix",
+    "identity_matrix",
+    "copy_matrix",
+    "matrix_from_columns",
+    "matrix_columns",
+    "mat_mul",
+    "mat_vec",
+    "transpose",
+    "determinant",
+    "is_unimodular",
+    "hermite_normal_form",
+    "smith_normal_form",
+    "solve_lower_triangular",
+    "CosetSpace",
+    "enumerate_hnf_matrices",
+    "divisor_tuples",
+]
+
+
+def identity_matrix(d: int) -> IntMatrix:
+    """The ``d x d`` identity matrix."""
+    return [[1 if i == j else 0 for j in range(d)] for i in range(d)]
+
+
+def copy_matrix(m: Sequence[Sequence[int]]) -> IntMatrix:
+    """Deep copy of an integer matrix into list-of-lists form."""
+    return [list(row) for row in m]
+
+
+def matrix_from_columns(columns: Sequence[IntVec]) -> IntMatrix:
+    """Build a matrix whose ``j``-th column is ``columns[j]``."""
+    if not columns:
+        raise ValueError("matrix_from_columns requires at least one column")
+    d = len(columns[0])
+    for col in columns:
+        if len(col) != d:
+            raise ValueError("columns have mismatched dimensions")
+    return [[columns[j][i] for j in range(len(columns))] for i in range(d)]
+
+
+def matrix_columns(m: Sequence[Sequence[int]]) -> list[IntVec]:
+    """Return the columns of ``m`` as integer tuples."""
+    rows = len(m)
+    cols = len(m[0]) if rows else 0
+    return [tuple(m[i][j] for i in range(rows)) for j in range(cols)]
+
+
+def mat_mul(a: Sequence[Sequence[int]], b: Sequence[Sequence[int]]) -> IntMatrix:
+    """Exact matrix product ``a @ b``."""
+    rows, inner, cols = len(a), len(b), len(b[0])
+    if any(len(row) != inner for row in a):
+        raise ValueError("matrix dimensions do not match for multiplication")
+    return [
+        [sum(a[i][k] * b[k][j] for k in range(inner)) for j in range(cols)]
+        for i in range(rows)
+    ]
+
+
+def mat_vec(a: Sequence[Sequence[int]], x: Sequence[int]) -> IntVec:
+    """Exact matrix-vector product ``a @ x`` as a tuple."""
+    if any(len(row) != len(x) for row in a):
+        raise ValueError("matrix/vector dimensions do not match")
+    return tuple(sum(row[k] * x[k] for k in range(len(x))) for row in a)
+
+
+def transpose(m: Sequence[Sequence[int]]) -> IntMatrix:
+    """Matrix transpose."""
+    return [list(col) for col in zip(*m)]
+
+
+def determinant(m: Sequence[Sequence[int]]) -> int:
+    """Exact determinant via the Bareiss fraction-free algorithm.
+
+    Runs in ``O(d^3)`` integer operations without introducing fractions,
+    so intermediate values stay integral and exact for any size of entry.
+    """
+    d = len(m)
+    if any(len(row) != d for row in m):
+        raise ValueError("determinant requires a square matrix")
+    a = copy_matrix(m)
+    sign = 1
+    prev_pivot = 1
+    for k in range(d - 1):
+        if a[k][k] == 0:
+            pivot_row = next((r for r in range(k + 1, d) if a[r][k] != 0), None)
+            if pivot_row is None:
+                return 0
+            a[k], a[pivot_row] = a[pivot_row], a[k]
+            sign = -sign
+        for i in range(k + 1, d):
+            for j in range(k + 1, d):
+                a[i][j] = (a[i][j] * a[k][k] - a[i][k] * a[k][j]) // prev_pivot
+            a[i][k] = 0
+        prev_pivot = a[k][k]
+    return sign * a[d - 1][d - 1]
+
+
+def is_unimodular(m: Sequence[Sequence[int]]) -> bool:
+    """True when ``m`` is square with determinant ``+-1``."""
+    return abs(determinant(m)) == 1
+
+
+def _swap_columns(m: IntMatrix, i: int, j: int) -> None:
+    for row in m:
+        row[i], row[j] = row[j], row[i]
+
+
+def _add_column_multiple(m: IntMatrix, target: int, source: int, factor: int) -> None:
+    """Column operation ``col[target] += factor * col[source]``."""
+    for row in m:
+        row[target] += factor * row[source]
+
+
+def _negate_column(m: IntMatrix, j: int) -> None:
+    for row in m:
+        row[j] = -row[j]
+
+
+def hermite_normal_form(
+    m: Sequence[Sequence[int]],
+) -> tuple[IntMatrix, IntMatrix]:
+    """Column-style Hermite normal form of a nonsingular square matrix.
+
+    Returns ``(H, U)`` with ``H = M @ U``, ``U`` unimodular, ``H`` lower
+    triangular with positive diagonal and ``0 <= H[i][j] < H[i][i]`` for
+    ``j < i``.  The columns of ``H`` generate the same lattice as the
+    columns of ``M``.
+
+    Raises:
+        ValueError: if ``m`` is singular (its columns do not generate a
+            full-rank lattice).
+    """
+    d = len(m)
+    if any(len(row) != d for row in m):
+        raise ValueError("hermite_normal_form requires a square matrix")
+    h = copy_matrix(m)
+    u = identity_matrix(d)
+    for i in range(d):
+        # Clear row i to the right of the diagonal by gcd column operations.
+        for j in range(i + 1, d):
+            while h[i][j] != 0:
+                if h[i][i] == 0:
+                    _swap_columns(h, i, j)
+                    _swap_columns(u, i, j)
+                    continue
+                q = h[i][j] // h[i][i]
+                _add_column_multiple(h, j, i, -q)
+                _add_column_multiple(u, j, i, -q)
+                if h[i][j] != 0:
+                    _swap_columns(h, i, j)
+                    _swap_columns(u, i, j)
+        if h[i][i] == 0:
+            raise ValueError("matrix is singular; columns do not span full rank")
+        if h[i][i] < 0:
+            _negate_column(h, i)
+            _negate_column(u, i)
+        # Reduce entries to the left of the diagonal into [0, H[i][i]).
+        for j in range(i):
+            q = h[i][j] // h[i][i]
+            if q:
+                _add_column_multiple(h, j, i, -q)
+                _add_column_multiple(u, j, i, -q)
+    return h, u
+
+
+def smith_normal_form(
+    m: Sequence[Sequence[int]],
+) -> tuple[IntMatrix, IntMatrix, IntMatrix]:
+    """Smith normal form ``S = U @ M @ V`` of a square integer matrix.
+
+    Returns ``(U, S, V)`` where ``U`` and ``V`` are unimodular and ``S`` is
+    diagonal with nonnegative entries satisfying ``S[i][i] | S[i+1][i+1]``.
+    The diagonal entries are the invariant factors of the abelian group
+    ``Z^d / M Z^d``; e.g. the translation group of a tiling of index 4 is
+    either ``Z_4`` or ``Z_2 x Z_2`` depending on the SNF.
+    """
+    d = len(m)
+    if any(len(row) != d for row in m):
+        raise ValueError("smith_normal_form requires a square matrix")
+    s = copy_matrix(m)
+    u = identity_matrix(d)
+    v = identity_matrix(d)
+
+    def swap_rows(i: int, j: int) -> None:
+        s[i], s[j] = s[j], s[i]
+        u[i], u[j] = u[j], u[i]
+
+    def add_row_multiple(target: int, source: int, factor: int) -> None:
+        for col in range(d):
+            s[target][col] += factor * s[source][col]
+            u[target][col] += factor * u[source][col]
+
+    def swap_cols(i: int, j: int) -> None:
+        _swap_columns(s, i, j)
+        _swap_columns(v, i, j)
+
+    def add_col_multiple(target: int, source: int, factor: int) -> None:
+        _add_column_multiple(s, target, source, factor)
+        _add_column_multiple(v, target, source, factor)
+
+    for t in range(d):
+        # Find the nonzero entry of smallest magnitude in the trailing block.
+        while True:
+            pivot = None
+            best = None
+            for i in range(t, d):
+                for j in range(t, d):
+                    value = abs(s[i][j])
+                    if value and (best is None or value < best):
+                        best = value
+                        pivot = (i, j)
+            if pivot is None:
+                break  # trailing block entirely zero
+            pi, pj = pivot
+            if pi != t:
+                swap_rows(t, pi)
+            if pj != t:
+                swap_cols(t, pj)
+            # Eliminate the pivot row and column.
+            dirty = False
+            for i in range(t + 1, d):
+                if s[i][t]:
+                    add_row_multiple(i, t, -(s[i][t] // s[t][t]))
+                    if s[i][t]:
+                        dirty = True
+            for j in range(t + 1, d):
+                if s[t][j]:
+                    add_col_multiple(j, t, -(s[t][j] // s[t][t]))
+                    if s[t][j]:
+                        dirty = True
+            if dirty:
+                continue
+            # Pivot must divide every entry of the trailing block.
+            offender = None
+            for i in range(t + 1, d):
+                for j in range(t + 1, d):
+                    if s[i][j] % s[t][t] != 0:
+                        offender = i
+                        break
+                if offender is not None:
+                    break
+            if offender is None:
+                break
+            add_row_multiple(t, offender, 1)
+    for t in range(d):
+        if s[t][t] < 0:
+            for col in range(d):
+                s[t][col] = -s[t][col]
+                u[t][col] = -u[t][col]
+    return u, s, v
+
+
+def solve_lower_triangular(h: Sequence[Sequence[int]], x: Sequence[int]) -> IntVec | None:
+    """Solve ``H c = x`` over the integers for lower-triangular ``H``.
+
+    Returns the integer coefficient vector ``c`` or ``None`` when no
+    integral solution exists (i.e. ``x`` is not in the column lattice).
+    """
+    d = len(h)
+    coefficients = [0] * d
+    residual = list(x)
+    for i in range(d):
+        if h[i][i] == 0:
+            raise ValueError("singular lower-triangular matrix")
+        if residual[i] % h[i][i] != 0:
+            return None
+        c = residual[i] // h[i][i]
+        coefficients[i] = c
+        if c:
+            for row in range(i, d):
+                residual[row] -= c * h[row][i]
+    return tuple(coefficients)
+
+
+class CosetSpace:
+    """The quotient ``Z^d / M Z^d`` with canonical representatives.
+
+    Built from any nonsingular integer generator matrix ``M`` (columns
+    generate the sublattice).  Internally stores the HNF ``H`` so that each
+    coset has the unique representative lying in the box
+    ``0 <= x[i] < H[i][i]``.
+
+    This is the workhorse of both tiling validation (a prototile tiles by a
+    sublattice iff its elements are pairwise non-congruent and
+    ``index == |N|``) and of O(1)-per-sensor slot lookup in schedules.
+    """
+
+    def __init__(self, generators: Sequence[Sequence[int]]):
+        self.dimension = len(generators)
+        self.hnf, self.unimodular = hermite_normal_form(generators)
+        self._diagonal = [self.hnf[i][i] for i in range(self.dimension)]
+        self._columns = matrix_columns(self.hnf)
+
+    @property
+    def index(self) -> int:
+        """Number of cosets, ``|Z^d / M Z^d| = |det M|``."""
+        result = 1
+        for entry in self._diagonal:
+            result *= entry
+        return result
+
+    def canonical(self, x: Sequence[int]) -> IntVec:
+        """Canonical representative of ``x``'s coset (box form)."""
+        if len(x) != self.dimension:
+            raise ValueError(
+                f"point dimension {len(x)} != lattice dimension {self.dimension}"
+            )
+        reduced = list(x)
+        for i in range(self.dimension):
+            q = reduced[i] // self._diagonal[i]
+            if q:
+                column = self._columns[i]
+                for row in range(i, self.dimension):
+                    reduced[row] -= q * column[row]
+        return tuple(reduced)
+
+    def contains(self, x: Sequence[int]) -> bool:
+        """True when ``x`` lies in the sublattice itself."""
+        return all(value == 0 for value in self.canonical(x))
+
+    def same_coset(self, a: Sequence[int], b: Sequence[int]) -> bool:
+        """True when ``a`` and ``b`` differ by a sublattice vector."""
+        return self.canonical(a) == self.canonical(b)
+
+    def representatives(self) -> Iterator[IntVec]:
+        """Iterate the canonical representative of every coset."""
+        yield from itertools.product(*(range(entry) for entry in self._diagonal))
+
+    def invariant_factors(self) -> list[int]:
+        """Invariant factors of the quotient group (from the SNF)."""
+        _, s, _ = smith_normal_form(self.hnf)
+        return [s[i][i] for i in range(self.dimension) if s[i][i] != 1]
+
+    def fractional_coordinates(self, x: Sequence[int]) -> tuple[Fraction, ...]:
+        """Coordinates of ``x`` in the sublattice basis, as exact fractions."""
+        # Forward substitution on the lower-triangular HNF with fractions.
+        coords: list[Fraction] = []
+        residual = [Fraction(value) for value in x]
+        for i in range(self.dimension):
+            c = residual[i] / self._diagonal[i]
+            coords.append(c)
+            for row in range(i, self.dimension):
+                residual[row] -= c * self._columns[i][row]
+        return tuple(coords)
+
+
+def divisor_tuples(n: int, length: int) -> Iterator[tuple[int, ...]]:
+    """All ordered tuples of ``length`` positive integers with product ``n``."""
+    if n < 1 or length < 1:
+        raise ValueError("divisor_tuples requires positive arguments")
+    if length == 1:
+        yield (n,)
+        return
+    for first in range(1, n + 1):
+        if n % first == 0:
+            for rest in divisor_tuples(n // first, length - 1):
+                yield (first, *rest)
+
+
+def enumerate_hnf_matrices(dimension: int, index: int) -> Iterator[IntMatrix]:
+    """Enumerate every sublattice of ``Z^dimension`` of the given index.
+
+    Sublattices are in bijection with lower-triangular column-HNF matrices
+    whose diagonal entries multiply to ``index`` and whose sub-diagonal
+    entries ``H[i][j]`` (``j < i``) range over ``[0, H[i][i])``.  For
+    ``dimension == 2`` the count is the divisor sum ``sigma(index)``.
+    """
+    if dimension < 1:
+        raise ValueError("dimension must be positive")
+    for diagonal in divisor_tuples(index, dimension):
+        below_ranges: list[Iterable[int]] = []
+        positions: list[tuple[int, int]] = []
+        for i in range(dimension):
+            for j in range(i):
+                positions.append((i, j))
+                below_ranges.append(range(diagonal[i]))
+        for below in itertools.product(*below_ranges):
+            h = [[0] * dimension for _ in range(dimension)]
+            for i in range(dimension):
+                h[i][i] = diagonal[i]
+            for (i, j), value in zip(positions, below):
+                h[i][j] = value
+            yield h

@@ -1,0 +1,60 @@
+"""Argument-validation helpers with consistent error messages.
+
+Small, explicit checks used across the public API so that misuse fails
+early with actionable messages instead of deep inside an algorithm.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sized
+
+__all__ = [
+    "require",
+    "require_positive",
+    "require_nonnegative",
+    "require_dimension",
+    "require_nonempty",
+    "require_probability",
+]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError`` with ``message`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def require_positive(value: int | float, name: str) -> None:
+    """Raise unless ``value > 0``."""
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def require_nonnegative(value: int | float, name: str) -> None:
+    """Raise unless ``value >= 0``."""
+    if value < 0:
+        raise ValueError(f"{name} must be nonnegative, got {value!r}")
+
+
+def require_dimension(point: Sized, dimension: int, name: str = "point") -> None:
+    """Raise unless ``len(point) == dimension``."""
+    if len(point) != dimension:
+        raise ValueError(
+            f"{name} has dimension {len(point)}, expected {dimension}"
+        )
+
+
+def require_nonempty(items: Iterable, name: str) -> None:
+    """Raise unless the iterable has at least one element.
+
+    Only call on re-iterable collections (the check consumes an iterator).
+    """
+    for _ in items:
+        return
+    raise ValueError(f"{name} must not be empty")
+
+
+def require_probability(value: float, name: str) -> None:
+    """Raise unless ``0 <= value <= 1``."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")

@@ -1,0 +1,33 @@
+"""Figure rendering: ASCII art and dependency-free SVG."""
+
+from repro.viz.ascii_art import (
+    render_multi_tiling,
+    render_prototile,
+    render_schedule,
+    render_tiling,
+)
+from repro.viz.figures import (
+    FigureArtifact,
+    all_figures,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+)
+from repro.viz.svg import SvgCanvas
+
+__all__ = [
+    "FigureArtifact",
+    "SvgCanvas",
+    "all_figures",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "render_multi_tiling",
+    "render_prototile",
+    "render_schedule",
+    "render_tiling",
+]

@@ -1,0 +1,112 @@
+"""ASCII rendering of prototiles, tilings and schedules.
+
+Recreates the look of the paper's figures in plain text: Figure 2's
+neighborhoods as cross-marked grids, Figure 3's slot-labeled tiling, and
+Figure 5's labeled tetromino columns.  The y-axis points up (row order is
+reversed when printing), matching the paper's drawings.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.schedule import Schedule
+from repro.tiles.prototile import Prototile
+from repro.tiling.base import Tiling
+from repro.tiling.multi import MultiTiling
+from repro.utils.validation import require
+
+__all__ = [
+    "render_prototile",
+    "render_schedule",
+    "render_tiling",
+    "render_multi_tiling",
+]
+
+_TILE_LETTERS = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def render_prototile(prototile: Prototile, mark: str = "x",
+                     origin_mark: str = "O") -> str:
+    """Draw a 2-D prototile as a grid of crosses (Figure 2 style).
+
+    The sensor's own position (the origin) is marked distinctly.
+    """
+    require(prototile.dimension == 2, "ASCII rendering is 2-D only")
+    lo, hi = prototile.bounding_box()
+    lines = []
+    for y in range(hi[1], lo[1] - 1, -1):
+        row = []
+        for x in range(lo[0], hi[0] + 1):
+            if (x, y) == (0, 0):
+                row.append(origin_mark)
+            elif (x, y) in prototile:
+                row.append(mark)
+            else:
+                row.append(".")
+        lines.append(" ".join(row))
+    return "\n".join(lines)
+
+
+def render_schedule(schedule: Schedule, lo: Sequence[int],
+                    hi: Sequence[int], one_based: bool = True) -> str:
+    """Draw slot numbers over a window (Figure 3 / Figure 5 style).
+
+    Slots print 1-based by default to match the paper's labels.
+    """
+    require(len(lo) == 2 and len(hi) == 2, "ASCII rendering is 2-D only")
+    width = len(str(schedule.num_slots if one_based
+                    else schedule.num_slots - 1))
+    lines = []
+    for y in range(hi[1], lo[1] - 1, -1):
+        row = []
+        for x in range(lo[0], hi[0] + 1):
+            slot = schedule.slot_of((x, y)) + (1 if one_based else 0)
+            row.append(str(slot).rjust(width))
+        lines.append(" ".join(row))
+    return "\n".join(lines)
+
+
+def render_tiling(tiling: Tiling, lo: Sequence[int],
+                  hi: Sequence[int]) -> str:
+    """Draw a tiling with one letter per tile instance.
+
+    Tile instances are lettered by the order their translates appear;
+    letters repeat cyclically on large windows.
+    """
+    require(len(lo) == 2 and len(hi) == 2, "ASCII rendering is 2-D only")
+    letter_of: dict = {}
+    lines = []
+    for y in range(hi[1], lo[1] - 1, -1):
+        row = []
+        for x in range(lo[0], hi[0] + 1):
+            translation, _ = tiling.decompose((x, y))
+            if translation not in letter_of:
+                letter_of[translation] = _TILE_LETTERS[
+                    len(letter_of) % len(_TILE_LETTERS)]
+            row.append(letter_of[translation])
+        lines.append(" ".join(row))
+    return "\n".join(lines)
+
+
+def render_multi_tiling(multi: MultiTiling, lo: Sequence[int],
+                        hi: Sequence[int]) -> str:
+    """Draw a multi-prototile tiling: digit = prototile, letter = instance.
+
+    Each cell shows the prototile index of its covering tile; distinct
+    instances alternate case to make tile boundaries readable.
+    """
+    require(len(lo) == 2 and len(hi) == 2, "ASCII rendering is 2-D only")
+    instance_parity: dict = {}
+    lines = []
+    for y in range(hi[1], lo[1] - 1, -1):
+        row = []
+        for x in range(lo[0], hi[0] + 1):
+            k, translation, _ = multi.decompose((x, y))
+            if translation not in instance_parity:
+                instance_parity[translation] = len(instance_parity) % 2
+            symbol = str(k) if instance_parity[translation] == 0 else \
+                chr(ord("A") + k)
+            row.append(symbol)
+        lines.append(" ".join(row))
+    return "\n".join(lines)

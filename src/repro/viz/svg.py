@@ -1,0 +1,102 @@
+"""Dependency-free SVG writer for the paper's figures.
+
+matplotlib is unavailable in the reproduction environment, so figures are
+emitted as standalone SVG documents built from rectangles, circles,
+polygons and text.  The canvas uses mathematical orientation (y up); the
+writer flips coordinates on output.
+"""
+
+from __future__ import annotations
+
+import html
+from collections.abc import Sequence
+
+__all__ = ["SvgCanvas"]
+
+
+class SvgCanvas:
+    """Accumulates SVG elements and serializes a complete document.
+
+    Args:
+        width, height: viewport size in user units.
+        scale: multiplier from model coordinates to user units.
+        origin: model coordinates mapped to the canvas center.
+    """
+
+    def __init__(self, width: float = 640, height: float = 640,
+                 scale: float = 40.0,
+                 origin: tuple[float, float] = (0.0, 0.0)):
+        self.width = width
+        self.height = height
+        self.scale = scale
+        self.origin = origin
+        self._elements: list[str] = []
+
+    # ------------------------------------------------------------------
+    def _map(self, x: float, y: float) -> tuple[float, float]:
+        cx, cy = self.origin
+        return (self.width / 2 + (x - cx) * self.scale,
+                self.height / 2 - (y - cy) * self.scale)
+
+    def circle(self, x: float, y: float, radius: float,
+               fill: str = "black", stroke: str = "none",
+               opacity: float = 1.0) -> None:
+        """A circle at model coordinates with radius in model units."""
+        px, py = self._map(x, y)
+        self._elements.append(
+            f'<circle cx="{px:.2f}" cy="{py:.2f}" '
+            f'r="{radius * self.scale:.2f}" fill="{fill}" '
+            f'stroke="{stroke}" opacity="{opacity:g}"/>')
+
+    def line(self, x1: float, y1: float, x2: float, y2: float,
+             stroke: str = "black", width: float = 1.0) -> None:
+        """A straight segment between model coordinates."""
+        p1 = self._map(x1, y1)
+        p2 = self._map(x2, y2)
+        self._elements.append(
+            f'<line x1="{p1[0]:.2f}" y1="{p1[1]:.2f}" x2="{p2[0]:.2f}" '
+            f'y2="{p2[1]:.2f}" stroke="{stroke}" stroke-width="{width:g}"/>')
+
+    def polygon(self, vertices: Sequence[tuple[float, float]],
+                fill: str = "none", stroke: str = "black",
+                width: float = 1.0, opacity: float = 1.0) -> None:
+        """A closed polygon through model-coordinate vertices."""
+        points = " ".join(
+            "{:.2f},{:.2f}".format(*self._map(x, y)) for x, y in vertices)
+        self._elements.append(
+            f'<polygon points="{points}" fill="{fill}" stroke="{stroke}" '
+            f'stroke-width="{width:g}" fill-opacity="{opacity:g}"/>')
+
+    def square_cell(self, x: int, y: int, fill: str,
+                    opacity: float = 1.0) -> None:
+        """Unit square centered on an integer lattice point."""
+        self.polygon([(x - 0.5, y - 0.5), (x + 0.5, y - 0.5),
+                      (x + 0.5, y + 0.5), (x - 0.5, y + 0.5)],
+                     fill=fill, stroke="gray", width=0.5, opacity=opacity)
+
+    def text(self, x: float, y: float, content: str,
+             size: float = 0.4, fill: str = "black") -> None:
+        """Centered text at model coordinates, size in model units."""
+        px, py = self._map(x, y)
+        self._elements.append(
+            f'<text x="{px:.2f}" y="{py:.2f}" text-anchor="middle" '
+            f'dominant-baseline="central" '
+            f'font-size="{size * self.scale:.1f}" fill="{fill}" '
+            f'font-family="sans-serif">{html.escape(content)}</text>')
+
+    # ------------------------------------------------------------------
+    def to_svg(self) -> str:
+        """The complete SVG document."""
+        body = "\n  ".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width:g}" height="{self.height:g}" '
+            f'viewBox="0 0 {self.width:g} {self.height:g}">\n'
+            f'  <rect width="100%" height="100%" fill="white"/>\n'
+            f'  {body}\n</svg>\n')
+
+    def save(self, path: str) -> str:
+        """Write the document to ``path`` and return the path."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_svg())
+        return path

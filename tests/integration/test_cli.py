@@ -1,0 +1,35 @@
+"""Integration tests for the experiments CLI."""
+
+import subprocess
+import sys
+
+
+def _run_cli(*args):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.experiments", *args],
+        capture_output=True, text=True, timeout=600)
+
+
+class TestCli:
+    def test_single_experiment(self):
+        result = _run_cli("fig1")
+        assert result.returncode == 0
+        assert "PASS" in result.stdout
+        assert "1 experiment(s) passed" in result.stdout
+
+    def test_multiple_experiments(self):
+        result = _run_cli("fig1", "fig4")
+        assert result.returncode == 0
+        assert result.stdout.count("PASS") == 2
+
+    def test_unknown_experiment_fails(self):
+        result = _run_cli("nope")
+        assert result.returncode != 0
+
+    def test_figures_output(self, tmp_path):
+        result = _run_cli("fig1", "--figures", str(tmp_path))
+        assert result.returncode == 0
+        svgs = list(tmp_path.glob("*.svg"))
+        assert len(svgs) >= 10  # five figures, multiple panels each
+        for svg in svgs:
+            assert svg.read_text().startswith("<svg")

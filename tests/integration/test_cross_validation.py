@@ -1,0 +1,130 @@
+"""Cross-validation: independent implementations must agree.
+
+* BN boundary criterion vs HNF sublattice search vs torus backtracking;
+* our exact chromatic number vs networkx's greedy bounds;
+* Theorem 2's schedule vs the exact conflict-graph optimum on
+  respectable tilings;
+* Szegedy decider vs the general path.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.core.optimality import minimum_slots
+from repro.core.theorem2 import (
+    respectable_optimal_slots,
+    schedule_from_multi_tiling,
+)
+from repro.graphs.coloring import exact_chromatic_number, greedy_clique
+from repro.graphs.interference import conflict_graph_homogeneous
+from repro.lattice.region import box_region
+from repro.lattice.sublattice import diagonal_sublattice
+from repro.tiles.bn import find_bn_factorization
+from repro.tiles.boundary import boundary_word
+from repro.tiles.exactness import find_sublattice_tiling
+from repro.tiles.shapes import (
+    GALLERY,
+    chebyshev_ball,
+    plus_pentomino,
+    s_tetromino,
+    u_pentomino,
+    z_tetromino,
+)
+from repro.tiles.szegedy import is_exact_szegedy, szegedy_applicable
+from repro.tiling.search import find_periodic_tiling
+
+
+class TestExactnessDecidersAgree:
+    @pytest.mark.parametrize("name,tile", sorted(GALLERY.items()))
+    def test_bn_vs_sublattice_on_gallery(self, name, tile):
+        if not tile.is_polyomino():
+            pytest.skip("boundary words need polyominoes")
+        bn = find_bn_factorization(boundary_word(tile)) is not None
+        lattice = find_sublattice_tiling(tile) is not None
+        assert bn == lattice
+
+    @pytest.mark.parametrize("name,tile", sorted(GALLERY.items()))
+    def test_torus_search_consistent(self, name, tile):
+        # If a lattice tiling exists, some small torus must also admit a
+        # cover (the lattice tiling itself induces one for a multiple
+        # period); conversely torus covers certify exactness.
+        lattice = find_sublattice_tiling(tile)
+        if lattice is None:
+            pytest.skip("no lattice tiling to cross-check")
+        # m * Z^2 is contained in every index-m sublattice (the quotient
+        # group has exponent dividing m), so the tiling is periodic with
+        # period diag(m, m) and the torus search must find a cover.
+        m = tile.size
+        period = diagonal_sublattice((m, m))
+        tiling = find_periodic_tiling(tile, period)
+        assert tiling is not None
+
+    @pytest.mark.parametrize("name,tile", sorted(GALLERY.items()))
+    def test_szegedy_agrees_where_applicable(self, name, tile):
+        if not szegedy_applicable(tile):
+            pytest.skip("cardinality not prime or 4")
+        assert is_exact_szegedy(tile) == \
+            (find_sublattice_tiling(tile) is not None)
+
+    def test_u_pentomino_rejected_by_all(self):
+        tile = u_pentomino()
+        assert find_bn_factorization(boundary_word(tile)) is None
+        assert find_sublattice_tiling(tile) is None
+        for sides in ((5, 2), (5, 4), (10, 2)):
+            assert find_periodic_tiling(
+                tile, diagonal_sublattice(sides)) is None
+
+
+class TestColoringCrossValidation:
+    @pytest.mark.parametrize("tile_factory,side", [
+        (chebyshev_ball, 5),
+        (lambda r=None: plus_pentomino(), 5),
+    ])
+    def test_chromatic_number_vs_networkx_bounds(self, tile_factory, side):
+        tile = tile_factory(1) if tile_factory is chebyshev_ball \
+            else tile_factory()
+        points = box_region((0, 0), (side, side)).points
+        graph = conflict_graph_homogeneous(points, tile)
+        chi, _ = exact_chromatic_number(graph)
+        nx_graph = nx.Graph()
+        nx_graph.add_nodes_from(graph)
+        for node, neighbors in graph.items():
+            nx_graph.add_edges_from((node, other) for other in neighbors)
+        # networkx greedy coloring upper-bounds chi; our clique lower-
+        # bounds it.
+        greedy = nx.coloring.greedy_color(nx_graph, strategy="DSATUR")
+        assert chi <= max(greedy.values()) + 1
+        clique = greedy_clique(graph)
+        assert chi >= len(clique)
+        # And networkx's max clique agrees with |N| on these instances.
+        clique_number = max(len(c) for c in nx.find_cliques(nx_graph))
+        assert clique_number == tile.size == chi
+
+
+class TestScheduleOptimalityCrossValidation:
+    def test_respectable_formula_matches_search(self):
+        from repro.experiments.theorem_experiments import (
+            respectable_pair_tiling,
+        )
+        multi = respectable_pair_tiling()
+        formula = respectable_optimal_slots(multi)
+        search, _ = minimum_slots(multi)
+        schedule = schedule_from_multi_tiling(multi)
+        assert formula == search == schedule.num_slots
+
+    def test_pure_s_and_z_columns_match_theorem1(self):
+        from repro.tiling.construct import alternating_column_tiling
+        for pattern in ("S", "Z"):
+            multi = alternating_column_tiling(pattern)
+            optimum, _ = minimum_slots(multi)
+            assert optimum == 4
+
+    def test_sz_union_bound(self):
+        # Theorem 2's schedule never uses fewer slots than the optimum,
+        # and at most |N_S u N_Z|.
+        from repro.tiling.construct import alternating_column_tiling
+        multi = alternating_column_tiling("SZZS")
+        optimum, _ = minimum_slots(multi)
+        schedule = schedule_from_multi_tiling(multi)
+        union_size = len(s_tetromino().cells | z_tetromino().cells)
+        assert optimum <= schedule.num_slots == union_size

@@ -1,0 +1,33 @@
+"""Integration tests: every registered experiment reproduces its claim."""
+
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS, run_all, run_experiment
+
+FAST = ["fig1", "fig2", "fig4", "finite", "exactness", "dimensions"]
+SLOW = ["fig3", "fig5", "thm1", "thm2", "collisions", "scaling", "mobile",
+        "heuristics"]
+
+
+@pytest.mark.parametrize("experiment_id", FAST)
+def test_fast_experiments_pass(experiment_id):
+    result = run_experiment(experiment_id)
+    assert result.passed, result.render()
+
+
+@pytest.mark.parametrize("experiment_id", SLOW)
+def test_slow_experiments_pass(experiment_id):
+    result = run_experiment(experiment_id)
+    assert result.passed, result.render()
+
+
+def test_registry_complete():
+    assert set(FAST) | set(SLOW) == set(EXPERIMENTS)
+
+
+def test_results_have_rows_and_render():
+    result = run_experiment("fig2")
+    assert result.rows
+    text = result.render()
+    assert "fig2" in text
+    assert "PASS" in text

@@ -1,0 +1,150 @@
+"""End-to-end integration tests: the paper's full pipelines.
+
+Each test exercises several packages together, the way a user of the
+library would: neighborhood -> exactness -> tiling -> schedule ->
+simulator, plus the heterogeneous (Theorem 2) and mobile (Section 5)
+variants.
+"""
+
+import pytest
+
+from repro.core.mobile import MobileScheduler
+from repro.core.optimality import minimum_slots, minimum_slots_region
+from repro.core.restriction import restrict_schedule
+from repro.core.schedule import verify_collision_free
+from repro.core.theorem1 import schedule_from_prototile
+from repro.core.theorem2 import schedule_from_multi_tiling
+from repro.graphs.coloring import exact_chromatic_number, is_proper_coloring
+from repro.graphs.interference import conflict_graph_homogeneous
+from repro.lattice.region import box_region
+from repro.lattice.standard import hexagonal_lattice, square_lattice
+from repro.net.mobility import (
+    MobileAlohaMAC,
+    MobileSimulator,
+    MobileTilingMAC,
+    RandomWaypoint,
+)
+from repro.net.model import Network
+from repro.net.protocols import GlobalTDMA, ScheduleMAC, SlottedAloha
+from repro.net.simulator import compare_protocols, simulate
+from repro.tiles.shapes import (
+    chebyshev_ball,
+    directional_antenna,
+    euclidean_ball,
+    plus_pentomino,
+)
+from repro.tiling.construct import figure5_mixed_tiling
+from repro.utils.vectors import box_points
+
+
+class TestStaticPipeline:
+    """Neighborhood to simulator, homogeneous deployment (Theorem 1)."""
+
+    @pytest.mark.parametrize("tile_factory", [
+        lambda: chebyshev_ball(1),
+        lambda: plus_pentomino(),
+        lambda: directional_antenna(),
+    ])
+    def test_full_pipeline_zero_collisions(self, tile_factory):
+        tile = tile_factory()
+        schedule = schedule_from_prototile(tile)
+        points = box_region((0, 0), (8, 8)).points
+        network = Network.homogeneous(points, tile)
+        metrics = simulate(network, ScheduleMAC(schedule),
+                           slots=3 * schedule.num_slots,
+                           packet_interval=schedule.num_slots, seed=0)
+        assert metrics.failed_receptions == 0
+        assert metrics.wasted_transmissions == 0
+
+    def test_schedule_beats_random_access(self):
+        tile = chebyshev_ball(1)
+        schedule = schedule_from_prototile(tile)
+        points = box_region((0, 0), (7, 7)).points
+        network = Network.homogeneous(points, tile)
+        results = compare_protocols(
+            network,
+            [ScheduleMAC(schedule), SlottedAloha(0.1),
+             GlobalTDMA(network.positions)],
+            slots=180, packet_interval=schedule.num_slots, seed=5)
+        tiling, aloha, tdma = results
+        assert tiling.delivery_ratio > aloha.delivery_ratio
+        assert tiling.energy_per_delivered < aloha.energy_per_delivered
+        assert tiling.mean_latency < tdma.mean_latency
+
+    def test_schedule_matches_exact_coloring(self):
+        # The tiling schedule restricted to a patch is an optimal
+        # coloring of the patch's conflict graph.
+        tile = plus_pentomino()
+        schedule = schedule_from_prototile(tile)
+        region = box_region((0, 0), (6, 6))
+        graph = conflict_graph_homogeneous(region.points, tile)
+        restricted = restrict_schedule(schedule, region)
+        coloring = {p: restricted.slot_of(p) for p in region}
+        assert is_proper_coloring(graph, coloring)
+        chi, _ = exact_chromatic_number(graph)
+        assert chi == tile.size == restricted.num_slots
+
+
+class TestHexagonalPipeline:
+    """The same machinery on the hexagonal lattice of Figure 1."""
+
+    def test_hexagonal_euclidean_ball_schedule(self):
+        lattice = hexagonal_lattice()
+        tile = euclidean_ball(lattice, 1.0)
+        assert tile.size == 7
+        schedule = schedule_from_prototile(tile)
+        assert schedule.num_slots == 7
+        points = list(box_points((-6, -6), (6, 6)))
+        assert verify_collision_free(schedule, points,
+                                     schedule.neighborhood_of)
+
+    def test_hexagonal_patch_optimality(self):
+        lattice = hexagonal_lattice()
+        tile = euclidean_ball(lattice, 1.0)
+        optimum, _ = minimum_slots_region(tile, box_region((-3, -3), (3, 3)))
+        assert optimum == 7
+
+
+class TestHeterogeneousPipeline:
+    """Theorem 2 deployment driven end to end through the simulator."""
+
+    def test_mixed_tiling_simulation(self):
+        multi = figure5_mixed_tiling()
+        schedule = schedule_from_multi_tiling(multi)
+        points = box_region((-4, -4), (4, 4)).points
+        network = Network.from_multi_tiling(points, multi)
+        metrics = simulate(network, ScheduleMAC(schedule),
+                           slots=4 * schedule.num_slots,
+                           packet_interval=schedule.num_slots, seed=1)
+        assert metrics.failed_receptions == 0
+
+    def test_theorem2_schedule_is_optimal_for_tiling(self):
+        multi = figure5_mixed_tiling()
+        schedule = schedule_from_multi_tiling(multi)
+        optimum, _ = minimum_slots(multi)
+        assert schedule.num_slots == optimum == 6
+
+
+class TestMobilePipeline:
+    """Section 5's mobile construction against the ALOHA strawman."""
+
+    def test_mobile_rule_zero_collisions_aloha_collides(self):
+        lattice = square_lattice()
+        schedule = schedule_from_prototile(chebyshev_ball(1))
+        scheduler = MobileScheduler(lattice, schedule)
+        tiling_fleet = RandomWaypoint((-6.0, -6.0, 6.0, 6.0), 0.3, 25,
+                                      seed=2)
+        tiling_sim = MobileSimulator(tiling_fleet,
+                                     MobileTilingMAC(scheduler),
+                                     radius=0.45, packet_interval=9, seed=3)
+        tiling_metrics = tiling_sim.run(180)
+
+        aloha_fleet = RandomWaypoint((-6.0, -6.0, 6.0, 6.0), 0.3, 25,
+                                     seed=2)
+        aloha_sim = MobileSimulator(aloha_fleet, MobileAlohaMAC(0.2),
+                                    radius=1.2, packet_interval=9, seed=3)
+        aloha_metrics = aloha_sim.run(180)
+
+        assert tiling_metrics.failed_receptions == 0
+        assert tiling_metrics.transmissions > 0
+        assert aloha_metrics.failed_receptions > 0

@@ -1,0 +1,85 @@
+"""Shared hypothesis strategies for the property-based suites."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.lattice.sublattice import Sublattice
+from repro.tiles.prototile import Prototile
+from repro.utils.vectors import vadd
+
+
+@st.composite
+def nonsingular_matrices(draw, dimension=2, magnitude=6):
+    """Random nonsingular integer matrices (rows).
+
+    Built as L @ P + strictly-upper noise, where L is lower triangular
+    with nonzero diagonal — guaranteed nonsingular would be false with
+    noise, so we draw once and `assume` nonsingularity (true for almost
+    all draws, which keeps hypothesis's rejection rate low).
+    """
+    from hypothesis import assume
+
+    from repro.utils.intlin import determinant
+    matrix = [
+        [draw(st.integers(-magnitude, magnitude)) for _ in range(dimension)]
+        for _ in range(dimension)
+    ]
+    assume(determinant(matrix) != 0)
+    return matrix
+
+
+@st.composite
+def sublattices(draw, max_index=12):
+    """Random 2-D sublattices in HNF form with index in [1, max_index]."""
+    a = draw(st.integers(1, 4))
+    b = draw(st.integers(1, max(1, max_index // a)))
+    c = draw(st.integers(0, b - 1))
+    return Sublattice([(a, c), (0, b)])
+
+
+@st.composite
+def transversal_prototiles(draw, max_index=10, scatter=2):
+    """A random exact prototile: a transversal of a random sublattice.
+
+    Takes the canonical coset representatives of a random sublattice and
+    shifts each non-zero representative by a random sublattice vector, so
+    the result is still a transversal (hence tiles by construction) but
+    has an irregular, often disconnected shape.  Returns the pair
+    ``(prototile, sublattice)``.
+    """
+    sublattice = draw(sublattices(max_index=max_index))
+    basis = sublattice.basis
+    cells = []
+    for representative in sublattice.coset_representatives():
+        if all(x == 0 for x in representative):
+            cells.append(representative)
+            continue
+        shift = (draw(st.integers(-scatter, scatter)),
+                 draw(st.integers(-scatter, scatter)))
+        offset = vadd(
+            tuple(shift[0] * b for b in basis[0]),
+            tuple(shift[1] * b for b in basis[1]))
+        cells.append(vadd(representative, offset))
+    return Prototile(cells, name="transversal"), sublattice
+
+
+@st.composite
+def random_polyominoes(draw, max_cells=8):
+    """Random edge-connected polyominoes grown from the origin.
+
+    Growth by repeatedly attaching a random boundary neighbor keeps the
+    result connected; hole-freeness is checked by the caller (growth can
+    close a ring at 8+ cells, which callers filter).
+    """
+    size = draw(st.integers(1, max_cells))
+    cells = {(0, 0)}
+    while len(cells) < size:
+        frontier = sorted({
+            (x + dx, y + dy)
+            for x, y in cells
+            for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1))
+        } - cells)
+        choice = draw(st.integers(0, len(frontier) - 1))
+        cells.add(frontier[choice])
+    return Prototile(cells, name="random-polyomino")

@@ -1,0 +1,105 @@
+"""Property-based tests for boundary words and the BN deciders."""
+
+from hypothesis import assume, given, settings
+
+from repro.tiles.bn import (
+    find_bn_factorization,
+    find_bn_factorization_naive,
+)
+from repro.tiles.boundary import (
+    boundary_word,
+    hat,
+    polyomino_from_boundary,
+    word_is_closed,
+    word_vector,
+)
+from repro.tiles.exactness import find_sublattice_tiling, tiles_by_sublattice
+from repro.lattice.sublattice import Sublattice
+from tests.properties.strategies import random_polyominoes
+
+SETTINGS = dict(max_examples=50, deadline=None)
+
+
+def _is_disk(prototile):
+    """Connected and hole-free, and the boundary trace succeeds."""
+    if prototile.has_holes():
+        return False
+    try:
+        boundary_word(prototile)
+    except ValueError:
+        return False
+    return True
+
+
+class TestBoundaryWordProps:
+    @given(random_polyominoes())
+    @settings(**SETTINGS)
+    def test_word_closes_and_balances(self, prototile):
+        assume(_is_disk(prototile))
+        word = boundary_word(prototile)
+        assert word_is_closed(word)
+        assert word.count("u") == word.count("d")
+        assert word.count("l") == word.count("r")
+        assert len(word) % 2 == 0
+
+    @given(random_polyominoes())
+    @settings(**SETTINGS)
+    def test_perimeter_bound(self, prototile):
+        assume(_is_disk(prototile))
+        word = boundary_word(prototile)
+        # Perimeter of an n-cell polyomino is between the square-ish
+        # minimum and the linear maximum 2n + 2.
+        assert 4 <= len(word) <= 2 * prototile.size + 2
+
+    @given(random_polyominoes())
+    @settings(**SETTINGS)
+    def test_reconstruction_roundtrip(self, prototile):
+        assume(_is_disk(prototile))
+        word = boundary_word(prototile)
+        rebuilt = polyomino_from_boundary(word)
+        def normal(p):
+            cells = sorted(p.cells)
+            ax, ay = cells[0]
+            return {(x - ax, y - ay) for x, y in cells}
+        assert normal(rebuilt) == normal(prototile)
+
+    @given(random_polyominoes())
+    @settings(**SETTINGS)
+    def test_hat_reverses_displacement(self, prototile):
+        assume(_is_disk(prototile))
+        word = boundary_word(prototile)
+        vx, vy = word_vector(word[:len(word) // 2])
+        hx, hy = word_vector(hat(word[:len(word) // 2]))
+        assert (hx, hy) == (-vx, -vy)
+
+
+class TestBnAgreementProps:
+    @given(random_polyominoes())
+    @settings(**SETTINGS)
+    def test_fast_equals_naive(self, prototile):
+        assume(_is_disk(prototile))
+        word = boundary_word(prototile)
+        naive = find_bn_factorization_naive(word)
+        fast = find_bn_factorization(word)
+        assert (naive is None) == (fast is None)
+
+    @given(random_polyominoes())
+    @settings(**SETTINGS)
+    def test_bn_equals_sublattice_search(self, prototile):
+        # Beauquier-Nivat: a polyomino is exact iff it admits a lattice
+        # tiling; the boundary test and the HNF search must agree.
+        assume(_is_disk(prototile))
+        word = boundary_word(prototile)
+        bn_exact = find_bn_factorization(word) is not None
+        lattice_exact = find_sublattice_tiling(prototile) is not None
+        assert bn_exact == lattice_exact
+
+    @given(random_polyominoes())
+    @settings(max_examples=30, deadline=None)
+    def test_witness_vectors_tile(self, prototile):
+        assume(_is_disk(prototile))
+        word = boundary_word(prototile)
+        factorization = find_bn_factorization(word)
+        assume(factorization is not None)
+        sublattice = Sublattice(list(factorization.translation_vectors()))
+        assert tiles_by_sublattice(prototile, sublattice)

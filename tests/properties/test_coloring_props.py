@@ -1,0 +1,67 @@
+"""Property-based tests for the coloring algorithms."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.coloring import (
+    dsatur_coloring,
+    exact_chromatic_number,
+    greedy_clique,
+    greedy_coloring,
+    is_proper_coloring,
+)
+
+SETTINGS = dict(max_examples=40, deadline=None)
+
+
+@st.composite
+def random_graphs(draw, max_nodes=10):
+    """Random undirected graphs in adjacency-set form."""
+    n = draw(st.integers(1, max_nodes))
+    graph = {i: set() for i in range(n)}
+    for i in range(n):
+        for j in range(i + 1, n):
+            if draw(st.booleans()):
+                graph[i].add(j)
+                graph[j].add(i)
+    return graph
+
+
+class TestColoringProps:
+    @given(random_graphs())
+    @settings(**SETTINGS)
+    def test_greedy_always_proper(self, graph):
+        assert is_proper_coloring(graph, greedy_coloring(graph))
+
+    @given(random_graphs())
+    @settings(**SETTINGS)
+    def test_dsatur_always_proper(self, graph):
+        assert is_proper_coloring(graph, dsatur_coloring(graph))
+
+    @given(random_graphs())
+    @settings(**SETTINGS)
+    def test_exact_bounds(self, graph):
+        chi, coloring = exact_chromatic_number(graph)
+        assert is_proper_coloring(graph, coloring)
+        assert max(coloring.values()) + 1 == chi
+        # Sandwiched between clique number and DSATUR.
+        assert len(greedy_clique(graph)) <= chi
+        dsatur = dsatur_coloring(graph)
+        assert chi <= max(dsatur.values()) + 1
+
+    @given(random_graphs())
+    @settings(**SETTINGS)
+    def test_clique_is_really_a_clique(self, graph):
+        clique = greedy_clique(graph)
+        for a in clique:
+            for b in clique:
+                if a != b:
+                    assert b in graph[a]
+
+    @given(random_graphs(max_nodes=8))
+    @settings(**SETTINGS)
+    def test_exact_is_minimal(self, graph):
+        from repro.graphs.coloring import k_coloring
+        chi, _ = exact_chromatic_number(graph)
+        if chi > 1:
+            assert k_coloring(graph, chi - 1) is None

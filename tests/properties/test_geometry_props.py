@@ -1,0 +1,82 @@
+"""Property-based tests for Voronoi geometry and lattice embeddings."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.lattice.lattice import Lattice
+from repro.lattice.voronoi import voronoi_cell_2d
+
+SETTINGS = dict(max_examples=40, deadline=None)
+
+
+@st.composite
+def well_conditioned_bases(draw):
+    """Random 2-D bases with bounded skew (so geometry stays robust)."""
+    angle = draw(st.floats(0.5, math.pi - 0.5))
+    length1 = draw(st.floats(0.5, 2.0))
+    length2 = draw(st.floats(0.5, 2.0))
+    rotation = draw(st.floats(0.0, 2 * math.pi))
+    v1 = (length1 * math.cos(rotation), length1 * math.sin(rotation))
+    v2 = (length2 * math.cos(rotation + angle),
+          length2 * math.sin(rotation + angle))
+    return [v1, v2]
+
+
+class TestVoronoiProps:
+    @given(well_conditioned_bases())
+    @settings(**SETTINGS)
+    def test_cell_area_equals_covolume(self, basis):
+        lattice = Lattice(basis)
+        cell = voronoi_cell_2d(lattice)
+        assert math.isclose(cell.area, lattice.covolume, rel_tol=1e-6)
+
+    @given(well_conditioned_bases())
+    @settings(**SETTINGS)
+    def test_cell_is_centrally_symmetric(self, basis):
+        lattice = Lattice(basis)
+        cell = voronoi_cell_2d(lattice)
+        for vx, vy in cell.vertices:
+            assert cell.contains_point((-vx, -vy))
+
+    @given(well_conditioned_bases())
+    @settings(**SETTINGS)
+    def test_cell_edge_count(self, basis):
+        lattice = Lattice(basis)
+        cell = voronoi_cell_2d(lattice)
+        assert cell.num_edges in (4, 6)  # 2-D lattice Voronoi cells
+
+    @given(well_conditioned_bases())
+    @settings(**SETTINGS)
+    def test_origin_strictly_inside(self, basis):
+        lattice = Lattice(basis)
+        cell = voronoi_cell_2d(lattice)
+        assert cell.contains_point((0.0, 0.0))
+        assert cell.contains_disk((0.0, 0.0),
+                                  0.05 * lattice.minimal_distance())
+
+
+class TestLatticeEmbeddingProps:
+    @given(well_conditioned_bases(),
+           st.tuples(st.integers(-20, 20), st.integers(-20, 20)))
+    @settings(**SETTINGS)
+    def test_coordinates_roundtrip(self, basis, coords):
+        lattice = Lattice(basis)
+        assert lattice.coordinates_of(lattice.to_real(coords)) == coords
+
+    @given(well_conditioned_bases(),
+           st.tuples(st.floats(-5, 5), st.floats(-5, 5)))
+    @settings(**SETTINGS)
+    def test_nearest_point_is_nearest(self, basis, position):
+        lattice = Lattice(basis)
+        nearest = lattice.nearest_point(position)
+        px, py = lattice.to_real(nearest)
+        best = math.hypot(px - position[0], py - position[1])
+        # No lattice point in a local box is closer.
+        for dx in range(-2, 3):
+            for dy in range(-2, 3):
+                candidate = (nearest[0] + dx, nearest[1] + dy)
+                cx, cy = lattice.to_real(candidate)
+                distance = math.hypot(cx - position[0], cy - position[1])
+                assert distance >= best - 1e-7

@@ -1,0 +1,126 @@
+"""Property-based tests for the exact integer linear algebra."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.intlin import (
+    CosetSpace,
+    determinant,
+    hermite_normal_form,
+    mat_mul,
+    mat_vec,
+    smith_normal_form,
+)
+from tests.properties.strategies import nonsingular_matrices
+
+SETTINGS = dict(max_examples=40, deadline=None)
+
+
+class TestDeterminantProps:
+    @given(nonsingular_matrices(), nonsingular_matrices())
+    @settings(**SETTINGS)
+    def test_multiplicative(self, a, b):
+        assert determinant(mat_mul(a, b)) == determinant(a) * determinant(b)
+
+    @given(nonsingular_matrices(dimension=3, magnitude=4))
+    @settings(**SETTINGS)
+    def test_transpose_invariant(self, m):
+        from repro.utils.intlin import transpose
+        assert determinant(m) == determinant(transpose(m))
+
+
+class TestHnfProps:
+    @given(nonsingular_matrices())
+    @settings(**SETTINGS)
+    def test_hnf_shape_and_transform(self, m):
+        h, u = hermite_normal_form(m)
+        assert abs(determinant(u)) == 1
+        assert mat_mul(m, u) == h
+        d = len(m)
+        for i in range(d):
+            assert h[i][i] > 0
+            for j in range(i + 1, d):
+                assert h[i][j] == 0
+            for j in range(i):
+                assert 0 <= h[i][j] < h[i][i]
+
+    @given(nonsingular_matrices())
+    @settings(**SETTINGS)
+    def test_hnf_determinant(self, m):
+        h, _ = hermite_normal_form(m)
+        product = 1
+        for i in range(len(m)):
+            product *= h[i][i]
+        assert product == abs(determinant(m))
+
+    @given(nonsingular_matrices(), nonsingular_matrices(magnitude=2))
+    @settings(**SETTINGS)
+    def test_hnf_is_lattice_invariant(self, m, u_raw):
+        # Multiplying by a unimodular matrix preserves the column lattice,
+        # hence the HNF.  Build a unimodular matrix from the raw one via
+        # its own HNF transform.
+        _, u = hermite_normal_form(u_raw)
+        h1, _ = hermite_normal_form(m)
+        h2, _ = hermite_normal_form(mat_mul(m, u))
+        assert h1 == h2
+
+
+class TestSnfProps:
+    @given(nonsingular_matrices(magnitude=5))
+    @settings(**SETTINGS)
+    def test_snf_diagonal_divisibility(self, m):
+        u, s, v = smith_normal_form(m)
+        d = len(m)
+        assert abs(determinant(u)) == 1
+        assert abs(determinant(v)) == 1
+        assert mat_mul(mat_mul(u, m), v) == s
+        for i in range(d):
+            for j in range(d):
+                if i != j:
+                    assert s[i][j] == 0
+        for i in range(d - 1):
+            assert s[i + 1][i + 1] % s[i][i] == 0
+
+    @given(nonsingular_matrices(magnitude=5))
+    @settings(**SETTINGS)
+    def test_snf_preserves_determinant_magnitude(self, m):
+        _, s, _ = smith_normal_form(m)
+        product = 1
+        for i in range(len(m)):
+            product *= s[i][i]
+        assert product == abs(determinant(m))
+
+
+class TestCosetProps:
+    @given(nonsingular_matrices(),
+           st.tuples(st.integers(-30, 30), st.integers(-30, 30)))
+    @settings(**SETTINGS)
+    def test_canonical_idempotent_and_invariant(self, m, x):
+        space = CosetSpace(m)
+        canonical = space.canonical(x)
+        assert space.canonical(canonical) == canonical
+        # Shifting by any column of m stays in the same coset.
+        for j in range(len(m)):
+            column = tuple(m[i][j] for i in range(len(m)))
+            shifted = tuple(a + b for a, b in zip(x, column))
+            assert space.canonical(shifted) == canonical
+
+    @given(nonsingular_matrices())
+    @settings(**SETTINGS)
+    def test_representative_bijection(self, m):
+        space = CosetSpace(m)
+        reps = list(space.representatives())
+        assert len(reps) == space.index
+        assert len({space.canonical(r) for r in reps}) == space.index
+
+    @given(nonsingular_matrices(),
+           st.tuples(st.integers(-10, 10), st.integers(-10, 10)))
+    @settings(**SETTINGS)
+    def test_membership_consistency(self, m, x):
+        space = CosetSpace(m)
+        # x is in the lattice iff its canonical form is the origin; and
+        # M @ c is always in the lattice.
+        member = space.contains(x)
+        assert member == (space.canonical(x) == (0,) * len(x))
+        image = mat_vec(m, x)
+        assert space.contains(image)

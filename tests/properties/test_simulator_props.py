@@ -1,0 +1,70 @@
+"""Property-based tests for the network simulator's invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.theorem1 import schedule_from_tiling
+from repro.lattice.region import box_region
+from repro.net.model import Network
+from repro.net.protocols import ScheduleMAC, SlottedAloha
+from repro.net.simulator import BroadcastSimulator
+from repro.tiling.lattice_tiling import LatticeTiling
+from tests.properties.strategies import transversal_prototiles
+
+SETTINGS = dict(max_examples=20, deadline=None)
+
+
+class TestSimulatorConservation:
+    @given(st.integers(0, 10_000), st.floats(0.05, 0.9),
+           st.integers(1, 12), st.integers(10, 80))
+    @settings(**SETTINGS)
+    def test_aloha_conservation_laws(self, seed, p, interval, slots):
+        from repro.tiles.shapes import chebyshev_ball
+        network = Network.homogeneous(
+            box_region((0, 0), (3, 3)).points, chebyshev_ball(1))
+        simulator = BroadcastSimulator(network, SlottedAloha(p),
+                                       packet_interval=interval, seed=seed)
+        metrics = simulator.run(slots)
+        assert metrics.packets_delivered + simulator.pending_packets() == \
+            metrics.packets_created
+        assert metrics.successful_broadcasts == metrics.packets_delivered
+        assert metrics.transmissions >= metrics.successful_broadcasts
+        assert metrics.energy_transmit == float(metrics.transmissions)
+        assert metrics.slots == slots
+
+    @given(st.integers(0, 10_000))
+    @settings(**SETTINGS)
+    def test_deterministic_given_seed(self, seed):
+        from repro.tiles.shapes import plus_pentomino
+        network = Network.homogeneous(
+            box_region((0, 0), (3, 3)).points, plus_pentomino())
+
+        def run():
+            simulator = BroadcastSimulator(network, SlottedAloha(0.3),
+                                           packet_interval=3, seed=seed)
+            return simulator.run(40)
+
+        a, b = run(), run()
+        assert a.transmissions == b.transmissions
+        assert a.failed_receptions == b.failed_receptions
+        assert a.packets_delivered == b.packets_delivered
+
+
+class TestScheduleDrivenInvariants:
+    @given(transversal_prototiles(max_index=8), st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_tiling_schedule_never_collides(self, pair, seed):
+        # The headline guarantee, stressed over random exact prototiles:
+        # a Theorem 1 schedule produces zero failed receptions on any
+        # homogeneous network, and every transmission completes.
+        prototile, sublattice = pair
+        tiling = LatticeTiling(prototile, sublattice)
+        schedule = schedule_from_tiling(tiling)
+        network = Network.homogeneous(
+            box_region((-3, -3), (3, 3)).points, prototile)
+        simulator = BroadcastSimulator(network, ScheduleMAC(schedule),
+                                       packet_interval=schedule.num_slots,
+                                       seed=seed)
+        metrics = simulator.run(4 * schedule.num_slots)
+        assert metrics.failed_receptions == 0
+        assert metrics.wasted_transmissions == 0

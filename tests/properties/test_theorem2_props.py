@@ -1,0 +1,62 @@
+"""Property-based tests for Theorem 2 over random mixed tilings.
+
+Random S/Z column patterns give an infinite family of (mostly
+non-respectable) multi-prototile tilings; the Theorem 2 schedule must be
+collision-free on every one, with slot count ``|N_S u N_Z|`` for genuine
+mixtures, and the exact optimum must sit between the largest prototile
+and the union.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.optimality import minimum_slots, optimal_schedule
+from repro.core.schedule import verify_collision_free
+from repro.core.theorem2 import schedule_from_multi_tiling
+from repro.tiling.construct import alternating_column_tiling
+
+SETTINGS = dict(max_examples=15, deadline=None)
+
+patterns = st.text(alphabet="SZ", min_size=1, max_size=4)
+
+
+class TestTheorem2Properties:
+    @given(patterns)
+    @settings(**SETTINGS)
+    def test_schedule_collision_free(self, pattern):
+        multi = alternating_column_tiling(pattern)
+        schedule = schedule_from_multi_tiling(multi)
+        from repro.utils.vectors import box_points
+        points = list(box_points((-5, -5), (5, 5)))
+        assert verify_collision_free(schedule, points,
+                                     schedule.neighborhood_of)
+
+    @given(patterns)
+    @settings(**SETTINGS)
+    def test_slot_count_matches_union(self, pattern):
+        multi = alternating_column_tiling(pattern)
+        schedule = schedule_from_multi_tiling(multi)
+        expected = 4 if len(set(pattern)) == 1 else 6
+        assert schedule.num_slots == expected
+
+    @given(patterns)
+    @settings(max_examples=8, deadline=None)
+    def test_optimum_bounds(self, pattern):
+        multi = alternating_column_tiling(pattern)
+        optimum, _ = minimum_slots(multi)
+        union_size = multi.union_prototile().size
+        largest = max(tile.size for tile in multi.prototiles)
+        assert largest <= optimum <= union_size
+        # Pure patterns are Theorem 1 instances: optimum exactly 4.
+        if len(set(pattern)) == 1:
+            assert optimum == 4
+
+    @given(patterns)
+    @settings(max_examples=6, deadline=None)
+    def test_optimal_schedule_is_collision_free(self, pattern):
+        multi = alternating_column_tiling(pattern)
+        schedule = optimal_schedule(multi)
+        from repro.utils.vectors import box_points
+        points = list(box_points((-4, -4), (4, 4)))
+        assert verify_collision_free(schedule, points,
+                                     schedule.neighborhood_of)

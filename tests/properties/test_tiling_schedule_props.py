@@ -1,0 +1,94 @@
+"""Property-based tests for the tiling -> schedule pipeline (Theorem 1).
+
+The central invariant of the paper: *any* transversal of *any* sublattice
+is an exact prototile, its lattice tiling validates, and the Theorem 1
+schedule derived from it is collision-free with exactly ``|N|`` slots.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.schedule import verify_collision_free
+from repro.core.theorem1 import schedule_from_tiling
+from repro.tiles.exactness import tiles_by_sublattice
+from repro.tiling.base import verify_tiling_window
+from repro.tiling.lattice_tiling import LatticeTiling
+from repro.utils.vectors import box_points, vadd
+from tests.properties.strategies import transversal_prototiles
+
+SETTINGS = dict(max_examples=30, deadline=None)
+
+
+class TestTransversalTilings:
+    @given(transversal_prototiles())
+    @settings(**SETTINGS)
+    def test_transversals_tile(self, pair):
+        prototile, sublattice = pair
+        assert tiles_by_sublattice(prototile, sublattice)
+
+    @given(transversal_prototiles())
+    @settings(**SETTINGS)
+    def test_tiling_validates_on_windows(self, pair):
+        prototile, sublattice = pair
+        tiling = LatticeTiling(prototile, sublattice)
+        assert verify_tiling_window(tiling, (-6, -6), (6, 6))
+
+    @given(transversal_prototiles())
+    @settings(**SETTINGS)
+    def test_decompose_unique_and_consistent(self, pair):
+        prototile, sublattice = pair
+        tiling = LatticeTiling(prototile, sublattice)
+        for point in box_points((-4, -4), (4, 4)):
+            translation, cell = tiling.decompose(point)
+            assert vadd(translation, cell) == point
+            assert sublattice.contains(translation)
+            assert cell in prototile
+
+
+class TestTheorem1Properties:
+    @given(transversal_prototiles())
+    @settings(**SETTINGS)
+    def test_schedule_is_collision_free(self, pair):
+        prototile, sublattice = pair
+        tiling = LatticeTiling(prototile, sublattice)
+        schedule = schedule_from_tiling(tiling)
+        assert schedule.num_slots == prototile.size
+        points = list(box_points((-6, -6), (6, 6)))
+        assert verify_collision_free(schedule, points,
+                                     schedule.neighborhood_of)
+
+    @given(transversal_prototiles())
+    @settings(**SETTINGS)
+    def test_schedule_periodic_under_sublattice(self, pair):
+        prototile, sublattice = pair
+        tiling = LatticeTiling(prototile, sublattice)
+        schedule = schedule_from_tiling(tiling)
+        for point in box_points((-3, -3), (3, 3)):
+            for generator in sublattice.basis:
+                assert schedule.slot_of(vadd(point, generator)) == \
+                    schedule.slot_of(point)
+
+    @given(transversal_prototiles())
+    @settings(**SETTINGS)
+    def test_every_slot_used_once_per_tile(self, pair):
+        prototile, sublattice = pair
+        tiling = LatticeTiling(prototile, sublattice)
+        schedule = schedule_from_tiling(tiling)
+        slots = sorted(schedule.slot_of(cell) for cell in prototile.cells)
+        assert slots == list(range(prototile.size))
+
+    @given(transversal_prototiles(max_index=8))
+    @settings(max_examples=15, deadline=None)
+    def test_difference_set_characterization(self, pair):
+        # Two sensors collide iff their difference is in N - N; the
+        # schedule must separate exactly those pairs of same-slot sensors.
+        prototile, sublattice = pair
+        tiling = LatticeTiling(prototile, sublattice)
+        schedule = schedule_from_tiling(tiling)
+        differences = prototile.difference_set()
+        for point in box_points((-3, -3), (3, 3)):
+            for delta in differences:
+                if all(v == 0 for v in delta):
+                    continue
+                other = vadd(point, delta)
+                assert schedule.slot_of(point) != schedule.slot_of(other)

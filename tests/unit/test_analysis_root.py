@@ -1,0 +1,104 @@
+"""Unit tests for core.analysis, the package root, and the CLI entry."""
+
+import pytest
+
+from repro import schedule_for
+from repro.core.analysis import (
+    ScheduleAnalysis,
+    analyze_schedule,
+    tiling_vs_tdma,
+)
+from repro.core.theorem1 import schedule_from_prototile
+from repro.graphs.tdma import tdma_schedule
+from repro.lattice.region import box_region
+from repro.tiles.shapes import chebyshev_ball, plus_pentomino
+
+
+class TestAnalysis:
+    def test_tiling_schedule_analysis(self):
+        schedule = schedule_from_prototile(plus_pentomino())
+        analysis = analyze_schedule(schedule)
+        assert analysis.round_length == 5
+        assert analysis.channel_share == pytest.approx(0.2)
+        assert analysis.max_access_delay == 5
+        assert analysis.sustainable_interval == 5
+
+    def test_tdma_analysis_grows_with_network(self):
+        points = box_region((0, 0), (4, 4)).points
+        schedule = tdma_schedule(points)
+        analysis = analyze_schedule(schedule)
+        assert analysis.round_length == 25
+        assert analysis.channel_share == pytest.approx(1 / 25)
+
+    def test_tiling_vs_tdma_speedup(self):
+        row = tiling_vs_tdma(chebyshev_ball(1), 900)
+        assert row["tiling round"] == 9
+        assert row["tdma round"] == 900
+        assert row["speedup"] == pytest.approx(100.0)
+
+    def test_tiling_vs_tdma_validation(self):
+        with pytest.raises(ValueError):
+            tiling_vs_tdma(chebyshev_ball(1), 0)
+
+    def test_as_row(self):
+        analysis = ScheduleAnalysis(9, 1 / 9, 9, 9)
+        row = analysis.as_row()
+        assert row["round"] == 9
+        assert row["min interval"] == 9
+
+    def test_simulation_confirms_sustainable_interval(self):
+        # At the sustainable interval the tiling schedule keeps up
+        # (delivery ~1); at half the interval queues grow.
+        from repro.net.model import Network
+        from repro.net.protocols import ScheduleMAC
+        from repro.net.simulator import simulate
+        tile = chebyshev_ball(1)
+        schedule = schedule_from_prototile(tile)
+        network = Network.homogeneous(box_region((0, 0), (4, 4)).points,
+                                      tile)
+        analysis = analyze_schedule(schedule)
+        sustained = simulate(network, ScheduleMAC(schedule), slots=90,
+                             packet_interval=analysis.sustainable_interval,
+                             seed=0)
+        overloaded = simulate(network, ScheduleMAC(schedule), slots=90,
+                              packet_interval=max(
+                                  1, analysis.sustainable_interval // 2),
+                              seed=0)
+        assert sustained.delivery_ratio > 0.9
+        assert overloaded.delivery_ratio < 0.7
+
+
+class TestPackageRoot:
+    def test_schedule_for_default(self):
+        schedule = schedule_for()
+        assert schedule.num_slots == 9
+        assert isinstance(schedule.slot_of((5, 5)), int)
+
+    def test_schedule_for_radius_two(self):
+        schedule = schedule_for(chebyshev_radius=2)
+        assert schedule.num_slots == 25
+
+    def test_version(self):
+        import repro
+        assert repro.__version__
+
+
+class TestCliMain:
+    def test_main_function_directly(self, capsys):
+        from repro.experiments.__main__ import main
+        code = main(["fig1", "fig4"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.out.count("PASS") == 2
+
+    def test_main_reports_failures(self, capsys, monkeypatch):
+        from repro.experiments import registry
+        from repro.experiments.__main__ import main
+        from repro.experiments.base import ExperimentResult
+
+        def fake():
+            return ExperimentResult("fig1", "t", "claim", passed=False)
+
+        monkeypatch.setitem(registry.EXPERIMENTS, "fig1", fake)
+        code = main(["fig1"])
+        assert code == 1

@@ -1,0 +1,119 @@
+"""Unit tests for repro.tiles.bn (Beauquier-Nivat criterion)."""
+
+import pytest
+
+from repro.tiles.bn import (
+    BNFactorization,
+    find_bn_factorization,
+    find_bn_factorization_naive,
+    is_exact_polyomino,
+    translation_basis,
+)
+from repro.tiles.boundary import boundary_word, hat
+from repro.tiles.shapes import (
+    l_tetromino,
+    line_tile,
+    plus_pentomino,
+    rectangle_tile,
+    s_tetromino,
+    square_tetromino,
+    t_tetromino,
+    u_pentomino,
+    z_tetromino,
+)
+from repro.utils.intlin import determinant, matrix_from_columns
+
+
+EXACT_TILES = [
+    rectangle_tile(1, 1),
+    rectangle_tile(2, 1),
+    rectangle_tile(2, 3),
+    line_tile(4),
+    square_tetromino(),
+    s_tetromino(),
+    z_tetromino(),
+    l_tetromino(),
+    t_tetromino(),  # exact, despite intuition — see shapes docstring
+    plus_pentomino(),
+]
+
+
+class TestFactorizationObject:
+    def test_word_reconstruction(self):
+        f = BNFactorization(0, "r", "u", "")
+        assert f.word == "r" + "u" + "" + hat("r") + hat("u") + hat("")
+
+    def test_pseudo_square_flag(self):
+        assert BNFactorization(0, "r", "u", "").is_pseudo_square()
+        assert not BNFactorization(0, "r", "u", "l").is_pseudo_square()
+
+    def test_translation_basis(self):
+        v1, v2 = translation_basis("r", "uu", "")
+        assert v1 == (1, 2)
+        assert v2 == (0, 2)
+
+
+class TestDeciders:
+    @pytest.mark.parametrize("tile", EXACT_TILES,
+                             ids=[t.name for t in EXACT_TILES])
+    def test_exact_tiles_accepted(self, tile):
+        word = boundary_word(tile)
+        assert find_bn_factorization_naive(word) is not None
+        assert find_bn_factorization(word) is not None
+
+    def test_u_pentomino_rejected(self):
+        word = boundary_word(u_pentomino())
+        assert find_bn_factorization_naive(word) is None
+        assert find_bn_factorization(word) is None
+
+    def test_odd_length_rejected(self):
+        assert find_bn_factorization("rul") is None
+        assert find_bn_factorization_naive("rul") is None
+
+    def test_empty_rejected(self):
+        assert find_bn_factorization("") is None
+
+    def test_factorization_is_valid_witness(self):
+        word = boundary_word(s_tetromino())
+        f = find_bn_factorization(word)
+        rotated = word[f.rotation:] + word[:f.rotation]
+        assert f.word == rotated
+
+    def test_naive_factorization_is_valid_witness(self):
+        word = boundary_word(plus_pentomino())
+        f = find_bn_factorization_naive(word)
+        rotated = word[f.rotation:] + word[:f.rotation]
+        assert f.word == rotated
+
+    @pytest.mark.parametrize("tile", EXACT_TILES + [u_pentomino()],
+                             ids=[t.name for t in EXACT_TILES] + ["U"])
+    def test_deciders_agree(self, tile):
+        word = boundary_word(tile)
+        naive = find_bn_factorization_naive(word)
+        fast = find_bn_factorization(word)
+        assert (naive is None) == (fast is None)
+
+    def test_is_exact_polyomino_wrapper(self):
+        assert is_exact_polyomino(plus_pentomino())
+        assert is_exact_polyomino(plus_pentomino(), fast=False)
+        assert not is_exact_polyomino(u_pentomino())
+
+
+class TestTranslationLattice:
+    @pytest.mark.parametrize("tile", EXACT_TILES,
+                             ids=[t.name for t in EXACT_TILES])
+    def test_translation_vectors_have_correct_index(self, tile):
+        word = boundary_word(tile)
+        f = find_bn_factorization(word)
+        v1, v2 = f.translation_vectors()
+        index = abs(determinant(matrix_from_columns([v1, v2])))
+        assert index == tile.size
+
+    @pytest.mark.parametrize("tile", EXACT_TILES,
+                             ids=[t.name for t in EXACT_TILES])
+    def test_translation_vectors_tile(self, tile):
+        from repro.lattice.sublattice import Sublattice
+        from repro.tiles.exactness import tiles_by_sublattice
+        f = find_bn_factorization(boundary_word(tile))
+        sublattice = Sublattice(list(f.translation_vectors()))
+        assert tiles_by_sublattice(tile, sublattice)

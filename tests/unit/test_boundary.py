@@ -1,0 +1,114 @@
+"""Unit tests for repro.tiles.boundary (boundary words)."""
+
+import pytest
+
+from repro.tiles.boundary import (
+    boundary_word,
+    complement_letter,
+    complement_word,
+    cyclic_rotations,
+    hat,
+    polyomino_from_boundary,
+    word_is_closed,
+    word_vector,
+)
+from repro.tiles.prototile import Prototile
+from repro.tiles.shapes import (
+    plus_pentomino,
+    rectangle_tile,
+    s_tetromino,
+    u_pentomino,
+)
+
+
+class TestWordAlgebra:
+    def test_complement_letter(self):
+        assert complement_letter("u") == "d"
+        assert complement_letter("l") == "r"
+
+    def test_complement_letter_invalid(self):
+        with pytest.raises(ValueError):
+            complement_letter("x")
+
+    def test_complement_word(self):
+        assert complement_word("ruld") == "ldru"
+
+    def test_hat_is_involution(self):
+        word = "ruuldd"
+        assert hat(hat(word)) == word
+
+    def test_hat_example(self):
+        assert hat("ru") == "dl"
+
+    def test_word_vector(self):
+        assert word_vector("rrru") == (3, 1)
+        assert word_vector("") == (0, 0)
+
+    def test_word_is_closed(self):
+        assert word_is_closed("ruld")
+        assert not word_is_closed("ru")
+
+    def test_cyclic_rotations(self):
+        rotations = list(cyclic_rotations("abc"))
+        assert rotations == ["abc", "bca", "cab"]
+
+
+class TestBoundaryExtraction:
+    def test_unit_square(self):
+        word = boundary_word(Prototile([(0, 0)]))
+        assert word == "ruld"
+
+    def test_word_is_closed_loop(self):
+        for tile in (rectangle_tile(3, 2), plus_pentomino(),
+                     s_tetromino(), u_pentomino()):
+            word = boundary_word(tile)
+            assert word_is_closed(word)
+            assert word[0] == "r"  # starts along the bottom edge
+
+    def test_perimeter_lengths(self):
+        assert len(boundary_word(rectangle_tile(1, 1))) == 4
+        assert len(boundary_word(rectangle_tile(2, 1))) == 6
+        assert len(boundary_word(rectangle_tile(2, 2))) == 8
+        assert len(boundary_word(plus_pentomino())) == 12
+
+    def test_balanced_letters(self):
+        word = boundary_word(plus_pentomino())
+        assert word.count("u") == word.count("d")
+        assert word.count("l") == word.count("r")
+
+    def test_requires_connected(self):
+        with pytest.raises(ValueError, match="connected"):
+            boundary_word(Prototile([(0, 0), (2, 0)]))
+
+    def test_requires_no_holes(self):
+        ring = Prototile([(x, y) for x in range(3) for y in range(3)
+                          if (x, y) != (1, 1)])
+        with pytest.raises(ValueError, match="holes"):
+            boundary_word(ring)
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            boundary_word(Prototile([(0, 0, 0)]))
+
+
+class TestReconstruction:
+    def test_roundtrip_simple(self):
+        for tile in (rectangle_tile(2, 3), s_tetromino(), plus_pentomino(),
+                     u_pentomino()):
+            word = boundary_word(tile)
+            rebuilt = polyomino_from_boundary(word)
+            # Reconstruction is canonical up to translation: compare
+            # normalized cell sets.
+            def normalize(prototile):
+                cells = sorted(prototile.cells)
+                ax, ay = cells[0]
+                return {(x - ax, y - ay) for x, y in cells}
+            assert normalize(rebuilt) == normalize(tile)
+
+    def test_open_word_rejected(self):
+        with pytest.raises(ValueError):
+            polyomino_from_boundary("ru")
+
+    def test_reconstructed_size(self):
+        word = boundary_word(rectangle_tile(4, 2))
+        assert polyomino_from_boundary(word).size == 8

@@ -1,0 +1,121 @@
+"""Unit tests for the energy model and the optimal-assignment schedule."""
+
+import pytest
+
+from repro.core.optimality import (
+    AssignmentSchedule,
+    minimum_slots,
+    optimal_schedule,
+)
+from repro.core.schedule import verify_collision_free
+from repro.core.theorem1 import schedule_from_prototile
+from repro.lattice.region import box_region
+from repro.net.energy import UNIT_TX_MODEL, EnergyModel
+from repro.net.model import Network
+from repro.net.protocols import ScheduleMAC, SlottedAloha
+from repro.net.simulator import simulate
+from repro.tiles.exactness import find_sublattice_tiling
+from repro.tiles.shapes import chebyshev_ball, plus_pentomino
+from repro.tiling.construct import (
+    figure5_mixed_tiling,
+    figure5_symmetric_tiling,
+)
+from repro.tiling.lattice_tiling import LatticeTiling
+from repro.utils.vectors import box_points
+
+
+class TestEnergyModel:
+    def test_defaults(self):
+        assert UNIT_TX_MODEL.tx_cost == 1.0
+        assert UNIT_TX_MODEL.rx_cost == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            EnergyModel(tx_cost=-1.0)
+
+    def test_slot_energy(self):
+        model = EnergyModel(tx_cost=2.0, rx_cost=0.5, idle_cost=0.1)
+        assert model.slot_energy(True, 0, True) == 2.0
+        assert model.slot_energy(False, 2, True) == pytest.approx(1.1)
+        assert model.slot_energy(False, 0, False) == 0.0
+
+    def test_simulator_default_model_unchanged(self):
+        tile = chebyshev_ball(1)
+        network = Network.homogeneous(box_region((0, 0), (3, 3)).points,
+                                      tile)
+        schedule = schedule_from_prototile(tile)
+        metrics = simulate(network, ScheduleMAC(schedule), slots=27,
+                           packet_interval=9, seed=0)
+        assert metrics.energy_transmit == float(metrics.transmissions)
+        assert metrics.energy_receive == 0.0
+        assert metrics.energy_idle == 0.0
+
+    def test_simulator_rich_model(self):
+        tile = chebyshev_ball(1)
+        network = Network.homogeneous(box_region((0, 0), (3, 3)).points,
+                                      tile)
+        model = EnergyModel(tx_cost=1.0, rx_cost=0.2, idle_cost=0.05)
+        metrics = simulate(network, SlottedAloha(0.3), slots=30,
+                           packet_interval=3, seed=1, energy_model=model)
+        assert metrics.energy_receive > 0.0
+        assert metrics.energy_idle > 0.0
+        assert metrics.total_energy > metrics.energy_transmit
+
+    def test_energy_per_delivered_uses_total(self):
+        from repro.net.metrics import SimulationMetrics
+        metrics = SimulationMetrics("x", 1, packets_delivered=2,
+                                    energy_transmit=2.0,
+                                    energy_receive=1.0, energy_idle=1.0)
+        assert metrics.energy_per_delivered == pytest.approx(2.0)
+
+
+class TestAssignmentSchedule:
+    def test_figure5_optimal_schedule_runs(self):
+        schedule = optimal_schedule(figure5_mixed_tiling())
+        assert schedule.num_slots == 6
+        points = list(box_points((-6, -6), (6, 6)))
+        assert verify_collision_free(schedule, points,
+                                     schedule.neighborhood_of)
+
+    def test_symmetric_optimal_schedule(self):
+        schedule = optimal_schedule(figure5_symmetric_tiling())
+        assert schedule.num_slots == 4
+        points = list(box_points((-5, -5), (5, 5)))
+        assert verify_collision_free(schedule, points,
+                                     schedule.neighborhood_of)
+
+    def test_theorem1_tiling_optimal_schedule(self):
+        tile = plus_pentomino()
+        tiling = LatticeTiling(tile, find_sublattice_tiling(tile))
+        schedule = optimal_schedule(tiling)
+        assert schedule.num_slots == tile.size
+        points = list(box_points((-5, -5), (5, 5)))
+        assert verify_collision_free(schedule, points,
+                                     schedule.neighborhood_of)
+
+    def test_incomplete_assignment_rejected(self):
+        multi = figure5_mixed_tiling()
+        _, assignment = minimum_slots(multi)
+        assignment.pop(next(iter(assignment)))
+        with pytest.raises(ValueError):
+            AssignmentSchedule(multi, assignment)
+
+    def test_may_send_periodicity(self):
+        schedule = optimal_schedule(figure5_mixed_tiling())
+        point = (1, 1)
+        slot = schedule.slot_of(point)
+        assert schedule.may_send(point, slot)
+        assert schedule.may_send(point, slot + 6)
+        assert not schedule.may_send(point, slot + 1)
+
+    def test_translates_share_assignment(self):
+        # Section 4 ground rule: every translate of a prototile uses the
+        # same slot pattern.
+        schedule = optimal_schedule(figure5_mixed_tiling())
+        multi = schedule.multi
+        from repro.utils.vectors import vadd
+        for k in range(multi.num_prototiles):
+            anchors = multi.translations_in_box(k, (-4, -4), (4, 4))[:3]
+            for cell in multi.prototiles[k].cells:
+                slots = {schedule.slot_of(vadd(a, cell)) for a in anchors}
+                assert len(slots) == 1

@@ -1,0 +1,129 @@
+"""Unit tests for repro.tiles.exactness and repro.tiles.szegedy."""
+
+import pytest
+
+from repro.lattice.sublattice import Sublattice, diagonal_sublattice
+from repro.tiles.exactness import (
+    all_sublattice_tilings,
+    find_sublattice_tiling,
+    is_exact,
+    is_exact_lattice,
+    tiles_by_sublattice,
+)
+from repro.tiles.prototile import Prototile
+from repro.tiles.shapes import (
+    chebyshev_ball,
+    directional_antenna,
+    plus_pentomino,
+    rectangle_tile,
+    s_tetromino,
+    t_tetromino,
+    u_pentomino,
+)
+from repro.tiles.szegedy import (
+    is_exact_szegedy,
+    is_prime,
+    szegedy_applicable,
+    szegedy_witness,
+)
+
+
+class TestTilesBySublattice:
+    def test_square_by_2x2(self):
+        assert tiles_by_sublattice(rectangle_tile(2, 2),
+                                   diagonal_sublattice((2, 2)))
+
+    def test_wrong_index_rejected(self):
+        assert not tiles_by_sublattice(rectangle_tile(2, 2),
+                                       diagonal_sublattice((2, 3)))
+
+    def test_coset_collision_rejected(self):
+        # Domino cells (0,0),(0,1) both even in y mod... use 2Z x Z? index
+        # mismatch; use a sublattice of index 2 whose cosets collide.
+        domino = rectangle_tile(1, 2)
+        bad = Sublattice([(1, 0), (0, 2)])  # (0,0) and (0,1) differ by
+        # (0,1), not in the lattice -> actually this *does* tile.
+        assert tiles_by_sublattice(domino, bad)
+        worse = Sublattice([(2, 0), (0, 1)])  # (0,1)-(0,0)=(0,1) in lattice
+        assert not tiles_by_sublattice(domino, worse)
+
+
+class TestFindSublatticeTiling:
+    @pytest.mark.parametrize("tile", [
+        chebyshev_ball(1), plus_pentomino(), directional_antenna(),
+        s_tetromino(), t_tetromino(), rectangle_tile(3, 2),
+    ], ids=lambda t: t.name)
+    def test_finds_tilings_for_exact_tiles(self, tile):
+        sublattice = find_sublattice_tiling(tile)
+        assert sublattice is not None
+        assert tiles_by_sublattice(tile, sublattice)
+
+    def test_none_for_u_pentomino(self):
+        assert find_sublattice_tiling(u_pentomino()) is None
+
+    def test_all_tilings_enumeration(self):
+        # The 1x2 domino admits multiple lattice tilings.
+        tilings = list(all_sublattice_tilings(rectangle_tile(1, 2)))
+        assert len(tilings) >= 2
+        assert all(tiles_by_sublattice(rectangle_tile(1, 2), s)
+                   for s in tilings)
+
+    def test_3d_prototile(self):
+        column = Prototile([(0, 0, 0), (0, 0, 1)])
+        sublattice = find_sublattice_tiling(column)
+        assert sublattice is not None
+        assert sublattice.index == 2
+
+
+class TestIsExact:
+    def test_exact_examples(self):
+        assert is_exact(chebyshev_ball(1))
+        assert is_exact(t_tetromino())
+
+    def test_non_exact_polyomino(self):
+        assert not is_exact(u_pentomino())
+
+    def test_disconnected_exact(self):
+        spaced = Prototile([(0, 0), (2, 0), (4, 0)])
+        assert is_exact_lattice(spaced)
+        assert is_exact(spaced)
+
+    def test_disconnected_non_exact_prime(self):
+        gapped = Prototile([(0, 0), (1, 0), (3, 0)])
+        assert not is_exact_lattice(gapped)
+        assert not is_exact(gapped)
+
+
+class TestSzegedy:
+    def test_is_prime(self):
+        assert [n for n in range(2, 20) if is_prime(n)] == \
+            [2, 3, 5, 7, 11, 13, 17, 19]
+        assert not is_prime(1)
+        assert not is_prime(0)
+
+    def test_applicable(self):
+        assert szegedy_applicable(plus_pentomino())  # |N| = 5 prime
+        assert szegedy_applicable(s_tetromino())     # |N| = 4
+        assert not szegedy_applicable(rectangle_tile(3, 2))  # |N| = 6
+
+    def test_decides_prime_case(self):
+        assert is_exact_szegedy(plus_pentomino())
+        assert not is_exact_szegedy(Prototile([(0, 0), (1, 0), (3, 0)]))
+
+    def test_decides_cardinality_four(self):
+        assert is_exact_szegedy(t_tetromino())
+
+    def test_rejects_other_cardinalities(self):
+        with pytest.raises(ValueError, match="prime or 4"):
+            is_exact_szegedy(rectangle_tile(3, 2))
+        with pytest.raises(ValueError):
+            szegedy_witness(rectangle_tile(3, 2))
+
+    def test_witness_is_a_tiling(self):
+        tile = plus_pentomino()
+        witness = szegedy_witness(tile)
+        assert witness is not None
+        assert tiles_by_sublattice(tile, witness)
+
+    def test_witness_none_when_not_exact(self):
+        assert szegedy_witness(Prototile([(0, 0), (1, 0), (3, 0)])) is None

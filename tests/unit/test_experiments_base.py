@@ -1,0 +1,50 @@
+"""Unit tests for repro.experiments.base and the registry plumbing."""
+
+import pytest
+
+from repro.experiments.base import ExperimentResult, format_rows
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+class TestExperimentResult:
+    def test_render_pass(self):
+        result = ExperimentResult("x", "Title", "claim",
+                                  rows=[{"a": 1, "b": 2}], passed=True)
+        text = result.render()
+        assert "PASS" in text
+        assert "claim" in text
+        assert "a" in text
+
+    def test_render_fail_with_notes(self):
+        result = ExperimentResult("x", "Title", "claim", passed=False,
+                                  notes="why")
+        text = result.render()
+        assert "FAIL" in text
+        assert "notes: why" in text
+
+    def test_format_rows_alignment(self):
+        rows = [{"name": "a", "value": 10}, {"name": "bb", "value": 2}]
+        table = format_rows(rows)
+        lines = table.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert lines[0].startswith("name")
+
+    def test_format_rows_empty(self):
+        assert format_rows([]) == "(no rows)"
+
+
+class TestRegistry:
+    def test_registry_contains_all_paper_artifacts(self):
+        expected = {"fig1", "fig2", "fig3", "fig4", "fig5", "thm1", "thm2",
+                    "finite", "collisions", "scaling", "mobile",
+                    "exactness", "heuristics", "dimensions"}
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("nope")
+
+    def test_run_single_fast_experiment(self):
+        result = run_experiment("fig1")
+        assert result.experiment_id == "fig1"
+        assert result.passed

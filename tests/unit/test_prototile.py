@@ -1,0 +1,156 @@
+"""Unit tests for repro.tiles.prototile."""
+
+import pytest
+
+from repro.tiles.prototile import Prototile
+from repro.tiles.shapes import (
+    chebyshev_ball,
+    l_tetromino,
+    plus_pentomino,
+    s_tetromino,
+    u_pentomino,
+    z_tetromino,
+)
+
+
+class TestConstruction:
+    def test_must_contain_origin(self):
+        with pytest.raises(ValueError, match="origin"):
+            Prototile([(1, 0), (2, 0)])
+
+    def test_must_be_nonempty(self):
+        with pytest.raises(ValueError):
+            Prototile([])
+
+    def test_mixed_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            Prototile([(0, 0), (1, 0, 0)])
+
+    def test_size_and_contains(self):
+        tile = Prototile([(0, 0), (1, 0), (0, 1)])
+        assert tile.size == len(tile) == 3
+        assert (1, 0) in tile
+        assert (2, 2) not in tile
+
+    def test_duplicates_collapse(self):
+        tile = Prototile([(0, 0), (0, 0), (1, 0)])
+        assert tile.size == 2
+
+    def test_sorted_cells(self):
+        tile = Prototile([(1, 1), (0, 0), (0, 1)])
+        assert tile.sorted_cells() == [(0, 0), (0, 1), (1, 1)]
+
+    def test_equality_and_hash(self):
+        a = Prototile([(0, 0), (1, 0)], name="a")
+        b = Prototile([(1, 0), (0, 0)], name="b")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_3d_prototile(self):
+        tile = Prototile([(0, 0, 0), (1, 0, 0), (0, 0, 1)])
+        assert tile.dimension == 3
+        assert tile.size == 3
+
+
+class TestSetStructure:
+    def test_translate(self):
+        tile = Prototile([(0, 0), (1, 0)])
+        assert tile.translate((2, 3)) == {(2, 3), (3, 3)}
+
+    def test_rebased_at(self):
+        tile = Prototile([(0, 0), (1, 0), (1, 1)])
+        rebased = tile.rebased_at((1, 1))
+        assert (0, 0) in rebased
+        assert rebased.cells == {(-1, -1), (0, -1), (0, 0)}
+
+    def test_rebased_requires_member(self):
+        with pytest.raises(ValueError):
+            Prototile([(0, 0)]).rebased_at((5, 5))
+
+    def test_difference_set(self):
+        tile = Prototile([(0, 0), (2, 1)])
+        assert tile.difference_set() == {(0, 0), (2, 1), (-2, -1)}
+
+    def test_self_sum(self):
+        tile = Prototile([(0, 0), (1, 0)])
+        assert tile.self_sum() == {(0, 0), (1, 0), (2, 0)}
+
+    def test_minkowski_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            Prototile([(0, 0)]).minkowski_with(Prototile([(0, 0, 0)]))
+
+    def test_contains_prototile(self):
+        big = chebyshev_ball(1)
+        small = plus_pentomino()
+        assert big.contains_prototile(small)
+        assert not small.contains_prototile(big)
+
+
+class TestRigidMotions:
+    def test_rotation_preserves_origin_and_size(self):
+        tile = l_tetromino()
+        rotated = tile.rotated90()
+        assert (0, 0) in rotated
+        assert rotated.size == tile.size
+
+    def test_four_rotations_identity(self):
+        tile = s_tetromino()
+        assert tile.rotated90(4) == tile
+
+    def test_s_reflected_is_z(self):
+        # Vertical S reflected across x gives a Z shape (up to translation
+        # keeping the origin; check the cell multiset by normalizing).
+        s = s_tetromino().reflected()
+        assert s.size == 4
+
+    def test_negated(self):
+        tile = Prototile([(0, 0), (1, 2)])
+        assert tile.negated().cells == {(0, 0), (-1, -2)}
+
+    def test_all_rotations_dedup(self):
+        square = Prototile([(0, 0)])
+        assert len(square.all_rotations()) == 1
+        assert len(l_tetromino().all_rotations()) == 4
+
+    def test_rotation_requires_2d(self):
+        with pytest.raises(ValueError):
+            Prototile([(0, 0, 0)]).rotated90()
+
+
+class TestTopology:
+    def test_connected(self):
+        assert plus_pentomino().is_connected()
+        assert s_tetromino().is_connected()
+
+    def test_disconnected(self):
+        assert not Prototile([(0, 0), (2, 0)]).is_connected()
+
+    def test_no_holes(self):
+        assert not chebyshev_ball(1).has_holes()
+        assert not u_pentomino().has_holes()
+
+    def test_ring_has_hole(self):
+        ring = Prototile([(x, y) for x in range(3) for y in range(3)
+                          if (x, y) != (1, 1)])
+        assert ring.has_holes()
+        assert not ring.is_polyomino()
+
+    def test_is_polyomino(self):
+        assert plus_pentomino().is_polyomino()
+        assert z_tetromino().is_polyomino()
+        assert not Prototile([(0, 0), (2, 0)]).is_polyomino()
+
+    def test_3d_connectivity(self):
+        tile = Prototile([(0, 0, 0), (1, 0, 0), (1, 1, 0)])
+        assert tile.is_connected()
+
+
+class TestGeometryHelpers:
+    def test_bounding_box(self):
+        lo, hi = s_tetromino().bounding_box()
+        assert lo == (0, 0)
+        assert hi == (1, 2)
+
+    def test_diameter_bound(self):
+        assert chebyshev_ball(1).diameter_bound() == 2
+        assert s_tetromino().diameter_bound() == 2

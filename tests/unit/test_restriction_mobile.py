@@ -1,0 +1,128 @@
+"""Unit tests for repro.core.restriction and repro.core.mobile."""
+
+import pytest
+
+from repro.core.mobile import MobileScheduler
+from repro.core.restriction import (
+    restrict_schedule,
+    restricted_optimum,
+    restriction_criterion_holds,
+    restriction_report,
+)
+from repro.core.theorem1 import schedule_from_prototile
+from repro.lattice.region import box_region
+from repro.lattice.standard import hexagonal_lattice, square_lattice
+from repro.tiles.shapes import chebyshev_ball, plus_pentomino
+
+
+class TestRestriction:
+    def test_restrict_preserves_slots(self):
+        tile = plus_pentomino()
+        schedule = schedule_from_prototile(tile)
+        region = box_region((0, 0), (4, 4))
+        restricted = restrict_schedule(schedule, region)
+        for point in region:
+            assert restricted.slot_of(point) == schedule.slot_of(point)
+
+    def test_criterion_large_region(self):
+        tile = plus_pentomino()
+        assert restriction_criterion_holds(tile, box_region((-3, -3), (3, 3)))
+
+    def test_criterion_small_region(self):
+        tile = plus_pentomino()
+        assert not restriction_criterion_holds(tile,
+                                               box_region((0, 0), (1, 1)))
+
+    def test_criterion_implies_full_optimum(self):
+        tile = chebyshev_ball(1)
+        for size in (4, 5, 6):
+            region = box_region((0, 0), (size, size))
+            if restriction_criterion_holds(tile, region):
+                assert restricted_optimum(tile, region) == tile.size
+
+    def test_small_windows_need_fewer(self):
+        tile = chebyshev_ball(1)
+        assert restricted_optimum(tile, box_region((0, 0), (0, 0))) == 1
+        assert restricted_optimum(tile, box_region((0, 0), (1, 1))) == 4
+
+    def test_report_keys(self):
+        tile = plus_pentomino()
+        schedule = schedule_from_prototile(tile)
+        report = restriction_report(tile, box_region((0, 0), (3, 3)),
+                                    schedule)
+        assert set(report) == {"region_points", "criterion_n_plus_n",
+                               "tiling_slots", "restricted_used_slots",
+                               "finite_optimum"}
+
+
+class TestMobileScheduler:
+    @pytest.fixture
+    def scheduler(self):
+        schedule = schedule_from_prototile(chebyshev_ball(1))
+        return MobileScheduler(square_lattice(), schedule)
+
+    def test_requires_2d(self):
+        from repro.lattice.standard import cubic_lattice
+        schedule = schedule_from_prototile(chebyshev_ball(1, dimension=3))
+        with pytest.raises(ValueError):
+            MobileScheduler(cubic_lattice(3), schedule)
+
+    def test_owner_of(self, scheduler):
+        assert scheduler.owner_of((0.2, -0.3)) == (0, 0)
+        assert scheduler.owner_of((2.9, 4.1)) == (3, 4)
+
+    def test_cell_of_translated(self, scheduler):
+        cell = scheduler.cell_of((2, 3))
+        assert cell.contains_point((2.1, 3.1))
+        assert not cell.contains_point((0.0, 0.0))
+
+    def test_touched_points_small_disk(self, scheduler):
+        touched = scheduler.touched_lattice_points((0.0, 0.0), 0.3)
+        assert touched == {(0, 0)}
+
+    def test_touched_points_straddling_disk(self, scheduler):
+        touched = scheduler.touched_lattice_points((0.5, 0.0), 0.2)
+        assert touched == {(0, 0), (1, 0)}
+
+    def test_tile_points(self, scheduler):
+        points = scheduler.tile_points_of((0, 0))
+        assert len(points) == 9
+        assert scheduler.owner_of((0.0, 0.0)) in points
+
+    def test_decide_fitting(self, scheduler):
+        decision = scheduler.decide((0.1, 0.1), 0.3)
+        assert decision.fits
+        assert decision.owner == (0, 0)
+        assert decision.may_send(decision.slot, scheduler.num_slots)
+        assert not decision.may_send(decision.slot + 1, scheduler.num_slots)
+
+    def test_decide_too_large(self, scheduler):
+        decision = scheduler.decide((0.1, 0.1), 5.0)
+        assert not decision.fits
+        assert not decision.may_send(decision.slot, scheduler.num_slots)
+
+    def test_same_slot_senders_in_disjoint_tiles(self, scheduler):
+        # If two positions may send at the same time, their touched sets
+        # must be disjoint (the collision-freeness argument).
+        import itertools
+        radius = 0.45
+        candidates = [(x * 0.7, y * 0.7) for x in range(-4, 5)
+                      for y in range(-4, 5)]
+        by_slot = {}
+        for position in candidates:
+            decision = scheduler.decide(position, radius)
+            if decision.fits:
+                by_slot.setdefault(decision.slot, []).append(decision)
+        for slot, decisions in by_slot.items():
+            for a, b in itertools.combinations(decisions, 2):
+                if a.owner != b.owner:
+                    assert not (a.touched_points & b.touched_points)
+
+    def test_hexagonal_lattice_supported(self):
+        from repro.tiles.shapes import euclidean_ball
+        lattice = hexagonal_lattice()
+        tile = euclidean_ball(lattice, 1.0)
+        schedule = schedule_from_prototile(tile)
+        scheduler = MobileScheduler(lattice, schedule)
+        decision = scheduler.decide((0.05, 0.05), 0.2)
+        assert decision.owner == (0, 0)

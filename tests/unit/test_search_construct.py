@@ -1,0 +1,141 @@
+"""Unit tests for repro.tiling.search and repro.tiling.construct."""
+
+import pytest
+
+from repro.lattice.sublattice import diagonal_sublattice
+from repro.tiles.prototile import Prototile
+from repro.tiles.shapes import (
+    plus_pentomino,
+    rectangle_tile,
+    s_tetromino,
+    u_pentomino,
+    z_tetromino,
+)
+from repro.tiling.base import verify_tiling_window
+from repro.tiling.construct import (
+    brick_wall_tiling,
+    find_tiling,
+    tiling_from_boundary_factorization,
+    tiling_from_sublattice,
+)
+from repro.tiling.lattice_tiling import LatticeTiling
+from repro.tiling.search import (
+    find_multi_tiling,
+    find_periodic_tiling,
+    search_tilings_over_periods,
+    torus_covers,
+)
+
+
+class TestTorusCovers:
+    def test_domino_on_2x2_torus(self):
+        covers = list(torus_covers([rectangle_tile(1, 2)],
+                                   diagonal_sublattice((2, 2))))
+        assert len(covers) >= 1
+        for cover in covers:
+            assert len(cover) == 2  # two dominoes fill 4 cells
+
+    def test_u_pentomino_no_cover(self):
+        # U is not exact; small tori must have no cover.
+        for sides in ((5, 2), (5, 4), (5, 5)):
+            covers = list(torus_covers([u_pentomino()],
+                                       diagonal_sublattice(sides)))
+            assert covers == []
+
+    def test_min_counts_filter(self):
+        s, z = s_tetromino(), z_tetromino()
+        period = diagonal_sublattice((4, 2))
+        all_covers = list(torus_covers([s, z], period))
+        mixed_covers = list(torus_covers([s, z], period,
+                                         min_counts=[1, 1]))
+        assert len(mixed_covers) < len(all_covers)
+        for cover in mixed_covers:
+            kinds = {k for k, _ in cover}
+            assert kinds == {0, 1}
+
+    def test_min_counts_validation(self):
+        with pytest.raises(ValueError):
+            list(torus_covers([s_tetromino()], diagonal_sublattice((2, 2)),
+                              min_counts=[1, 1]))
+
+    def test_wrapping_self_overlap_skipped(self):
+        from repro.tiles.shapes import line_tile
+        # A line of length 2 on a 1-wide torus would wrap onto itself:
+        # placements must be skipped entirely.
+        assert list(torus_covers([line_tile(2)],
+                                 diagonal_sublattice((1, 2)))) == []
+        # On a 2x1 torus it fits exactly; both anchors give a cover.
+        covers = list(torus_covers([line_tile(2)],
+                                   diagonal_sublattice((2, 1))))
+        assert len(covers) == 2
+        assert all(len(cover) == 1 for cover in covers)
+
+
+class TestFindPeriodic:
+    def test_find_periodic_tiling(self):
+        tiling = find_periodic_tiling(s_tetromino(),
+                                      diagonal_sublattice((2, 4)))
+        assert tiling is not None
+        assert verify_tiling_window(tiling, (-4, -4), (4, 4))
+
+    def test_wrong_divisibility_returns_none(self):
+        assert find_periodic_tiling(s_tetromino(),
+                                    diagonal_sublattice((3, 1))) is None
+
+    def test_find_multi_tiling_mixed(self):
+        multi = find_multi_tiling([s_tetromino(), z_tetromino()],
+                                  diagonal_sublattice((4, 2)),
+                                  min_counts=[1, 1])
+        assert multi is not None
+        assert multi.num_prototiles == 2
+
+    def test_find_multi_none_when_impossible(self):
+        assert find_multi_tiling([u_pentomino()],
+                                 diagonal_sublattice((5, 2))) is None
+
+    def test_search_over_periods(self):
+        tiling = search_tilings_over_periods(rectangle_tile(2, 2),
+                                             max_side=4)
+        assert tiling is not None
+        assert verify_tiling_window(tiling, (-3, -3), (3, 3))
+
+    def test_search_over_periods_failure(self):
+        assert search_tilings_over_periods(u_pentomino(),
+                                           max_side=5) is None
+
+
+class TestConstruct:
+    def test_tiling_from_sublattice(self):
+        tile = rectangle_tile(2, 2)
+        tiling = tiling_from_sublattice(tile, diagonal_sublattice((2, 2)))
+        assert isinstance(tiling, LatticeTiling)
+
+    def test_tiling_from_bn(self):
+        tiling = tiling_from_boundary_factorization(plus_pentomino())
+        assert verify_tiling_window(tiling, (-5, -5), (5, 5))
+
+    def test_tiling_from_bn_rejects_non_exact(self):
+        with pytest.raises(ValueError, match="not exact"):
+            tiling_from_boundary_factorization(u_pentomino())
+
+    def test_find_tiling_lattice_path(self):
+        tiling = find_tiling(plus_pentomino())
+        assert isinstance(tiling, LatticeTiling)
+
+    def test_find_tiling_disconnected(self):
+        spaced = Prototile([(0, 0), (2, 0)])
+        tiling = find_tiling(spaced)
+        assert tiling is not None
+        assert verify_tiling_window(tiling, (-4, -4), (4, 4))
+
+    def test_find_tiling_none(self):
+        assert find_tiling(u_pentomino(), max_period_side=5) is None
+
+    def test_brick_wall_shift_validation(self):
+        with pytest.raises(ValueError):
+            brick_wall_tiling(2, 1, 2)
+
+    def test_brick_wall_various(self):
+        for width, height, shift in ((2, 1, 1), (3, 1, 1), (3, 2, 2)):
+            tiling = brick_wall_tiling(width, height, shift)
+            assert verify_tiling_window(tiling, (-5, -5), (5, 5))

@@ -1,0 +1,121 @@
+"""Unit tests for repro.tiles.shapes (the paper's neighborhoods)."""
+
+import pytest
+
+from repro.lattice.standard import hexagonal_lattice, square_lattice
+from repro.tiles.shapes import (
+    GALLERY,
+    TETROMINOES,
+    chebyshev_ball,
+    directional_antenna,
+    euclidean_ball,
+    line_tile,
+    plus_pentomino,
+    rectangle_tile,
+    s_tetromino,
+    square_tetromino,
+    t_tetromino,
+    u_pentomino,
+    z_tetromino,
+)
+
+
+class TestPaperNeighborhoods:
+    def test_chebyshev_ball_figure2_left(self):
+        tile = chebyshev_ball(1)
+        assert tile.size == 9  # 3x3 block
+
+    def test_chebyshev_radius_scaling(self):
+        assert chebyshev_ball(2).size == 25
+        assert chebyshev_ball(0).size == 1
+        assert chebyshev_ball(1, dimension=3).size == 27
+
+    def test_chebyshev_rejects_negative(self):
+        with pytest.raises(ValueError):
+            chebyshev_ball(-1)
+
+    def test_euclidean_ball_figure2_middle(self):
+        tile = euclidean_ball(square_lattice(), 1.0)
+        assert tile == plus_pentomino()
+
+    def test_euclidean_ball_depends_on_lattice(self):
+        hexagonal = euclidean_ball(hexagonal_lattice(), 1.0)
+        assert hexagonal.size == 7
+
+    def test_antenna_figure2_right(self):
+        tile = directional_antenna()
+        assert tile.size == 8
+        assert (0, 0) in tile
+        assert (1, -3) in tile
+        lo, hi = tile.bounding_box()
+        assert (hi[0] - lo[0] + 1, hi[1] - lo[1] + 1) == (2, 4)
+
+    def test_antenna_is_asymmetric(self):
+        tile = directional_antenna()
+        assert tile.negated() != tile
+
+
+class TestFigure5Tetrominoes:
+    def test_s_and_z_are_mirror_sizes(self):
+        assert s_tetromino().size == z_tetromino().size == 4
+
+    def test_union_has_six_cells(self):
+        union = s_tetromino().cells | z_tetromino().cells
+        assert len(union) == 6  # the m = 6 of Figure 5 (left)
+
+    def test_overlap_is_two_cells(self):
+        overlap = s_tetromino().cells & z_tetromino().cells
+        assert overlap == {(0, 0), (0, 1)}
+
+    def test_neither_contains_the_other(self):
+        s, z = s_tetromino(), z_tetromino()
+        assert not s.contains_prototile(z)
+        assert not z.contains_prototile(s)
+
+
+class TestGalleryShapes:
+    def test_rectangle(self):
+        tile = rectangle_tile(3, 2)
+        assert tile.size == 6
+        assert (2, 1) in tile
+
+    def test_rectangle_rejects_zero(self):
+        with pytest.raises(ValueError):
+            rectangle_tile(0, 2)
+
+    def test_line(self):
+        tile = line_tile(4)
+        assert tile.size == 4
+        assert (3, 0) in tile
+
+    def test_line_axis(self):
+        tile = line_tile(3, axis=1)
+        assert (0, 2) in tile
+
+    def test_line_axis_out_of_range(self):
+        with pytest.raises(ValueError):
+            line_tile(3, axis=2)
+
+    def test_square_tetromino(self):
+        assert square_tetromino().size == 4
+
+    def test_t_tetromino_shape(self):
+        tile = t_tetromino()
+        assert tile.size == 4
+        assert (1, 1) in tile
+
+    def test_u_pentomino_shape(self):
+        tile = u_pentomino()
+        assert tile.size == 5
+        assert tile.is_polyomino()
+
+    def test_tetromino_gallery(self):
+        assert set(TETROMINOES) == {"I", "O", "S", "Z", "L", "T"}
+        assert all(t.size == 4 for t in TETROMINOES.values())
+
+    def test_gallery_contains_paper_shapes(self):
+        assert "antenna" in GALLERY
+        assert "chebyshev-1" in GALLERY
+        assert "plus" in GALLERY
+        assert all((0,) * tile.dimension in tile
+                   for tile in GALLERY.values())

@@ -1,0 +1,108 @@
+"""Unit tests for repro.lattice.sublattice."""
+
+import pytest
+
+from repro.lattice.sublattice import (
+    Sublattice,
+    all_sublattices_of_index,
+    diagonal_sublattice,
+)
+
+
+class TestConstruction:
+    def test_index(self):
+        assert Sublattice([(2, 0), (0, 3)]).index == 6
+
+    def test_rejects_dependent_generators(self):
+        with pytest.raises(ValueError):
+            Sublattice([(1, 2), (2, 4)])
+
+    def test_rejects_wrong_count(self):
+        with pytest.raises(ValueError):
+            Sublattice([(1, 0)])
+
+    def test_equality_independent_of_generators(self):
+        a = Sublattice([(2, 0), (0, 2)])
+        b = Sublattice([(2, 2), (0, 2)])  # same lattice, different basis
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality(self):
+        assert Sublattice([(2, 0), (0, 2)]) != Sublattice([(1, 0), (0, 4)])
+
+    def test_repr(self):
+        text = repr(Sublattice([(2, 0), (0, 2)]))
+        assert "index=4" in text
+
+
+class TestMembership:
+    def test_contains_generators(self):
+        sub = Sublattice([(2, 1), (0, 4)])
+        assert sub.contains((2, 1))
+        assert sub.contains((0, 4))
+        assert sub.contains((2, 5))  # sum
+
+    def test_not_contains(self):
+        sub = Sublattice([(2, 0), (0, 2)])
+        assert not sub.contains((1, 0))
+        assert not sub.contains((1, 1))
+
+    def test_same_coset(self):
+        sub = Sublattice([(3, 0), (0, 3)])
+        assert sub.same_coset((1, 2), (4, -1))
+        assert not sub.same_coset((0, 0), (1, 1))
+
+    def test_canonical_representative_idempotent(self):
+        sub = Sublattice([(2, 1), (1, 3)])
+        for x in range(-4, 5):
+            for y in range(-4, 5):
+                rep = sub.canonical_representative((x, y))
+                assert sub.canonical_representative(rep) == rep
+                assert sub.same_coset((x, y), rep)
+
+
+class TestQuotient:
+    def test_representative_count(self):
+        sub = Sublattice([(2, 1), (1, 3)])
+        reps = list(sub.coset_representatives())
+        assert len(reps) == sub.index == 5
+
+    def test_quotient_invariants_klein(self):
+        assert diagonal_sublattice((2, 2)).quotient_invariants() == [2, 2]
+
+    def test_quotient_invariants_cyclic(self):
+        sub = Sublattice([(1, 3), (0, 4)])
+        assert sub.quotient_invariants() == [4]
+
+    def test_points_near_origin(self):
+        sub = diagonal_sublattice((2, 3))
+        points = sub.points_near_origin(6)
+        assert (0, 0) in points
+        assert (2, 0) in points
+        assert (-2, 3) in points
+        assert all(abs(x) <= 6 and abs(y) <= 6 for x, y in points)
+        # Every listed point is really in the sublattice.
+        assert all(sub.contains(p) for p in points)
+
+
+class TestEnumeration:
+    def test_count_matches_sigma(self):
+        assert len(list(all_sublattices_of_index(2, 4))) == 7  # sigma(4)
+
+    def test_all_have_requested_index(self):
+        for sub in all_sublattices_of_index(2, 6):
+            assert sub.index == 6
+
+    def test_all_distinct(self):
+        subs = list(all_sublattices_of_index(2, 8))
+        assert len(set(subs)) == len(subs)
+
+    def test_diagonal_requires_positive(self):
+        with pytest.raises(ValueError):
+            diagonal_sublattice((0, 2))
+
+    def test_3d_enumeration(self):
+        subs = list(all_sublattices_of_index(3, 2))
+        # Index-2 sublattices of Z^3 = number of index-2 subgroups = 7.
+        assert len(subs) == 7
+        assert all(s.index == 2 for s in subs)

@@ -1,0 +1,120 @@
+"""Unit tests for repro.core.theorem1 and repro.core.theorem2."""
+
+import pytest
+
+from repro.core.schedule import verify_collision_free
+from repro.core.theorem1 import (
+    lattice_schedule_or_none,
+    optimal_slot_count,
+    pairwise_conflicting_cells,
+    schedule_from_prototile,
+    schedule_from_tiling,
+)
+from repro.core.theorem2 import (
+    respectable_optimal_slots,
+    schedule_from_multi_tiling,
+    theorem2_slot_count,
+)
+from repro.tiles.shapes import (
+    chebyshev_ball,
+    directional_antenna,
+    plus_pentomino,
+    u_pentomino,
+)
+from repro.tiling.construct import (
+    figure5_mixed_tiling,
+    figure5_symmetric_tiling,
+)
+from repro.utils.vectors import box_points
+
+
+class TestTheorem1:
+    def test_slot_count(self):
+        for tile in (chebyshev_ball(1), plus_pentomino(),
+                     directional_antenna()):
+            schedule = schedule_from_prototile(tile)
+            assert schedule.num_slots == optimal_slot_count(tile) == \
+                tile.size
+
+    def test_collision_free_big_window(self):
+        schedule = schedule_from_prototile(directional_antenna())
+        points = list(box_points((-9, -9), (9, 9)))
+        assert verify_collision_free(schedule, points,
+                                     schedule.neighborhood_of)
+
+    def test_any_cell_order_works(self):
+        from repro.tiles.exactness import find_sublattice_tiling
+        from repro.tiling.lattice_tiling import LatticeTiling
+        import random
+        tile = plus_pentomino()
+        tiling = LatticeTiling(tile, find_sublattice_tiling(tile))
+        cells = tile.sorted_cells()
+        rng = random.Random(5)
+        for _ in range(3):
+            rng.shuffle(cells)
+            schedule = schedule_from_tiling(tiling, list(cells))
+            points = list(box_points((-5, -5), (5, 5)))
+            assert verify_collision_free(schedule, points,
+                                         schedule.neighborhood_of)
+
+    def test_non_exact_prototile_raises(self):
+        with pytest.raises(ValueError, match="not exact"):
+            schedule_from_prototile(u_pentomino(), max_period_side=5)
+
+    def test_lower_bound_witnesses(self):
+        tile = plus_pentomino()
+        witnesses = pairwise_conflicting_cells(tile)
+        expected_pairs = tile.size * (tile.size - 1) // 2
+        assert len(witnesses) == expected_pairs
+
+    def test_lattice_schedule_or_none(self):
+        assert lattice_schedule_or_none(plus_pentomino()) is not None
+        assert lattice_schedule_or_none(u_pentomino()) is None
+
+
+class TestTheorem2:
+    def test_respectable_slots(self):
+        multi = figure5_symmetric_tiling()
+        assert respectable_optimal_slots(multi) == 4
+
+    def test_non_respectable_raises(self):
+        with pytest.raises(ValueError, match="not respectable"):
+            respectable_optimal_slots(figure5_mixed_tiling())
+
+    def test_schedule_slot_count_is_union_size(self):
+        multi = figure5_mixed_tiling()
+        schedule = schedule_from_multi_tiling(multi)
+        assert schedule.num_slots == theorem2_slot_count(multi) == 6
+
+    def test_schedule_collision_free(self):
+        for multi in (figure5_mixed_tiling(), figure5_symmetric_tiling()):
+            schedule = schedule_from_multi_tiling(multi)
+            points = list(box_points((-7, -7), (7, 7)))
+            assert verify_collision_free(schedule, points,
+                                         schedule.neighborhood_of)
+
+    def test_custom_cell_enumeration(self):
+        multi = figure5_mixed_tiling()
+        union = multi.union_prototile()
+        cells = list(reversed(union.sorted_cells()))
+        schedule = schedule_from_multi_tiling(multi, cells)
+        points = list(box_points((-5, -5), (5, 5)))
+        assert verify_collision_free(schedule, points,
+                                     schedule.neighborhood_of)
+
+    def test_wrong_cells_rejected(self):
+        multi = figure5_mixed_tiling()
+        with pytest.raises(ValueError):
+            schedule_from_multi_tiling(multi, [(0, 0), (9, 9)])
+
+    def test_shared_cells_share_slots(self):
+        # S and Z share cells (0,0) and (0,1); sensors at those offsets
+        # within S-tiles and Z-tiles get the same slots (proof's scheme).
+        multi = figure5_mixed_tiling()
+        schedule = schedule_from_multi_tiling(multi)
+        s_anchor = (0, 0)   # an S tile anchor
+        z_anchor = (3, 0)   # a Z tile anchor
+        from repro.utils.vectors import vadd
+        for shared in ((0, 0), (0, 1)):
+            assert schedule.slot_of(vadd(s_anchor, shared)) == \
+                schedule.slot_of(vadd(z_anchor, shared))

@@ -1,0 +1,130 @@
+"""Unit tests for repro.tiling: lattice, periodic and base machinery."""
+
+import pytest
+
+from repro.lattice.sublattice import Sublattice, diagonal_sublattice
+from repro.tiles.exactness import find_sublattice_tiling
+from repro.tiles.shapes import (
+    chebyshev_ball,
+    plus_pentomino,
+    rectangle_tile,
+    s_tetromino,
+)
+from repro.tiling.base import verify_tiling_window
+from repro.tiling.construct import brick_wall_tiling
+from repro.tiling.lattice_tiling import LatticeTiling
+from repro.tiling.periodic import PeriodicTiling
+from repro.utils.vectors import box_points, vadd
+
+
+class TestLatticeTiling:
+    def make(self, tile):
+        sublattice = find_sublattice_tiling(tile)
+        return LatticeTiling(tile, sublattice)
+
+    def test_decompose_roundtrip(self):
+        tiling = self.make(plus_pentomino())
+        for point in box_points((-5, -5), (5, 5)):
+            translation, cell = tiling.decompose(point)
+            assert vadd(translation, cell) == point
+            assert cell in tiling.prototile
+            assert tiling.contains_translation(translation)
+
+    def test_rejects_wrong_index(self):
+        with pytest.raises(ValueError, match="index"):
+            LatticeTiling(rectangle_tile(2, 2), diagonal_sublattice((2, 3)))
+
+    def test_rejects_coset_collision(self):
+        domino = rectangle_tile(1, 2)
+        with pytest.raises(ValueError, match="coset"):
+            LatticeTiling(domino, Sublattice([(2, 0), (0, 1)]))
+
+    def test_rejects_dimension_mismatch(self):
+        from repro.tiles.prototile import Prototile
+        with pytest.raises(ValueError):
+            LatticeTiling(Prototile([(0, 0, 0), (0, 0, 1)]),
+                          diagonal_sublattice((2, 1)))
+
+    def test_window_verification(self):
+        for tile in (chebyshev_ball(1), plus_pentomino(), s_tetromino()):
+            tiling = self.make(tile)
+            assert verify_tiling_window(tiling, (-4, -4), (4, 4))
+
+    def test_translations_in_box(self):
+        tiling = self.make(rectangle_tile(2, 2))
+        translations = list(tiling.translations_in_box((0, 0), (3, 3)))
+        assert len(translations) == 4  # index 4 in a 16-cell box
+
+    def test_tile_at(self):
+        tiling = self.make(rectangle_tile(2, 2))
+        translation = next(iter(tiling.translations_in_box((0, 0), (3, 3))))
+        tile_cells = tiling.tile_at(translation)
+        assert len(tile_cells) == 4
+
+    def test_tile_at_rejects_non_translation(self):
+        tiling = self.make(rectangle_tile(2, 2))
+        with pytest.raises(ValueError):
+            tiling.tile_at((1, 0))
+
+    def test_cell_and_translation_accessors(self):
+        tiling = self.make(plus_pentomino())
+        point = (3, 4)
+        assert vadd(tiling.translation_of(point),
+                    tiling.cell_of(point)) == point
+
+
+class TestPeriodicTiling:
+    def test_brick_wall_valid(self):
+        tiling = brick_wall_tiling(2, 1, 1)
+        assert verify_tiling_window(tiling, (-5, -5), (5, 5))
+
+    def test_brick_wall_is_not_lattice(self):
+        tiling = brick_wall_tiling(2, 1, 1)
+        translations = [t for t in tiling.translations_in_box((-4, -4),
+                                                              (4, 4))]
+        # A lattice would be closed under negation of differences; the
+        # brick wall translate set is not a subgroup: (0,0),(1,1) in T but
+        # (2,0)... check directly: t1 + t2 not always in T.
+        t_set = set(translations)
+        assert (0, 0) in t_set
+        assert (1, 1) in t_set
+        assert not tiling.contains_translation((1, 0))
+
+    def test_rejects_double_cover(self):
+        tile = rectangle_tile(2, 1)
+        with pytest.raises(ValueError):
+            PeriodicTiling(tile, [(0, 0), (1, 0)],
+                           diagonal_sublattice((2, 2)))
+
+    def test_rejects_wrong_period_index(self):
+        tile = rectangle_tile(2, 1)
+        with pytest.raises(ValueError, match="index"):
+            PeriodicTiling(tile, [(0, 0)], diagonal_sublattice((3, 1)))
+
+    def test_rejects_duplicate_anchor(self):
+        tile = rectangle_tile(2, 1)
+        with pytest.raises(ValueError):
+            PeriodicTiling(tile, [(0, 0), (2, 0)],
+                           diagonal_sublattice((2, 2)))
+
+    def test_decompose_roundtrip(self):
+        tiling = brick_wall_tiling(3, 1, 1)
+        for point in box_points((-6, -6), (6, 6)):
+            translation, cell = tiling.decompose(point)
+            assert vadd(translation, cell) == point
+            assert tiling.contains_translation(translation)
+
+    def test_anchors_canonical(self):
+        tiling = brick_wall_tiling(2, 1, 1)
+        assert tiling.anchors == {(0, 0), (1, 1)}
+
+    def test_lattice_tiling_as_periodic(self):
+        # A lattice tiling expressed with anchors=[0] must agree with the
+        # LatticeTiling decomposition.
+        tile = rectangle_tile(2, 2)
+        sublattice = diagonal_sublattice((2, 2))
+        lattice_tiling = LatticeTiling(tile, sublattice)
+        periodic = PeriodicTiling(tile, [(0, 0)], sublattice)
+        for point in box_points((-3, -3), (3, 3)):
+            assert lattice_tiling.decompose(point) == \
+                periodic.decompose(point)

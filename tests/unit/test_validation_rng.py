@@ -1,0 +1,72 @@
+"""Unit tests for repro.utils.validation and repro.utils.rng."""
+
+import random
+
+import pytest
+
+from repro.utils import validation as val
+from repro.utils.rng import make_rng, spawn_rng
+
+
+class TestValidation:
+    def test_require_passes(self):
+        val.require(True, "never")
+
+    def test_require_raises(self):
+        with pytest.raises(ValueError, match="boom"):
+            val.require(False, "boom")
+
+    def test_require_positive(self):
+        val.require_positive(1, "x")
+        with pytest.raises(ValueError):
+            val.require_positive(0, "x")
+
+    def test_require_nonnegative(self):
+        val.require_nonnegative(0, "x")
+        with pytest.raises(ValueError):
+            val.require_nonnegative(-1, "x")
+
+    def test_require_dimension(self):
+        val.require_dimension((1, 2), 2)
+        with pytest.raises(ValueError):
+            val.require_dimension((1, 2), 3)
+
+    def test_require_nonempty(self):
+        val.require_nonempty([1], "items")
+        with pytest.raises(ValueError):
+            val.require_nonempty([], "items")
+
+    def test_require_probability(self):
+        val.require_probability(0.0, "p")
+        val.require_probability(1.0, "p")
+        with pytest.raises(ValueError):
+            val.require_probability(1.5, "p")
+        with pytest.raises(ValueError):
+            val.require_probability(-0.1, "p")
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(42)
+        b = make_rng(42)
+        assert [a.random() for _ in range(5)] == \
+            [b.random() for _ in range(5)]
+
+    def test_none_seed_is_deterministic(self):
+        assert make_rng(None).random() == make_rng(None).random()
+
+    def test_passthrough_rng(self):
+        rng = random.Random(1)
+        assert make_rng(rng) is rng
+
+    def test_spawn_streams_differ(self):
+        parent = make_rng(7)
+        child_a = spawn_rng(parent, 0)
+        parent = make_rng(7)
+        child_b = spawn_rng(parent, 1)
+        assert child_a.random() != child_b.random()
+
+    def test_spawn_deterministic(self):
+        a = spawn_rng(make_rng(3), 5)
+        b = spawn_rng(make_rng(3), 5)
+        assert a.random() == b.random()

@@ -1,0 +1,143 @@
+"""Unit tests for repro.utils.vectors."""
+
+import pytest
+
+from repro.utils import vectors as V
+
+
+class TestAsIntvec:
+    def test_accepts_ints(self):
+        assert V.as_intvec([1, -2, 3]) == (1, -2, 3)
+
+    def test_accepts_integral_floats(self):
+        assert V.as_intvec([2.0, -3.0]) == (2, -3)
+
+    def test_rejects_fractional_floats(self):
+        with pytest.raises(TypeError):
+            V.as_intvec([1.5, 0])
+
+    def test_rejects_booleans(self):
+        with pytest.raises(TypeError):
+            V.as_intvec([True, 0])
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError):
+            V.as_intvec(["1", "2"])
+
+
+class TestArithmetic:
+    def test_zero(self):
+        assert V.zero(3) == (0, 0, 0)
+
+    def test_zero_rejects_nonpositive_dimension(self):
+        with pytest.raises(ValueError):
+            V.zero(0)
+
+    def test_vadd(self):
+        assert V.vadd((1, 2), (3, -5)) == (4, -3)
+
+    def test_vsub(self):
+        assert V.vsub((1, 2), (3, -5)) == (-2, 7)
+
+    def test_vneg(self):
+        assert V.vneg((1, -2)) == (-1, 2)
+
+    def test_vscale(self):
+        assert V.vscale(-3, (1, 2)) == (-3, -6)
+
+    def test_vdot(self):
+        assert V.vdot((1, 2, 3), (4, 5, 6)) == 32
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            V.vadd((1, 2), (1, 2, 3))
+
+
+class TestNorms:
+    def test_linf(self):
+        assert V.linf_norm((3, -7, 2)) == 7
+
+    def test_l1(self):
+        assert V.l1_norm((3, -7, 2)) == 12
+
+    def test_l2_sq(self):
+        assert V.l2_norm_sq((3, 4)) == 25
+
+    def test_l2(self):
+        assert V.l2_norm((3, 4)) == pytest.approx(5.0)
+
+    def test_chebyshev_distance(self):
+        assert V.chebyshev_distance((1, 1), (4, -1)) == 3
+
+    def test_manhattan_distance(self):
+        assert V.manhattan_distance((1, 1), (4, -1)) == 5
+
+
+class TestBoxes:
+    def test_bounding_box(self):
+        lo, hi = V.bounding_box([(1, 5), (-2, 3), (0, 9)])
+        assert lo == (-2, 3)
+        assert hi == (1, 9)
+
+    def test_bounding_box_empty_raises(self):
+        with pytest.raises(ValueError):
+            V.bounding_box([])
+
+    def test_box_points_count(self):
+        points = list(V.box_points((-1, -1), (1, 1)))
+        assert len(points) == 9
+        assert (0, 0) in points
+
+    def test_box_points_empty_when_inverted(self):
+        assert list(V.box_points((1,), (0,))) == []
+
+    def test_box_points_mismatched_corners(self):
+        with pytest.raises(ValueError):
+            list(V.box_points((0, 0), (1,)))
+
+
+class TestSetOperations:
+    def test_minkowski_sum(self):
+        result = V.minkowski_sum([(0, 0), (1, 0)], [(0, 0), (0, 1)])
+        assert result == {(0, 0), (1, 0), (0, 1), (1, 1)}
+
+    def test_difference_set_contains_zero(self):
+        diff = V.difference_set([(0, 0), (2, 1)])
+        assert (0, 0) in diff
+        assert (2, 1) in diff
+        assert (-2, -1) in diff
+
+    def test_difference_set_symmetric(self):
+        diff = V.difference_set([(0, 0), (1, 0), (5, -2)])
+        assert all(V.vneg(d) in diff for d in diff)
+
+    def test_translate_set(self):
+        assert V.translate_set([(0, 0), (1, 1)], (2, -1)) == \
+            {(2, -1), (3, 0)}
+
+
+class TestTransforms:
+    def test_rotate90_cycle(self):
+        point = (3, 1)
+        rotated = point
+        for _ in range(4):
+            rotated = V.rotate90(rotated)
+        assert rotated == point
+
+    def test_rotate90_quarter(self):
+        assert V.rotate90((1, 0)) == (0, 1)
+        assert V.rotate90((0, 1)) == (-1, 0)
+
+    def test_rotate90_requires_2d(self):
+        with pytest.raises(ValueError):
+            V.rotate90((1, 2, 3))
+
+    def test_reflect_x(self):
+        assert V.reflect_x((2, 5)) == (2, -5)
+
+    def test_reflect_requires_2d(self):
+        with pytest.raises(ValueError):
+            V.reflect_x((1,))
+
+    def test_lex_min(self):
+        assert V.lex_min([(1, 0), (0, 9), (0, 2)]) == (0, 2)

@@ -1,0 +1,114 @@
+"""Unit tests for repro.viz: ascii art, SVG writer, figure generators."""
+
+import pytest
+
+from repro.core.theorem1 import schedule_from_prototile
+from repro.tiles.exactness import find_sublattice_tiling
+from repro.tiles.shapes import chebyshev_ball, plus_pentomino, s_tetromino
+from repro.tiling.construct import figure5_mixed_tiling
+from repro.tiling.lattice_tiling import LatticeTiling
+from repro.viz.ascii_art import (
+    render_multi_tiling,
+    render_prototile,
+    render_schedule,
+    render_tiling,
+)
+from repro.viz.figures import all_figures, figure3, figure5
+from repro.viz.svg import SvgCanvas
+
+
+class TestAsciiArt:
+    def test_render_prototile_plus(self):
+        art = render_prototile(plus_pentomino())
+        lines = art.splitlines()
+        assert len(lines) == 3
+        assert "O" in art
+        assert art.count("x") == 4
+
+    def test_render_prototile_requires_2d(self):
+        from repro.tiles.prototile import Prototile
+        with pytest.raises(ValueError):
+            render_prototile(Prototile([(0, 0, 0)]))
+
+    def test_render_schedule_labels(self):
+        schedule = schedule_from_prototile(chebyshev_ball(1))
+        art = render_schedule(schedule, (0, 0), (5, 5))
+        labels = {int(tok) for tok in art.split()}
+        assert labels == set(range(1, 10))  # one-based slots 1..9
+
+    def test_render_schedule_zero_based(self):
+        schedule = schedule_from_prototile(chebyshev_ball(1))
+        art = render_schedule(schedule, (0, 0), (5, 5), one_based=False)
+        labels = {int(tok) for tok in art.split()}
+        assert labels == set(range(9))
+
+    def test_render_tiling_letters(self):
+        tile = s_tetromino()
+        tiling = LatticeTiling(tile, find_sublattice_tiling(tile))
+        art = render_tiling(tiling, (0, 0), (3, 3))
+        assert len(art.splitlines()) == 4
+
+    def test_render_multi_tiling(self):
+        art = render_multi_tiling(figure5_mixed_tiling(), (0, 0), (3, 3))
+        tokens = set(art.split())
+        # digits and letters for the two prototiles
+        assert tokens <= {"0", "1", "A", "B"}
+        assert {"0", "1"} & tokens or {"A", "B"} & tokens
+
+
+class TestSvgCanvas:
+    def test_document_structure(self):
+        canvas = SvgCanvas(width=100, height=80)
+        canvas.circle(0, 0, 0.1)
+        canvas.line(0, 0, 1, 1)
+        canvas.polygon([(0, 0), (1, 0), (0, 1)], fill="red")
+        canvas.text(0, 0, "hi <there>")
+        canvas.square_cell(1, 1, fill="blue")
+        document = canvas.to_svg()
+        assert document.startswith("<svg")
+        assert document.rstrip().endswith("</svg>")
+        assert "<circle" in document
+        assert "<line" in document
+        assert "<polygon" in document
+        assert "&lt;there&gt;" in document  # escaped text
+
+    def test_save(self, tmp_path):
+        canvas = SvgCanvas()
+        canvas.circle(0, 0, 0.5)
+        path = canvas.save(str(tmp_path / "out.svg"))
+        content = open(path).read()
+        assert "<svg" in content
+
+    def test_y_axis_flip(self):
+        canvas = SvgCanvas(width=100, height=100, scale=10)
+        canvas.circle(0, 1, 0.1)  # model y=+1 must map above center
+        document = canvas.to_svg()
+        assert 'cy="40.00"' in document  # 50 - 1*10
+
+
+class TestFigures:
+    def test_all_figures_generate(self):
+        artifacts = all_figures()
+        assert [a.figure_id for a in artifacts] == \
+            ["fig1", "fig2", "fig3", "fig4", "fig5"]
+        for artifact in artifacts:
+            assert artifact.ascii_art
+            assert artifact.svg_documents
+            for document in artifact.svg_documents.values():
+                assert document.startswith("<svg")
+
+    def test_figure3_has_eight_slots(self):
+        artifact = figure3()
+        assert "m = 8" in artifact.ascii_art
+
+    def test_figure5_shows_gap(self):
+        artifact = figure5()
+        assert "m = 6" in artifact.ascii_art
+        assert "m = 4" in artifact.ascii_art
+
+    def test_save_svgs(self, tmp_path):
+        artifact = figure3()
+        paths = artifact.save_svgs(str(tmp_path))
+        assert len(paths) == len(artifact.svg_documents)
+        for path in paths:
+            assert open(path).read().startswith("<svg")

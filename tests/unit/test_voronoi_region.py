@@ -1,0 +1,165 @@
+"""Unit tests for repro.lattice.voronoi and repro.lattice.region."""
+
+import math
+
+import pytest
+
+from repro.lattice.region import (
+    Region,
+    box_region,
+    chebyshev_ball_region,
+    euclidean_ball_region,
+)
+from repro.lattice.standard import (
+    hexagonal_lattice,
+    rectangular_lattice,
+    square_lattice,
+)
+from repro.lattice.voronoi import (
+    point_in_polygon,
+    polygon_area,
+    quasi_polyform_region,
+    reduced_basis_2d,
+    relevant_vectors_2d,
+    voronoi_cell_2d,
+)
+
+
+class TestVoronoiCells:
+    def test_square_cell_is_unit_square(self):
+        cell = voronoi_cell_2d(square_lattice())
+        assert cell.num_edges == 4
+        assert cell.area == pytest.approx(1.0)
+        xs = sorted({round(v[0], 6) for v in cell.vertices})
+        assert xs == [-0.5, 0.5]
+
+    def test_hexagonal_cell_is_hexagon(self):
+        cell = voronoi_cell_2d(hexagonal_lattice())
+        assert cell.num_edges == 6
+        assert cell.area == pytest.approx(math.sqrt(3) / 2)
+
+    def test_rectangular_cell(self):
+        cell = voronoi_cell_2d(rectangular_lattice(2.0, 1.0))
+        assert cell.num_edges == 4
+        assert cell.area == pytest.approx(2.0)
+
+    def test_cell_area_equals_covolume(self):
+        for lattice in (square_lattice(), hexagonal_lattice(),
+                        rectangular_lattice(1.5, 0.8)):
+            cell = voronoi_cell_2d(lattice)
+            assert cell.area == pytest.approx(lattice.covolume)
+
+    def test_translated_cell(self):
+        lattice = square_lattice()
+        cell = voronoi_cell_2d(lattice, (3, -2))
+        assert cell.center == pytest.approx((3.0, -2.0))
+        assert cell.contains_point((3.1, -2.3))
+        assert not cell.contains_point((0.0, 0.0))
+
+    def test_contains_disk(self):
+        cell = voronoi_cell_2d(square_lattice())
+        assert cell.contains_disk((0.0, 0.0), 0.4)
+        assert not cell.contains_disk((0.0, 0.0), 0.6)
+        assert not cell.contains_disk((0.4, 0.0), 0.2)
+
+    def test_contains_point_boundary(self):
+        cell = voronoi_cell_2d(square_lattice())
+        assert cell.contains_point((0.5, 0.0))
+
+
+class TestPolygonHelpers:
+    def test_polygon_area_triangle(self):
+        assert polygon_area([(0, 0), (2, 0), (0, 2)]) == pytest.approx(2.0)
+
+    def test_polygon_area_degenerate(self):
+        assert polygon_area([(0, 0), (1, 1)]) == 0.0
+
+    def test_point_in_polygon(self):
+        square = [(0, 0), (2, 0), (2, 2), (0, 2)]
+        assert point_in_polygon((1, 1), square)
+        assert not point_in_polygon((3, 1), square)
+
+    def test_point_in_polygon_clockwise(self):
+        square = [(0, 0), (0, 2), (2, 2), (2, 0)]
+        assert point_in_polygon((1, 1), square)
+
+
+class TestBasisReduction:
+    def test_reduced_basis_lengths(self):
+        from repro.lattice.lattice import Lattice
+        skew = Lattice([(1.0, 0.0), (7.0, 1.0)])
+        b1, b2 = reduced_basis_2d(skew)
+        assert (b1 ** 2).sum() <= (b2 ** 2).sum() + 1e-9
+        # Reduced vectors should be short: covolume is 1.
+        assert (b1 ** 2).sum() == pytest.approx(1.0)
+
+    def test_relevant_vectors_even_count(self):
+        vectors = relevant_vectors_2d(hexagonal_lattice())
+        assert len(vectors) % 2 == 0
+
+
+class TestQuasiPolyform:
+    def test_union_area(self):
+        lattice = square_lattice()
+        cells = quasi_polyform_region(lattice, [(0, 0), (1, 0), (0, 1)])
+        assert sum(c.area for c in cells) == pytest.approx(3.0)
+
+    def test_centers_match_points(self):
+        lattice = hexagonal_lattice()
+        cells = quasi_polyform_region(lattice, [(0, 0), (1, 0)])
+        assert cells[1].center == pytest.approx(lattice.to_real((1, 0)))
+
+
+class TestRegion:
+    def test_box_region_size(self):
+        assert len(box_region((0, 0), (2, 3))) == 12
+
+    def test_region_requires_points(self):
+        with pytest.raises(ValueError):
+            Region([])
+
+    def test_region_mixed_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            Region([(0, 0), (1, 2, 3)])
+
+    def test_membership_and_iteration(self):
+        region = box_region((0, 0), (1, 1))
+        assert (0, 1) in region
+        assert (2, 0) not in region
+        assert list(region) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_translated(self):
+        region = box_region((0, 0), (1, 1)).translated((5, 5))
+        assert (5, 5) in region
+        assert (6, 6) in region
+        assert (0, 0) not in region
+
+    def test_union_intersection(self):
+        a = box_region((0, 0), (1, 1))
+        b = box_region((1, 1), (2, 2))
+        assert len(a.union(b)) == 7
+        assert len(a.intersection(b)) == 1
+
+    def test_contains_translate_of(self):
+        region = box_region((0, 0), (4, 4))
+        pattern = [(0, 0), (1, 0), (0, 1)]
+        assert region.contains_translate_of(pattern)
+        tiny = box_region((0, 0), (0, 4))
+        assert not tiny.contains_translate_of(pattern)
+
+    def test_chebyshev_ball_region(self):
+        region = chebyshev_ball_region(1)
+        assert len(region) == 9
+        region0 = chebyshev_ball_region(0)
+        assert len(region0) == 1
+
+    def test_euclidean_ball_region(self):
+        square = euclidean_ball_region(square_lattice(), 1.0)
+        assert len(square) == 5
+        hexagonal = euclidean_ball_region(hexagonal_lattice(), 1.0)
+        assert len(hexagonal) == 7
+
+    def test_bounding_box(self):
+        lo, hi = box_region((-1, 2), (3, 4)).bounding_box()
+        assert lo == (-1, 2)
+        assert hi == (3, 4)
