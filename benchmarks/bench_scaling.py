@@ -2,20 +2,33 @@
 
 The tiling schedule's round length stays |N| while TDMA's grows with the
 network; slot assignment per sensor is O(1) versus growing coloring cost.
+The bulk cases stress the engine's vectorized slot assignment on a
+~10^5-sensor window against the per-point pure-Python loop.
 """
+
+import time
 
 import pytest
 
 from repro.core.theorem1 import schedule_from_prototile
+from repro.engine import numpy_available
 from repro.experiments.base import format_rows
 from repro.experiments.systems_experiments import run_scaling
 from repro.graphs.coloring import dsatur_coloring
 from repro.graphs.interference import conflict_graph_homogeneous
 from repro.lattice.region import box_region
 from repro.tiles.shapes import chebyshev_ball
+from repro.utils.vectors import box_points
 
 _TILE = chebyshev_ball(1)
 _SCHEDULE = schedule_from_prototile(_TILE)
+# 316 x 316 = 99856 sensors: the large-window engine workload.
+_BULK_SIDE = 316
+
+
+def _window(side):
+    """Row-major window list (the natural bulk representation)."""
+    return list(box_points((0, 0), (side - 1, side - 1)))
 
 
 def test_scaling_regenerates(report, benchmark):
@@ -42,3 +55,40 @@ def test_dsatur_baseline_cost(benchmark, side):
 
     coloring = benchmark(dsatur_coloring, graph)
     assert max(coloring.values()) + 1 >= _TILE.size
+
+
+@pytest.mark.parametrize("side", [100, _BULK_SIDE])
+def test_bulk_slot_assignment(benchmark, side):
+    points = _window(side)
+
+    slots = benchmark.pedantic(_SCHEDULE.slots_of, args=(points,),
+                               rounds=1, iterations=1)
+    assert len(slots) == side * side
+    assert set(slots) == set(range(_SCHEDULE.num_slots))
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+def test_bulk_slot_assignment_speedup(report, benchmark):
+    import numpy as np
+
+    points = _window(_BULK_SIDE)
+    window = np.asarray(points)
+
+    t0 = time.perf_counter()
+    loop_slots = [_SCHEDULE.slot_of(p) for p in points]
+    loop_time = time.perf_counter() - t0
+
+    bulk_time = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        bulk_slots = _SCHEDULE.slots_of(window)
+        bulk_time = min(bulk_time, time.perf_counter() - t0)
+    benchmark.pedantic(_SCHEDULE.slots_of, args=(window,),
+                       rounds=1, iterations=1)
+
+    assert bulk_slots == loop_slots
+    speedup = loop_time / bulk_time
+    report("Engine — bulk slot assignment",
+           f"{len(points)} sensors: per-point loop {loop_time * 1e3:.0f} ms, "
+           f"engine {bulk_time * 1e3:.1f} ms ({speedup:.1f}x)")
+    assert speedup >= 10

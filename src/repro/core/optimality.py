@@ -167,6 +167,11 @@ class AssignmentSchedule:
         k, _, cell = self.multi.decompose(point)
         return self.assignment[(k, cell)]
 
+    def slots_of(self, points) -> list[int]:
+        """Bulk :meth:`slot_of` via the tiling's vectorized decomposition."""
+        return [self.assignment[(k, cell)]
+                for k, _, cell in self.multi.decompose_batch(points)]
+
     def may_send(self, point, time: int) -> bool:
         return time % self.num_slots == self.slot_of(point)
 

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from collections.abc import Callable, Iterable, Mapping, Sequence
 
+from repro.engine.collisions import scan_collisions
+from repro.engine.slots import CosetTable, as_point_batch
 from repro.tiles.prototile import Prototile
 from repro.tiling.base import Tiling
 from repro.tiling.multi import MultiTiling
@@ -47,6 +49,14 @@ class Schedule:
     def slot_of(self, point: Sequence[int]) -> int:
         """Slot of the sensor at ``point`` (in ``0..num_slots-1``)."""
         raise NotImplementedError
+
+    def slots_of(self, points: Iterable[Sequence[int]]) -> list[int]:
+        """Slots of many sensors at once.
+
+        Semantically ``[self.slot_of(p) for p in points]``; subclasses
+        with coset structure dispatch to the vectorized engine kernel.
+        """
+        return [self.slot_of(p) for p in points]
 
     def may_send(self, point: Sequence[int], time: int) -> bool:
         """True when the sensor at ``point`` owns time step ``time``."""
@@ -111,10 +121,31 @@ class TilingSchedule(Schedule):
         self.tiling = tiling
         self.cells = list(cells)
         self._slot_by_cell = {cell: k for k, cell in enumerate(cells)}
+        self._slot_table: CosetTable | None = None
+        self._slot_table_ready = False
 
     def slot_of(self, point: Sequence[int]) -> int:
         _, cell = self.tiling.decompose(point)
         return self._slot_by_cell[cell]
+
+    def slots_of(self, points: Iterable[Sequence[int]]) -> list[int]:
+        table = self._coset_table()
+        if table is None:
+            return [self.slot_of(p) for p in points]
+        return table.lookup(as_point_batch(points))
+
+    def _coset_table(self) -> CosetTable | None:
+        if not self._slot_table_ready:
+            structure = self.tiling.coset_structure()
+            if structure is not None:
+                period, cell_by_representative = structure
+                self._slot_table = CosetTable(
+                    period,
+                    {representative: self._slot_by_cell[cell]
+                     for representative, cell
+                     in cell_by_representative.items()})
+            self._slot_table_ready = True
+        return self._slot_table
 
     @property
     def prototile(self) -> Prototile:
@@ -159,10 +190,20 @@ class MultiTilingSchedule(Schedule):
         self.multi = multi
         self.cells = list(cells)
         self._slot_by_cell = {cell: k for k, cell in enumerate(cells)}
+        self._slot_table: CosetTable | None = None
 
     def slot_of(self, point: Sequence[int]) -> int:
         _, _, cell = self.multi.decompose(point)
         return self._slot_by_cell[cell]
+
+    def slots_of(self, points: Iterable[Sequence[int]]) -> list[int]:
+        if self._slot_table is None:
+            period, cell_by_representative = self.multi.coset_structure()
+            self._slot_table = CosetTable(
+                period,
+                {representative: self._slot_by_cell[cell]
+                 for representative, cell in cell_by_representative.items()})
+        return self._slot_table.lookup(as_point_batch(points))
 
     def neighborhood_of(self, point: Sequence[int]) -> frozenset[IntVec]:
         """Deployment-D1 interference set of the sensor at ``point``."""
@@ -181,8 +222,16 @@ def conflict_offsets(prototiles: Iterable[Prototile]) -> frozenset[IntVec]:
     Sensors at ``x`` (type ``N_k``) and ``y`` (type ``N_l``) have
     intersecting ranges iff ``y - x`` is in ``N_k - N_l``; the union over
     all type pairs bounds the search neighborhood for verification.
+
+    ``prototiles`` may be any iterable (including a one-shot generator);
+    it is materialized before the pairwise loop.
+
+    Raises:
+        ValueError: if ``prototiles`` is empty.
     """
     tiles = list(prototiles)
+    if not tiles:
+        raise ValueError("need at least one prototile")
     offsets: set[IntVec] = set()
     for a in tiles:
         for b in tiles:
@@ -191,6 +240,51 @@ def conflict_offsets(prototiles: Iterable[Prototile]) -> frozenset[IntVec]:
                     offsets.add(vsub(p, q))
     offsets.discard((0,) * tiles[0].dimension)
     return frozenset(offsets)
+
+
+# Beyond this many distinct neighborhood shapes the pairwise difference
+# sets the bulk scan precomputes stop paying off; verification then keeps
+# the direct per-pair range-intersection test.
+_MAX_SHAPE_CLASSES = 32
+
+
+def _origin_shapes(point_list: list[IntVec],
+                   neighborhood_of: NeighborhoodFn,
+                   ) -> tuple[list[frozenset[IntVec]], list[int]]:
+    """Classify points by interference shape (neighborhood rebased to 0).
+
+    Returns ``(shapes, shape_ids)``.  Known homogeneous / deployment-D1
+    neighborhood functions are recognized so the classification itself is
+    O(1) or vectorized; arbitrary callables fall back to rebasing each
+    point's neighborhood.
+    """
+    owner = getattr(neighborhood_of, "__self__", None)
+    func = getattr(neighborhood_of, "__func__", None)
+    if (isinstance(owner, TilingSchedule)
+            and func is TilingSchedule.neighborhood_of):
+        return [frozenset(owner.prototile.cells)], [0] * len(point_list)
+    multi = None
+    if (isinstance(owner, MultiTilingSchedule)
+            and func is MultiTilingSchedule.neighborhood_of):
+        multi = owner.multi
+    elif isinstance(owner, MultiTiling) and func is MultiTiling.neighborhood_of:
+        multi = owner
+    if multi is not None:
+        shapes = [frozenset(tile.cells) for tile in multi.prototiles]
+        return shapes, multi.prototile_indices(point_list)
+    shapes = []
+    shape_ids = []
+    index: dict[frozenset[IntVec], int] = {}
+    for point in point_list:
+        shape = frozenset(vsub(cell, point)
+                          for cell in neighborhood_of(point))
+        shape_id = index.get(shape)
+        if shape_id is None:
+            shape_id = len(shapes)
+            index[shape] = shape_id
+            shapes.append(shape)
+        shape_ids.append(shape_id)
+    return shapes, shape_ids
 
 
 def find_collisions(schedule: Schedule,
@@ -202,7 +296,9 @@ def find_collisions(schedule: Schedule,
 
     A pair ``(x, y)`` collides when the sensors share a slot and their
     interference ranges intersect — the exact condition the paper's
-    schedules must avoid.
+    schedules must avoid.  The scan runs on the bulk engine
+    (:mod:`repro.engine.collisions`): vectorized with numpy when
+    available, pure Python otherwise, with identical results.
 
     Args:
         schedule: slot assignment to check.
@@ -210,36 +306,54 @@ def find_collisions(schedule: Schedule,
         neighborhood_of: maps a sensor to its interference set (pass the
             schedule's ``neighborhood_of`` for Theorem 1/2 schedules).
         offsets: optional candidate conflict offsets; computed from the
-            neighborhoods of the points when omitted.
+            neighborhoods of the points when omitted.  Any iterable is
+            accepted — a one-shot generator is materialized up front, so
+            it is scanned in full for every point.
+
+    Returns:
+        The colliding pairs, each ordered ``x < y`` and the list sorted —
+        a canonical order independent of backend and input ordering.
     """
     point_list = [as_intvec(p) for p in points]
-    point_set = set(point_list)
-    if offsets is None:
-        # Rebase each neighborhood to the origin and deduplicate: a
+    if not point_list:
+        return []
+    offset_list = None if offsets is None else list(offsets)
+    shapes, shape_ids = _origin_shapes(point_list, neighborhood_of)
+    if offset_list is None:
+        # Candidate offsets from the deduplicated window shapes: a
         # homogeneous window has one shape, a D1 deployment a few.
-        shapes: set[frozenset[IntVec]] = set()
-        for p in point_list:
-            cells = neighborhood_of(p)
-            anchor = p
-            shapes.add(frozenset(vsub(c, anchor) for c in cells))
-        prototiles = [
-            Prototile(shape | {(0,) * len(point_list[0])},
-                      name=f"window-{index}")
-            for index, shape in enumerate(sorted(shapes, key=sorted))
-        ]
-        offsets = conflict_offsets(prototiles)
+        origin = (0,) * len(point_list[0])
+        unique = sorted({shape | {origin} for shape in shapes}, key=sorted)
+        prototiles = [Prototile(cells, name=f"window-{index}")
+                      for index, cells in enumerate(unique)]
+        offset_list = sorted(conflict_offsets(prototiles))
+    # ``schedule`` is duck-typed; only ``slot_of`` is required.
+    bulk_slots = getattr(schedule, "slots_of", None)
+    if bulk_slots is not None:
+        slots = bulk_slots(point_list)
+    else:
+        slots = [schedule.slot_of(p) for p in point_list]
+    if len(shapes) <= _MAX_SHAPE_CLASSES:
+        return scan_collisions(point_list, slots, shape_ids, shapes,
+                               offset_list)
+    # Degenerate windows with very many distinct shapes: test ranges
+    # directly instead of materializing pairwise difference sets.
+    point_index: dict[IntVec, int] = {}
+    for i, point in enumerate(point_list):
+        point_index.setdefault(point, i)
     collisions: list[Collision] = []
-    slot_cache = {p: schedule.slot_of(p) for p in point_list}
-    for x in point_list:
+    for i, x in enumerate(point_list):
         range_x = neighborhood_of(x)
-        for delta in offsets:
+        for delta in offset_list:
             y = vadd(x, delta)
-            if y <= x or y not in point_set:
+            if y <= x:
                 continue
-            if slot_cache[x] != slot_cache[y]:
+            j = point_index.get(y)
+            if j is None or slots[j] != slots[i]:
                 continue
             if range_x & neighborhood_of(y):
                 collisions.append((x, y))
+    collisions.sort()
     return collisions
 
 

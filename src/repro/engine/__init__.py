@@ -1,0 +1,51 @@
+"""Bulk execution engine: vectorized kernels with a pure-Python fallback.
+
+The tuple-based core of the library is exact and convenient, but the
+collision oracle and the slotted simulator are hot paths that the ROADMAP
+asks to run "as fast as the hardware allows".  This package supplies the
+batch counterparts:
+
+* :mod:`repro.engine.backend` — the numpy gate.  numpy stays an *optional*
+  dependency; every kernel has a pure-Python implementation that produces
+  byte-identical results, and ``REPRO_ENGINE=python`` (or
+  :func:`set_backend`) forces the fallback even when numpy is installed.
+* :mod:`repro.engine.encode` — injective integer keys for lattice points
+  of a finite window, so membership tests become sorted-array lookups.
+* :mod:`repro.engine.slots` — :class:`CosetTable`, a vectorized form of
+  the Hermite-normal-form coset reduction behind every tiling schedule:
+  thousands of ``slot_of`` queries collapse into a handful of array ops.
+* :mod:`repro.engine.collisions` — the bulk collision scan used by
+  :func:`repro.core.schedule.find_collisions`.
+* :mod:`repro.engine.simindex` — CSR-style receiver adjacency over dense
+  integer ids, the data structure behind the simulator fast path.
+
+The engine deliberately depends only on :mod:`repro.utils` and the
+duck-typed ``Sublattice`` interface, never on the schedule/network layers,
+so those layers can dispatch into it without import cycles.
+"""
+
+from __future__ import annotations
+
+from repro.engine.backend import (
+    active_backend,
+    numpy_available,
+    numpy_module,
+    set_backend,
+    use_backend,
+)
+from repro.engine.collisions import scan_collisions
+from repro.engine.encode import BoxEncoder
+from repro.engine.simindex import AdjacencyIndex
+from repro.engine.slots import CosetTable
+
+__all__ = [
+    "active_backend",
+    "numpy_available",
+    "numpy_module",
+    "set_backend",
+    "use_backend",
+    "scan_collisions",
+    "BoxEncoder",
+    "AdjacencyIndex",
+    "CosetTable",
+]

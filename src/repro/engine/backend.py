@@ -1,0 +1,108 @@
+"""Backend selection for the bulk engine: numpy when present, else Python.
+
+numpy is an optional dependency.  The resolution order is:
+
+1. an explicit :func:`set_backend` / :func:`use_backend` call,
+2. the ``REPRO_ENGINE`` environment variable (``auto``/``numpy``/``python``),
+3. ``auto``: numpy when importable, pure Python otherwise.
+
+Every engine kernel is written twice — once against numpy arrays and once
+against plain lists/dicts — and the two implementations are required (and
+tested) to produce identical results, so flipping the backend is purely a
+performance decision.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+__all__ = [
+    "numpy_module",
+    "numpy_available",
+    "active_backend",
+    "set_backend",
+    "use_backend",
+]
+
+_CHOICES = ("auto", "numpy", "python")
+
+_numpy: Any = None
+_numpy_checked = False
+
+
+def numpy_module() -> Any | None:
+    """The imported numpy module, or ``None`` when numpy is unavailable."""
+    global _numpy, _numpy_checked
+    if not _numpy_checked:
+        try:
+            import numpy
+        except ImportError:
+            numpy = None
+        _numpy = numpy
+        _numpy_checked = True
+    return _numpy
+
+
+def numpy_available() -> bool:
+    """True when numpy can be imported in this interpreter."""
+    return numpy_module() is not None
+
+
+def _initial_backend() -> str:
+    requested = os.environ.get("REPRO_ENGINE", "auto").strip().lower()
+    if requested in _CHOICES:
+        return requested
+    # Importing a library must not raise on a bad env var, but a typo'd
+    # REPRO_ENGINE silently running the wrong backend is worse than noise.
+    warnings.warn(
+        f"ignoring unknown REPRO_ENGINE value {requested!r}; "
+        f"expected one of {_CHOICES} (falling back to 'auto')",
+        stacklevel=2)
+    return "auto"
+
+
+_backend = _initial_backend()
+
+
+def set_backend(name: str) -> None:
+    """Select the engine backend: ``"auto"``, ``"numpy"`` or ``"python"``.
+
+    Raises:
+        ValueError: for an unknown name, or when ``"numpy"`` is requested
+            but numpy is not installed.
+    """
+    global _backend
+    if name not in _CHOICES:
+        raise ValueError(
+            f"unknown engine backend {name!r}; expected one of {_CHOICES}")
+    if name == "numpy" and not numpy_available():
+        raise ValueError("numpy backend requested but numpy is not installed")
+    _backend = name
+
+
+def active_backend() -> str:
+    """The resolved backend for the next kernel call: ``numpy``/``python``.
+
+    A ``numpy`` request (e.g. via ``REPRO_ENGINE=numpy``) degrades to
+    ``python`` when numpy turns out to be unimportable, so kernels never
+    dereference a missing module; :func:`set_backend` is the strict API
+    that rejects the request up front instead.
+    """
+    if _backend == "python":
+        return "python"
+    return "numpy" if numpy_available() else "python"
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[None]:
+    """Temporarily force a backend (used by the equivalence tests)."""
+    global _backend
+    previous = _backend
+    set_backend(name)
+    try:
+        yield
+    finally:
+        _backend = previous

@@ -1,0 +1,132 @@
+"""Bulk collision scanning over a finite sensor window.
+
+The scan answers: among ``points`` with known slots, which pairs share a
+slot *and* have intersecting interference ranges?  Ranges enter through
+*shape classes*: point ``x`` carries shape ``S[shape_ids[x]]`` (its
+interference set rebased to the origin), and the ranges of ``x`` and
+``y`` intersect iff ``y - x`` lies in the difference set
+``S_x - S_y`` — so the whole geometric test collapses to a membership
+table over (shape pair, candidate offset).
+
+Both implementations enumerate, for every lexicographically positive
+candidate offset ``delta``, the pairs ``(x, x + delta)`` present in the
+window, and keep those with equal slots and an allowed shape pair.  The
+numpy path does this with one sorted-key membership pass per offset; the
+Python path with one dict probe per (point, offset).  Results are
+identical: a list of ``(x, y)`` pairs with ``x < y``, sorted.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.engine.backend import active_backend, numpy_module
+from repro.engine.encode import BoxEncoder
+from repro.utils.vectors import IntVec, vadd, vsub
+
+__all__ = ["scan_collisions"]
+
+Collision = tuple[IntVec, IntVec]
+
+
+def scan_collisions(points: Sequence[IntVec],
+                    slots: Sequence[int],
+                    shape_ids: Sequence[int],
+                    shapes: Sequence[frozenset[IntVec]],
+                    offsets: Sequence[IntVec]) -> list[Collision]:
+    """All colliding pairs, sorted by ``(x, y)``.
+
+    Args:
+        points: the window (integer tuples; duplicates follow the same
+            once-per-occurrence-of-``x`` semantics as the schedule layer).
+        slots: slot of each point, aligned with ``points``.
+        shape_ids: index into ``shapes`` for each point.
+        shapes: origin-rebased interference sets, one per shape class.
+        offsets: candidate conflict offsets ``y - x`` to probe.  Offsets
+            that are lexicographically nonpositive cannot produce a new
+            ``x < y`` pair and are skipped.
+    """
+    if not points or not offsets:
+        return []
+    dimension = len(points[0])
+    zero = (0,) * dimension
+    positive = [delta for delta in offsets if delta > zero]
+    if not positive:
+        return []
+    differences = [[frozenset(vsub(p, q) for p in a for q in b)
+                    for b in shapes] for a in shapes]
+    if active_backend() == "numpy":
+        collisions = _scan_numpy(points, slots, shape_ids, differences,
+                                 positive)
+        if collisions is not None:
+            collisions.sort()
+            return collisions
+    collisions = _scan_python(points, slots, shape_ids, differences, positive)
+    collisions.sort()
+    return collisions
+
+
+def _scan_python(points, slots, shape_ids, differences, offsets):
+    index_of: dict[IntVec, int] = {}
+    for i, point in enumerate(points):
+        index_of.setdefault(point, i)
+    collisions: list[Collision] = []
+    for i, x in enumerate(points):
+        slot = slots[i]
+        row = differences[shape_ids[i]]
+        for delta in offsets:
+            j = index_of.get(vadd(x, delta))
+            if j is None or slots[j] != slot:
+                continue
+            if delta in row[shape_ids[j]]:
+                collisions.append((x, points[j]))
+    return collisions
+
+
+def _scan_numpy(points, slots, shape_ids, differences, offsets):
+    """Vectorized scan; returns ``None`` when int64 keys cannot be used."""
+    np = numpy_module()
+    try:
+        array = np.asarray(points, dtype=np.int64)
+    except OverflowError:
+        return None
+    # Padding by the offset span makes shifted keys alias-free, so each
+    # offset pass is a pure sorted-key membership test (no box mask).
+    dimension = array.shape[1]
+    pad = [max(abs(delta[i]) for delta in offsets)
+           for i in range(dimension)]
+    encoder = BoxEncoder(points, pad=pad)
+    if not encoder.fits_int64:
+        return None
+    keys = encoder.keys_array(np, array)
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    slot_arr = np.asarray(slots, dtype=np.int64)
+    shape_arr = np.asarray(shape_ids, dtype=np.int64)
+    num_shapes = len(differences)
+    allowed = np.zeros((num_shapes, num_shapes, len(offsets)), dtype=bool)
+    for a in range(num_shapes):
+        for b in range(num_shapes):
+            row = differences[a][b]
+            for j, delta in enumerate(offsets):
+                allowed[a, b, j] = delta in row
+    n = len(points)
+    found_x: list = []
+    found_y: list = []
+    for j, delta in enumerate(offsets):
+        target = keys + encoder.offset_key(delta)
+        pos = np.minimum(np.searchsorted(sorted_keys, target), n - 1)
+        xi = np.nonzero(sorted_keys[pos] == target)[0]
+        if xi.size == 0:
+            continue
+        yi = order[pos[xi]]
+        keep = slot_arr[xi] == slot_arr[yi]
+        keep &= allowed[shape_arr[xi], shape_arr[yi], j]
+        if keep.any():
+            found_x.append(xi[keep])
+            found_y.append(yi[keep])
+    if not found_x:
+        return []
+    xs = np.concatenate(found_x).tolist()
+    ys = np.concatenate(found_y).tolist()
+    return [(points[i], points[j]) for i, j in zip(xs, ys)]

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 
+from repro.engine.simindex import AdjacencyIndex
 from repro.tiles.prototile import Prototile
 from repro.tiling.multi import MultiTiling
 from repro.utils.vectors import IntVec, as_intvec
@@ -58,6 +59,9 @@ class Network:
         require(len(set(positions)) == len(positions),
                 "two sensors share a position")
         self._nodes = {node.position: node for node in node_list}
+        # Sorted once; every simulator slot reads this, so it must not be
+        # recomputed per access.
+        self._positions: tuple[IntVec, ...] = tuple(sorted(self._nodes))
         # receivers_of[a] = sensors (other than a) inside a's range.
         self._receivers: dict[IntVec, frozenset[IntVec]] = {}
         # in_range_of[c] = senders whose range covers sensor c.
@@ -71,12 +75,13 @@ class Network:
             self._receivers[node.position] = receivers
             for receiver in receivers:
                 self._in_range_of[receiver].add(node.position)
+        self._adjacency: AdjacencyIndex | None = None
 
     # ------------------------------------------------------------------
     @property
-    def positions(self) -> list[IntVec]:
-        """Sorted sensor positions."""
-        return sorted(self._nodes)
+    def positions(self) -> tuple[IntVec, ...]:
+        """Sensor positions in sorted order (computed once, cached)."""
+        return self._positions
 
     def __len__(self) -> int:
         return len(self._nodes)
@@ -95,6 +100,16 @@ class Network:
     def senders_covering(self, receiver: Sequence[int]) -> set[IntVec]:
         """Sensors whose interference range covers the given sensor."""
         return self._in_range_of[as_intvec(receiver)]
+
+    def adjacency_index(self) -> AdjacencyIndex:
+        """Reception topology over dense integer ids (built once).
+
+        The simulator's per-slot kernels run on this index instead of
+        intersecting the position-keyed sets above.
+        """
+        if self._adjacency is None:
+            self._adjacency = AdjacencyIndex(self._positions, self._receivers)
+        return self._adjacency
 
     # ------------------------------------------------------------------
     # Constructors

@@ -55,6 +55,18 @@ class MACProtocol(abc.ABC):
         """Round length for periodic protocols, ``None`` for random ones."""
         return None
 
+    def slot_table(self, positions: Sequence[IntVec]) -> list[int] | None:
+        """Per-position slots for purely periodic protocols.
+
+        When this returns a list ``s`` (aligned with ``positions``) the
+        protocol promises ``wants_to_send(positions[i], t, ...) ==
+        (t % slots_per_round() == s[i])`` — a pure function of time that
+        never touches the rng — and the simulator precomputes decisions
+        for all sensors at once instead of querying them one by one.
+        Probabilistic protocols return ``None`` (the default).
+        """
+        return None
+
 
 class ScheduleMAC(MACProtocol):
     """Deterministic MAC driven by a periodic schedule."""
@@ -69,6 +81,12 @@ class ScheduleMAC(MACProtocol):
 
     def slots_per_round(self) -> int | None:
         return self.schedule.num_slots
+
+    def slot_table(self, positions: Sequence[IntVec]) -> list[int] | None:
+        slots_of = getattr(self.schedule, "slots_of", None)
+        if slots_of is not None:
+            return slots_of(positions)
+        return [self.schedule.slot_of(p) for p in positions]
 
 
 class GlobalTDMA(MACProtocol):
@@ -95,6 +113,9 @@ class GlobalTDMA(MACProtocol):
 
     def slots_per_round(self) -> int | None:
         return self.num_slots
+
+    def slot_table(self, positions: Sequence[IntVec]) -> list[int] | None:
+        return [self._slot_of[as_intvec(p)] for p in positions]
 
 
 class SlottedAloha(MACProtocol):

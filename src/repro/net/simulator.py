@@ -14,12 +14,22 @@ represented by an integer t").  Each slot:
 
 Traffic model: every sensor generates one broadcast packet every
 ``packet_interval`` slots (deterministic sensing reports), queued FIFO.
+
+Execution runs on the bulk engine: the network topology is frozen once
+into the dense-id adjacency of :class:`repro.engine.simindex`, the two
+collision rules reduce to coverage *counts* over that adjacency (a sensor
+is jammed iff >= 2 transmitters cover it; it hears something iff >= 1
+does), and purely periodic protocols expose a slot table so per-slot MAC
+decisions become one comparison per sensor.  With numpy available the
+counts are computed by array kernels; the pure-Python fallback runs the
+same integer arithmetic and produces identical metrics.
 """
 
 from __future__ import annotations
 
 from collections import deque
 
+from repro.engine.backend import active_backend, numpy_module
 from repro.net.energy import UNIT_TX_MODEL, EnergyModel
 from repro.net.metrics import SimulationMetrics
 from repro.net.model import Network
@@ -46,13 +56,38 @@ class BroadcastSimulator:
         self.rng = make_rng(seed)
         self.metrics = SimulationMetrics(protocol=protocol.name,
                                          num_sensors=len(network))
-        # FIFO of packet creation times per sensor.
-        self._queues: dict[IntVec, deque[int]] = {
-            p: deque() for p in network.positions
-        }
-        self._heard_last_slot: dict[IntVec, bool] = {
-            p: False for p in network.positions
-        }
+        self._positions = network.positions
+        self._n = len(self._positions)
+        self._adjacency = network.adjacency_index()
+        # FIFO of packet creation times per sensor, by dense id.
+        self._queues: list[deque[int]] = [deque() for _ in range(self._n)]
+        self._heard = [False] * self._n
+        # Purely periodic protocols publish their decisions as a slot
+        # table; errors (e.g. a schedule not covering every position)
+        # surface through wants_to_send on the slow path, exactly as they
+        # would without the table.
+        try:
+            table = getattr(protocol, "slot_table",
+                            lambda positions: None)(self._positions)
+        except Exception:
+            table = None
+        round_length = protocol.slots_per_round()
+        if table is not None and round_length:
+            self._slot_table: list[int] | None = list(table)
+            self._round_length = round_length
+        else:
+            self._slot_table = None
+            self._round_length = None
+        self._np = numpy_module() if active_backend() == "numpy" else None
+        if self._np is not None:
+            np = self._np
+            self._edge_senders, self._edge_receivers = \
+                self._adjacency.edge_arrays()
+            self._slot_array = (np.asarray(self._slot_table, dtype=np.int64)
+                                if self._slot_table is not None else None)
+            self._backlogged = np.zeros(self._n, dtype=bool)
+        else:
+            self._backlogged = [False] * self._n
         self._time = 0
 
     # ------------------------------------------------------------------
@@ -63,69 +98,112 @@ class BroadcastSimulator:
 
     def pending_packets(self) -> int:
         """Packets still queued across all sensors."""
-        return sum(len(q) for q in self._queues.values())
+        return sum(len(q) for q in self._queues)
 
     def step(self) -> list[IntVec]:
         """Advance one slot; returns the sensors that transmitted."""
         time = self._time
+        metrics = self.metrics
+        n = self._n
+        np = self._np
+        queues = self._queues
         # Traffic generation.
         if time % self.packet_interval == 0:
-            for queue in self._queues.values():
+            for queue in queues:
                 queue.append(time)
-                self.metrics.packets_created += 1
+            metrics.packets_created += n
+            if np is not None:
+                self._backlogged[:] = True
+            else:
+                self._backlogged = [True] * n
 
         # MAC decisions (only backlogged sensors transmit).
-        transmitters = [
-            position for position in self.network.positions
-            if self._queues[position]
-            and self.protocol.wants_to_send(position, time,
-                                            self._heard_last_slot[position],
-                                            self.rng)
-        ]
-        transmitter_set = set(transmitters)
-        self.metrics.transmissions += len(transmitters)
-        self.metrics.energy_transmit += \
-            self.energy_model.tx_cost * len(transmitters)
+        backlogged = self._backlogged
+        if self._slot_table is not None:
+            slot = time % self._round_length
+            if np is not None:
+                transmitters = np.nonzero(
+                    backlogged & (self._slot_array == slot))[0].tolist()
+            else:
+                table = self._slot_table
+                transmitters = [i for i in range(n)
+                                if backlogged[i] and table[i] == slot]
+        else:
+            protocol = self.protocol
+            positions = self._positions
+            heard = self._heard
+            rng = self.rng
+            transmitters = [
+                i for i in range(n)
+                if backlogged[i]
+                and protocol.wants_to_send(positions[i], time,
+                                           bool(heard[i]), rng)
+            ]
+        num_transmitters = len(transmitters)
+        metrics.transmissions += num_transmitters
+        metrics.energy_transmit += \
+            self.energy_model.tx_cost * num_transmitters
 
-        # Reception resolution per the paper's two rules.
-        for sender in transmitters:
-            receivers = self.network.receivers_of(sender)
-            all_received = True
-            for receiver in receivers:
-                if receiver in transmitter_set:
-                    # Rule 1: a simultaneous transmitter cannot receive.
-                    self.metrics.failed_receptions += 1
-                    all_received = False
-                    continue
-                covering = self.network.senders_covering(receiver)
-                simultaneous = covering & transmitter_set
-                if len(simultaneous) > 1:
-                    # Rule 2: two covering transmitters destroy both.
-                    self.metrics.failed_receptions += 1
-                    all_received = False
-            if all_received:
-                created = self._queues[sender].popleft()
-                self.metrics.successful_broadcasts += 1
-                self.metrics.packets_delivered += 1
-                self.metrics.total_latency += time - created
+        # Reception resolution per the paper's two rules: a receiver is
+        # lost iff it transmits itself (rule 1) or >= 2 transmitters
+        # cover it (rule 2, where "cover" counts the sender too).
+        if np is not None:
+            is_tx = np.zeros(n, dtype=bool)
+            is_tx[transmitters] = True
+            tx_edges = is_tx[self._edge_senders]
+            receivers = self._edge_receivers[tx_edges]
+            counts = np.bincount(receivers, minlength=n)
+            failed_edges = is_tx[receivers] | (counts[receivers] > 1)
+            metrics.failed_receptions += int(failed_edges.sum())
+            fail_per_sender = np.bincount(
+                self._edge_senders[tx_edges][failed_edges], minlength=n)
+            for i in transmitters:
+                if not fail_per_sender[i]:
+                    self._complete_broadcast(i, time)
+            self._heard = counts > 0
+            total_receptions = int(counts.sum())
+        else:
+            receivers_of = self._adjacency.receivers
+            is_tx = [False] * n
+            for i in transmitters:
+                is_tx[i] = True
+            counts = [0] * n
+            for i in transmitters:
+                for receiver in receivers_of[i]:
+                    counts[receiver] += 1
+            for i in transmitters:
+                failed = 0
+                for receiver in receivers_of[i]:
+                    if is_tx[receiver] or counts[receiver] > 1:
+                        failed += 1
+                if failed:
+                    metrics.failed_receptions += failed
+                else:
+                    self._complete_broadcast(i, time)
+            self._heard = [count > 0 for count in counts]
+            total_receptions = sum(counts)
 
-        # Update carrier-sense memory and non-transmit energy.
+        # Non-transmit energy (counts already hold per-sensor receptions).
         model = self.energy_model
-        charge_extras = model.rx_cost > 0 or model.idle_cost > 0
-        for position in self.network.positions:
-            covering = self.network.senders_covering(position)
-            audible = covering & transmitter_set
-            self._heard_last_slot[position] = bool(audible)
-            if charge_extras:
-                transmitted = position in transmitter_set
-                receptions = len(audible - {position})
-                self.metrics.energy_receive += model.rx_cost * receptions
-                if not transmitted:
-                    self.metrics.energy_idle += model.idle_cost
+        if model.rx_cost > 0 or model.idle_cost > 0:
+            metrics.energy_receive += model.rx_cost * total_receptions
+            metrics.energy_idle += \
+                model.idle_cost * (n - num_transmitters)
 
         self._time += 1
-        self.metrics.slots = self._time
-        return transmitters
+        metrics.slots = self._time
+        positions = self._positions
+        return [positions[i] for i in transmitters]
+
+    def _complete_broadcast(self, sensor: int, time: int) -> None:
+        queue = self._queues[sensor]
+        created = queue.popleft()
+        if not queue:
+            self._backlogged[sensor] = False
+        metrics = self.metrics
+        metrics.successful_broadcasts += 1
+        metrics.packets_delivered += 1
+        metrics.total_latency += time - created
 
     def run(self, slots: int) -> SimulationMetrics:
         """Simulate the given number of slots and return the metrics."""

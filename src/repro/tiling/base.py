@@ -11,8 +11,9 @@ abstract interface is exactly that decomposition.
 from __future__ import annotations
 
 import abc
-from collections.abc import Iterator, Sequence
+from collections.abc import Iterable, Iterator, Sequence
 
+from repro.lattice.sublattice import Sublattice
 from repro.tiles.prototile import Prototile
 from repro.utils.vectors import IntVec, box_points, vsub
 
@@ -39,6 +40,33 @@ class Tiling(abc.ABC):
     @abc.abstractmethod
     def contains_translation(self, vector: Sequence[int]) -> bool:
         """Membership test for the translate set ``T``."""
+
+    # ------------------------------------------------------------------
+    # Batch operations (overridable engine hooks)
+    # ------------------------------------------------------------------
+    def decompose_batch(self, points: Iterable[Sequence[int]],
+                        ) -> list[tuple[IntVec, IntVec]]:
+        """Decompose many points at once: ``[(t, n), ...]``.
+
+        The default simply loops :meth:`decompose`; tilings whose
+        translate structure reduces to cosets of a sublattice override
+        this with the vectorized kernel of :mod:`repro.engine.slots`.
+        """
+        return [self.decompose(p) for p in points]
+
+    def coset_structure(self) -> tuple[Sublattice, dict[IntVec, IntVec]] | None:
+        """Optional bulk-lookup capability of this tiling.
+
+        When the translate set is a union of cosets of a sublattice
+        ``P``, returns ``(P, cell_by_representative)`` where the mapping
+        sends the canonical representative of every ``P``-coset to the
+        prototile cell covering it — exactly the data a
+        :class:`repro.engine.slots.CosetTable` needs to answer
+        ``slot_of`` for thousands of points with a few array operations.
+        Returns ``None`` for tilings without that structure (schedules
+        then fall back to per-point decomposition).
+        """
+        return None
 
     # ------------------------------------------------------------------
     # Derived operations

@@ -10,12 +10,13 @@ scheme "scales to an arbitrary number of sensors".
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Iterable, Sequence
 
+from repro.engine.slots import CosetTable
 from repro.lattice.sublattice import Sublattice
 from repro.tiles.prototile import Prototile
 from repro.tiling.base import Tiling
-from repro.utils.vectors import IntVec, vsub
+from repro.utils.vectors import IntVec, as_intvec, vsub
 
 __all__ = ["LatticeTiling"]
 
@@ -51,6 +52,8 @@ class LatticeTiling(Tiling):
         self._prototile = prototile
         self._sublattice = sublattice
         self._cell_by_coset = cell_by_coset
+        self._cell_table: CosetTable | None = None
+        self._cell_list = prototile.sorted_cells()
 
     # ------------------------------------------------------------------
     @property
@@ -69,6 +72,27 @@ class LatticeTiling(Tiling):
 
     def contains_translation(self, vector: Sequence[int]) -> bool:
         return self._sublattice.contains(vector)
+
+    # ------------------------------------------------------------------
+    # Batch operations
+    # ------------------------------------------------------------------
+    def coset_structure(self) -> tuple[Sublattice, dict[IntVec, IntVec]]:
+        return self._sublattice, dict(self._cell_by_coset)
+
+    def decompose_batch(self, points: Iterable[Sequence[int]],
+                        ) -> list[tuple[IntVec, IntVec]]:
+        """Vectorized decomposition: one coset reduction for all points."""
+        point_list = [as_intvec(p) for p in points]
+        if self._cell_table is None:
+            cell_index = {cell: k for k, cell in enumerate(self._cell_list)}
+            self._cell_table = CosetTable(
+                self._sublattice,
+                {representative: cell_index[cell]
+                 for representative, cell in self._cell_by_coset.items()})
+        cells = self._cell_list
+        return [(vsub(point, cells[k]), cells[k])
+                for point, k in zip(point_list,
+                                    self._cell_table.lookup(point_list))]
 
     def __repr__(self) -> str:
         return (f"LatticeTiling(prototile={self._prototile.name!r}, "

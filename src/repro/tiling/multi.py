@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 
+from repro.engine.slots import CosetTable
 from repro.lattice.sublattice import Sublattice
 from repro.tiles.prototile import Prototile
 from repro.utils.vectors import IntVec, as_intvec, box_points, vadd, vsub
@@ -103,6 +104,8 @@ class MultiTiling:
         self._period = period
         self._cover = cover
         self.dimension = dimension
+        self._entry_table: CosetTable | None = None
+        self._entries: list[tuple[int, IntVec, IntVec]] = []
 
     # ------------------------------------------------------------------
     @property
@@ -137,6 +140,51 @@ class MultiTiling:
     def prototile_index_of(self, point: Sequence[int]) -> int:
         """Index ``k`` of the prototile whose translate covers the point."""
         return self.decompose(point)[0]
+
+    # ------------------------------------------------------------------
+    # Batch operations (engine hooks)
+    # ------------------------------------------------------------------
+    def _cover_table(self) -> CosetTable:
+        if self._entry_table is None:
+            entries: list[tuple[int, IntVec, IntVec]] = []
+            values: dict[IntVec, int] = {}
+            for representative, entry in self._cover.items():
+                values[representative] = len(entries)
+                entries.append(entry)
+            self._entries = entries
+            self._entry_table = CosetTable(self._period, values)
+        return self._entry_table
+
+    def decompose_batch(self, points: Iterable[Sequence[int]],
+                        ) -> list[tuple[int, IntVec, IntVec]]:
+        """Vectorized :meth:`decompose` over many points at once."""
+        point_list = [as_intvec(p) for p in points]
+        table = self._cover_table()
+        entries = self._entries
+        result = []
+        for point, entry_index in zip(point_list, table.lookup(point_list)):
+            k, _, cell = entries[entry_index]
+            result.append((k, vsub(point, cell), cell))
+        return result
+
+    def prototile_indices(self, points: Iterable[Sequence[int]]) -> list[int]:
+        """Prototile index of each point — the D1 neighborhood *types*."""
+        point_list = [as_intvec(p) for p in points]
+        table = self._cover_table()
+        entries = self._entries
+        return [entries[entry_index][0]
+                for entry_index in table.lookup(point_list)]
+
+    def coset_structure(self) -> tuple[Sublattice, dict[IntVec, IntVec]]:
+        """Period sublattice plus the representative -> cell map.
+
+        Mirrors :meth:`repro.tiling.base.Tiling.coset_structure` so the
+        Theorem 2 schedule can build its slot table the same way the
+        Theorem 1 schedule does.
+        """
+        return self._period, {representative: cell
+                              for representative, (_, _, cell)
+                              in self._cover.items()}
 
     def neighborhood_of(self, point: Sequence[int]) -> frozenset[IntVec]:
         """Interference set ``point + N_k`` under deployment rule D1."""

@@ -102,6 +102,11 @@ class PeriodicTiling(Tiling):
             as_intvec(vector))
         return representative in self._anchor_set
 
+    def coset_structure(self) -> tuple[Sublattice, dict[IntVec, IntVec]]:
+        return self._period, {representative: cell
+                              for representative, (_, cell)
+                              in self._cover.items()}
+
     def __repr__(self) -> str:
         return (f"PeriodicTiling(prototile={self._prototile.name!r}, "
                 f"anchors={sorted(self._anchor_set)}, "

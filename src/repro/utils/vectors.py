@@ -48,6 +48,8 @@ def as_intvec(values: Iterable[int]) -> IntVec:
         TypeError: if any coordinate is not an integral number.  Floats with
             integral values (``2.0``) are accepted and converted exactly.
     """
+    if type(values) is tuple and all(type(v) is int for v in values):
+        return values
     result = []
     for value in values:
         if isinstance(value, bool):
@@ -160,15 +162,17 @@ def minkowski_sum(a: Iterable[IntVec], b: Sequence[IntVec]) -> frozenset[IntVec]
     return frozenset(vadd(x, y) for x in a for y in b)
 
 
-def difference_set(points: Sequence[IntVec]) -> frozenset[IntVec]:
+def difference_set(points: Iterable[IntVec]) -> frozenset[IntVec]:
     """Difference set ``P - P = {x - y : x, y in P}``.
 
     Two sensors with neighborhood ``N`` placed at ``s`` and ``t`` have
     intersecting interference ranges exactly when ``t - s`` lies in
     ``N - N``; this set is the collision kernel used throughout the
-    scheduling core.
+    scheduling core.  ``points`` may be any iterable, including a
+    one-shot generator: it is materialized before the double loop.
     """
-    return frozenset(vsub(x, y) for x in points for y in points)
+    point_list = list(points)
+    return frozenset(vsub(x, y) for x in point_list for y in point_list)
 
 
 def translate_set(points: Iterable[IntVec], offset: IntVec) -> frozenset[IntVec]:
