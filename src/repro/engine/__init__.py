@@ -18,6 +18,10 @@ batch counterparts:
   :func:`repro.core.schedule.find_collisions`.
 * :mod:`repro.engine.simindex` — CSR-style receiver adjacency over dense
   integer ids, the data structure behind the simulator fast path.
+* :mod:`repro.engine.randmac` — bulk decision kernels for the random MAC
+  protocols (ALOHA / CSMA): whole ``(slot, sensor)`` windows of
+  transmit decisions drawn from the counter-based per-sensor streams of
+  :class:`repro.utils.rng.StreamRNG`, bit-identical across backends.
 
 The engine deliberately depends only on :mod:`repro.utils` and the
 duck-typed ``Sublattice`` interface, never on the schedule/network layers,
@@ -35,6 +39,11 @@ from repro.engine.backend import (
 )
 from repro.engine.collisions import scan_collisions
 from repro.engine.encode import BoxEncoder
+from repro.engine.randmac import (
+    bernoulli_block,
+    masked_bernoulli_block,
+    uniform_block,
+)
 from repro.engine.simindex import AdjacencyIndex
 from repro.engine.slots import CosetTable
 
@@ -48,4 +57,7 @@ __all__ = [
     "BoxEncoder",
     "AdjacencyIndex",
     "CosetTable",
+    "uniform_block",
+    "bernoulli_block",
+    "masked_bernoulli_block",
 ]

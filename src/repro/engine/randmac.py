@@ -1,0 +1,130 @@
+"""Bulk decision kernels for random MAC protocols (ALOHA / CSMA).
+
+The deterministic protocols vectorize through slot tables; the random
+ones used to fall back to one ``wants_to_send`` call per sensor per slot
+against a single shared ``random.Random``, which serialized the whole
+path.  These kernels evaluate entire ``(slot, sensor)`` windows of
+decisions at once against the counter-based :class:`repro.utils.rng.
+StreamRNG`: the value for sensor ``i`` at slot ``t`` is a pure function
+of ``(seed, i, t)``, so the numpy kernel, the pure-Python kernel and the
+scalar ``wants_to_send`` fallback all see the *same* randomness and
+produce bit-identical simulation metrics.
+
+The numpy path reimplements the SplitMix64 arithmetic of ``StreamRNG``
+on ``uint64`` arrays (multiplication and addition wrap mod 2^64 exactly
+like the masked Python integers); converting the top 53 bits to float64
+is exact, so the uniforms — and therefore every threshold comparison —
+agree bit-for-bit with the scalar implementation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from functools import lru_cache
+
+from repro.engine.backend import active_backend, numpy_module
+from repro.utils.rng import (
+    _INV_2_53,
+    _MASK64,
+    _MIX_A,
+    _MIX_B,
+    _PHI,
+    _mix64,
+    StreamRNG,
+)
+
+__all__ = ["uniform_block", "bernoulli_block", "masked_bernoulli_block"]
+
+
+def _np_mix64(np, x):
+    """SplitMix64 finalizer on a uint64 array (wraps mod 2^64)."""
+    x = (x ^ (x >> np.uint64(30))) * np.uint64(_MIX_A)
+    x = (x ^ (x >> np.uint64(27))) * np.uint64(_MIX_B)
+    return x ^ (x >> np.uint64(31))
+
+
+# The per-sensor base hashes depend only on (root, n), not on the slot
+# window, so carrier-sensing protocols — dispatched one slot at a time —
+# reuse them across every slot of a simulation instead of rehashing
+# sensor ids per call.  Cached arrays/tuples are never mutated.
+@lru_cache(maxsize=8)
+def _np_bases(root: int, num_streams: int):
+    np = numpy_module()
+    with np.errstate(over="ignore"):
+        ids = np.arange(num_streams, dtype=np.uint64)
+        return _np_mix64(np, np.uint64(root) ^ (ids * np.uint64(_PHI)))
+
+
+@lru_cache(maxsize=8)
+def _py_bases(root: int, num_streams: int) -> tuple[int, ...]:
+    return tuple(_mix64(root ^ ((s * _PHI) & _MASK64))
+                 for s in range(num_streams))
+
+
+def _np_uniform_block(np, rng: StreamRNG, num_streams: int,
+                      t0: int, t1: int):
+    """(t1-t0, num_streams) float64 matrix of draw-0 uniforms."""
+    bases = _np_bases(rng.root, num_streams)
+    with np.errstate(over="ignore"):
+        slots = np.arange(t0, t1, dtype=np.uint64) * np.uint64(_PHI)
+        states = _np_mix64(np, _np_mix64(np, bases[None, :] ^ slots[:, None]))
+    return (states >> np.uint64(11)).astype(np.float64) * _INV_2_53
+
+
+def _py_uniform_block(rng: StreamRNG, num_streams: int,
+                      t0: int, t1: int) -> list[list[float]]:
+    """Pure-Python counterpart with the same cached per-sensor bases."""
+    bases = _py_bases(rng.root, num_streams)
+    rows = []
+    for t in range(t0, t1):
+        tk = (t * _PHI) & _MASK64
+        rows.append([(_mix64(_mix64(b ^ tk)) >> 11) * _INV_2_53
+                     for b in bases])
+    return rows
+
+
+def uniform_block(rng: StreamRNG, num_streams: int, t0: int, t1: int):
+    """Uniforms in [0, 1) for sensors ``0..num_streams-1`` over a window.
+
+    ``result[t - t0][i] == rng.uniform(i, t)`` exactly, on either
+    backend; numpy returns a ``(t1-t0, num_streams)`` float64 array, the
+    fallback nested lists.
+    """
+    if active_backend() == "numpy":
+        return _np_uniform_block(numpy_module(), rng, num_streams, t0, t1)
+    return _py_uniform_block(rng, num_streams, t0, t1)
+
+
+def bernoulli_block(rng: StreamRNG, num_streams: int, t0: int, t1: int,
+                    p: float):
+    """Boolean decision matrix: ``uniform(i, t) < p`` per sensor and slot."""
+    if active_backend() == "numpy":
+        return _np_uniform_block(numpy_module(), rng, num_streams,
+                                 t0, t1) < p
+    return [[u < p for u in row]
+            for row in _py_uniform_block(rng, num_streams, t0, t1)]
+
+
+def masked_bernoulli_block(rng: StreamRNG, num_streams: int, t0: int,
+                           t1: int, p: float, muted: Sequence[bool]):
+    """:func:`bernoulli_block` with a per-sensor mute (carrier sense).
+
+    Muted sensors decide ``False``; everyone else keeps the draw keyed by
+    their own ``(sensor, slot)`` cell, so muting one sensor never shifts
+    another's stream.  The mute vector describes the slot before ``t0``,
+    so it silences the *first* row only — matching the scalar
+    ``decision_block`` contract, where slots after ``t0`` see no carrier
+    sense.  (The simulator dispatches carrier-sensing protocols with
+    single-slot windows anyway.)
+    """
+    if active_backend() == "numpy":
+        np = numpy_module()
+        block = _np_uniform_block(np, rng, num_streams, t0, t1) < p
+        if len(block):
+            block[0] &= ~np.asarray(muted, dtype=bool)
+        return block
+    rows = [[u < p for u in row]
+            for row in _py_uniform_block(rng, num_streams, t0, t1)]
+    if rows:
+        rows[0] = [(not muted[i]) and d for i, d in enumerate(rows[0])]
+    return rows

@@ -20,6 +20,7 @@ from repro.experiments.systems_experiments import (
     run_collisions,
     run_exactness,
     run_mobile,
+    run_randmac,
     run_scaling,
 )
 from repro.experiments.theorem_experiments import (
@@ -40,6 +41,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "thm2": run_thm2,
     "finite": run_finite,
     "collisions": run_collisions,
+    "randmac": run_randmac,
     "scaling": run_scaling,
     "mobile": run_mobile,
     "exactness": run_exactness,

@@ -16,6 +16,13 @@ networks" use.  Four policies are provided:
 
 A protocol sees only local information: its own position, the time, and
 last slot's activity as observed at its position.
+
+Decisions come in two granularities.  ``wants_to_send`` is the scalar
+interface — one sensor, one slot.  ``decision_block`` is the bulk
+interface the simulator drives: a whole ``(slot, sensor)`` window of
+decisions at once, drawn from the counter-based
+:class:`repro.utils.rng.StreamRNG` so each sensor's randomness is keyed
+by ``(seed, sensor, slot)`` and the two granularities agree bit-for-bit.
 """
 
 from __future__ import annotations
@@ -25,6 +32,8 @@ import random
 from collections.abc import Sequence
 
 from repro.core.schedule import Schedule
+from repro.engine.randmac import bernoulli_block, masked_bernoulli_block
+from repro.utils.rng import StreamDraw, StreamRNG
 from repro.utils.validation import require_probability
 from repro.utils.vectors import IntVec, as_intvec
 
@@ -37,9 +46,18 @@ class MACProtocol(abc.ABC):
 
     name = "mac"
 
+    #: Whether decisions may depend on ``heard_last_slot``.  The
+    #: simulator dispatches carrier-sensing protocols one slot at a time
+    #: (the carrier-sense vector only exists after the previous slot
+    #: resolves); protocols that set this ``False`` promise to ignore the
+    #: argument, which lets whole windows of decisions be precomputed.
+    #: Conservative default: ``True``.
+    uses_carrier_sense = True
+
     @abc.abstractmethod
     def wants_to_send(self, position: IntVec, time: int,
-                      heard_last_slot: bool, rng: random.Random) -> bool:
+                      heard_last_slot: bool,
+                      rng: random.Random | StreamDraw) -> bool:
         """Decide whether the sensor at ``position`` transmits at ``time``.
 
         Args:
@@ -47,9 +65,43 @@ class MACProtocol(abc.ABC):
             time: current slot number.
             heard_last_slot: whether any sensor covering this position
                 transmitted in the previous slot (local carrier sense).
-            rng: per-simulation random source (unused by deterministic
-                protocols).
+            rng: random source for this decision (unused by
+                deterministic protocols).  On the bulk simulator path
+                this is a :class:`repro.utils.rng.StreamDraw` over the
+                sensor's own ``(sensor, slot)`` counter cell.
         """
+
+    def decision_block(self, positions: Sequence[IntVec], t0: int, t1: int,
+                       heard: Sequence[bool], rng: StreamRNG):
+        """Transmit decisions for every sensor over slots ``t0..t1-1``.
+
+        Returns a matrix indexed ``[t - t0][i]`` of booleans, aligned
+        with ``positions`` (dense sensor ids).  ``heard`` is the
+        carrier-sense vector for slot ``t0``; protocols with
+        :attr:`uses_carrier_sense` set are only ever called with
+        single-slot windows, and later slots of a multi-slot window see
+        ``False``.
+
+        The default implementation is the scalar reference: one
+        ``wants_to_send`` call per cell, each served by the per-sensor
+        counter stream ``rng.draw(i, t)``.  Vectorized overrides (the
+        random protocols below) must return the same booleans — the
+        backend-equivalence suite holds them to it.
+        """
+        rows = []
+        sensors = range(len(positions))
+        draw = rng.draw(0, t0)  # one adapter, re-pointed per cell
+        for t in range(t0, t1):
+            if t == t0:
+                rows.append([self.wants_to_send(positions[i], t,
+                                                bool(heard[i]),
+                                                draw.rebind(i, t))
+                             for i in sensors])
+            else:
+                rows.append([self.wants_to_send(positions[i], t, False,
+                                                draw.rebind(i, t))
+                             for i in sensors])
+        return rows
 
     def slots_per_round(self) -> int | None:
         """Round length for periodic protocols, ``None`` for random ones."""
@@ -70,6 +122,8 @@ class MACProtocol(abc.ABC):
 
 class ScheduleMAC(MACProtocol):
     """Deterministic MAC driven by a periodic schedule."""
+
+    uses_carrier_sense = False
 
     def __init__(self, schedule: Schedule, name: str = "tiling-schedule"):
         self.schedule = schedule
@@ -98,6 +152,7 @@ class GlobalTDMA(MACProtocol):
     """
 
     name = "global-tdma"
+    uses_carrier_sense = False
 
     def __init__(self, positions: Sequence[IntVec]):
         ordered = sorted(as_intvec(p) for p in positions)
@@ -121,14 +176,24 @@ class GlobalTDMA(MACProtocol):
 class SlottedAloha(MACProtocol):
     """Transmit each pending packet with probability ``p`` per slot."""
 
+    uses_carrier_sense = False
+
     def __init__(self, p: float):
         require_probability(p, "p")
         self.p = p
         self.name = f"slotted-aloha(p={p:g})"
 
     def wants_to_send(self, position: IntVec, time: int,
-                      heard_last_slot: bool, rng: random.Random) -> bool:
+                      heard_last_slot: bool,
+                      rng: random.Random | StreamDraw) -> bool:
         return rng.random() < self.p
+
+    def decision_block(self, positions: Sequence[IntVec], t0: int, t1: int,
+                       heard: Sequence[bool], rng: StreamRNG):
+        if type(self).wants_to_send is not SlottedAloha.wants_to_send:
+            # a subclass changed the scalar rule: honor it
+            return super().decision_block(positions, t0, t1, heard, rng)
+        return bernoulli_block(rng, len(positions), t0, t1, self.p)
 
 
 class CSMALike(MACProtocol):
@@ -140,13 +205,24 @@ class CSMALike(MACProtocol):
     show.
     """
 
+    uses_carrier_sense = True
+
     def __init__(self, p: float):
         require_probability(p, "p")
         self.p = p
         self.name = f"csma-like(p={p:g})"
 
     def wants_to_send(self, position: IntVec, time: int,
-                      heard_last_slot: bool, rng: random.Random) -> bool:
+                      heard_last_slot: bool,
+                      rng: random.Random | StreamDraw) -> bool:
         if heard_last_slot:
             return False
         return rng.random() < self.p
+
+    def decision_block(self, positions: Sequence[IntVec], t0: int, t1: int,
+                       heard: Sequence[bool], rng: StreamRNG):
+        if type(self).wants_to_send is not CSMALike.wants_to_send:
+            # a subclass changed the scalar rule: honor it
+            return super().decision_block(positions, t0, t1, heard, rng)
+        return masked_bernoulli_block(rng, len(positions), t0, t1, self.p,
+                                      heard)

@@ -20,9 +20,17 @@ into the dense-id adjacency of :class:`repro.engine.simindex`, the two
 collision rules reduce to coverage *counts* over that adjacency (a sensor
 is jammed iff >= 2 transmitters cover it; it hears something iff >= 1
 does), and purely periodic protocols expose a slot table so per-slot MAC
-decisions become one comparison per sensor.  With numpy available the
-counts are computed by array kernels; the pure-Python fallback runs the
-same integer arithmetic and produces identical metrics.
+decisions become one comparison per sensor.  Random protocols go through
+:meth:`repro.net.protocols.MACProtocol.decision_block`: decisions for a
+whole window of slots are drawn at once from a counter-based
+:class:`repro.utils.rng.StreamRNG` keyed by ``(seed, sensor, slot)``, so
+results are independent of iteration order and window boundaries.
+Carrier-sensing protocols are dispatched one slot at a time (the
+carrier-sense vector — a neighborhood OR over the CSR adjacency — only
+exists once the previous slot resolves) but still vectorize across
+sensors.  With numpy available the counts and decisions are computed by
+array kernels; the pure-Python fallback runs the same integer arithmetic
+and produces identical metrics.
 """
 
 from __future__ import annotations
@@ -34,11 +42,16 @@ from repro.net.energy import UNIT_TX_MODEL, EnergyModel
 from repro.net.metrics import SimulationMetrics
 from repro.net.model import Network
 from repro.net.protocols import MACProtocol
-from repro.utils.rng import make_rng
+from repro.utils.rng import StreamRNG
 from repro.utils.validation import require_positive
 from repro.utils.vectors import IntVec
 
 __all__ = ["BroadcastSimulator", "simulate", "compare_protocols"]
+
+#: Slots of random-MAC decisions precomputed per ``decision_block`` call
+#: for protocols that do not carrier-sense.  Purely a batching knob: the
+#: counter-based rng makes the results independent of the window size.
+_DECISION_WINDOW = 128
 
 
 class BroadcastSimulator:
@@ -47,13 +60,20 @@ class BroadcastSimulator:
     def __init__(self, network: Network, protocol: MACProtocol,
                  packet_interval: int = 1,
                  seed: int | None = None,
-                 energy_model: EnergyModel = UNIT_TX_MODEL):
+                 energy_model: EnergyModel = UNIT_TX_MODEL,
+                 bulk_decisions: bool = True):
+        """``bulk_decisions=False`` forces the scalar reference path:
+        random-MAC decisions fall back to one ``wants_to_send`` call per
+        sensor per slot (ignoring any vectorized ``decision_block``
+        override).  Both paths draw from the same per-sensor counter
+        streams, so they produce identical metrics — the flag exists for
+        the equivalence tests and benchmarks that prove it.
+        """
         require_positive(packet_interval, "packet_interval")
         self.network = network
         self.protocol = protocol
         self.packet_interval = packet_interval
         self.energy_model = energy_model
-        self.rng = make_rng(seed)
         self.metrics = SimulationMetrics(protocol=protocol.name,
                                          num_sensors=len(network))
         self._positions = network.positions
@@ -78,6 +98,23 @@ class BroadcastSimulator:
         else:
             self._slot_table = None
             self._round_length = None
+        # Random-protocol path: per-sensor counter streams + windowed
+        # decision blocks.  The scalar reference mode pins dispatch to
+        # the base-class wants_to_send loop, one slot at a time.
+        self._stream = StreamRNG(seed)
+        if bulk_decisions:
+            self._decision_block = protocol.decision_block
+            self._decision_window = (1 if protocol.uses_carrier_sense
+                                     else _DECISION_WINDOW)
+        else:
+            self._decision_block = (
+                lambda *args: MACProtocol.decision_block(protocol, *args))
+            self._decision_window = 1
+        self._decision_rows = None
+        self._decision_t0 = 0
+        # run() advances this so windows never precompute past the
+        # requested horizon; step() callers keep the unbounded default.
+        self._decision_horizon: int | None = None
         self._np = numpy_module() if active_backend() == "numpy" else None
         if self._np is not None:
             np = self._np
@@ -129,16 +166,14 @@ class BroadcastSimulator:
                 transmitters = [i for i in range(n)
                                 if backlogged[i] and table[i] == slot]
         else:
-            protocol = self.protocol
-            positions = self._positions
-            heard = self._heard
-            rng = self.rng
-            transmitters = [
-                i for i in range(n)
-                if backlogged[i]
-                and protocol.wants_to_send(positions[i], time,
-                                           bool(heard[i]), rng)
-            ]
+            row = self._decision_row(time)
+            if np is not None:
+                if not isinstance(row, np.ndarray):
+                    row = np.asarray(row, dtype=bool)
+                transmitters = np.nonzero(backlogged & row)[0].tolist()
+            else:
+                transmitters = [i for i in range(n)
+                                if backlogged[i] and row[i]]
         num_transmitters = len(transmitters)
         metrics.transmissions += num_transmitters
         metrics.energy_transmit += \
@@ -195,6 +230,26 @@ class BroadcastSimulator:
         positions = self._positions
         return [positions[i] for i in transmitters]
 
+    def _decision_row(self, time: int):
+        """This slot's MAC decisions, from the cached window if current.
+
+        Decisions are a pure function of ``(seed, sensor, slot)`` (plus
+        the carrier-sense vector, for single-slot windows), so the cache
+        is transparent: any window size yields the same rows.
+        """
+        rows = self._decision_rows
+        t0 = self._decision_t0
+        if rows is None or not t0 <= time < t0 + len(rows):
+            t0 = time
+            t1 = t0 + self._decision_window
+            if self._decision_horizon is not None:
+                t1 = max(t0 + 1, min(t1, self._decision_horizon))
+            rows = self._decision_block(self._positions, t0, t1,
+                                        self._heard, self._stream)
+            self._decision_rows = rows
+            self._decision_t0 = t0
+        return rows[time - t0]
+
     def _complete_broadcast(self, sensor: int, time: int) -> None:
         queue = self._queues[sensor]
         created = queue.popleft()
@@ -208,8 +263,12 @@ class BroadcastSimulator:
     def run(self, slots: int) -> SimulationMetrics:
         """Simulate the given number of slots and return the metrics."""
         require_positive(slots, "slots")
-        for _ in range(slots):
-            self.step()
+        self._decision_horizon = self._time + slots
+        try:
+            for _ in range(slots):
+                self.step()
+        finally:
+            self._decision_horizon = None
         return self.metrics
 
 

@@ -1,0 +1,107 @@
+"""Property-based pinning of the vectorized random-MAC simulator.
+
+For arbitrary networks, seeds and transmit probabilities, the bulk
+decision path must match a slow reference that replays the scalar
+``wants_to_send`` interface slot by slot — same per-slot transmitter
+sets, same deliveries, same collision counts — and ALOHA's delivery
+latency on an isolated sensor must look geometric with mean ~1/p.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.model import Network
+from repro.net.protocols import CSMALike, MACProtocol, SlottedAloha
+from repro.net.simulator import BroadcastSimulator, simulate
+from repro.tiles.shapes import chebyshev_ball
+from repro.utils.vectors import box_points
+
+SETTINGS = dict(max_examples=20, deadline=None)
+
+
+def _random_network(draw_bits):
+    """A non-empty random subset of a 5x5 grid with 3x3 neighborhoods."""
+    grid = list(box_points((0, 0), (4, 4)))
+    chosen = [p for k, p in enumerate(grid) if (draw_bits >> k) & 1]
+    if not chosen:
+        chosen = [grid[0]]
+    return Network.homogeneous(chosen, chebyshev_ball(1))
+
+
+class TestBulkMatchesScalarReference:
+    @given(st.integers(0, 2 ** 25 - 1), st.integers(0, 10_000),
+           st.floats(0.05, 0.95), st.integers(1, 6), st.integers(5, 40),
+           st.booleans())
+    @settings(**SETTINGS)
+    def test_stepwise_equivalence(self, membership, seed, p, interval,
+                                  slots, csma):
+        network = _random_network(membership)
+        protocol_type = CSMALike if csma else SlottedAloha
+        bulk = BroadcastSimulator(network, protocol_type(p),
+                                  packet_interval=interval, seed=seed)
+        reference = BroadcastSimulator(network, protocol_type(p),
+                                       packet_interval=interval, seed=seed,
+                                       bulk_decisions=False)
+        for _ in range(slots):
+            # identical transmitter sets every single slot...
+            assert bulk.step() == reference.step()
+        # ...and identical aggregate decisions/deliveries/collisions.
+        assert bulk.metrics == reference.metrics
+        assert bulk.pending_packets() == reference.pending_packets()
+
+    @given(st.integers(0, 2 ** 25 - 1), st.integers(0, 10_000),
+           st.floats(0.05, 0.95))
+    @settings(**SETTINGS)
+    def test_reference_loop_uses_scalar_wants_to_send(self, membership,
+                                                      seed, p):
+        # The reference mode really is the scalar interface: counting
+        # wants_to_send calls shows every (sensor, slot) cell is asked.
+        network = _random_network(membership)
+        calls = []
+
+        class CountingAloha(SlottedAloha):
+            def wants_to_send(self, position, time, heard_last_slot, rng):
+                calls.append((position, time))
+                return super().wants_to_send(position, time,
+                                             heard_last_slot, rng)
+
+        slots = 7
+        simulator = BroadcastSimulator(network, CountingAloha(p), seed=seed,
+                                       bulk_decisions=False)
+        simulator.run(slots)
+        assert len(calls) == len(network) * slots
+
+
+class TestAlohaStatisticalSanity:
+    def test_isolated_sensor_delivers_in_about_1_over_p(self):
+        # A single sensor has no receivers, so its broadcast completes on
+        # its first transmission: latency is geometric with mean
+        # (1-p)/p, i.e. ~1/p slots to delivery counting the transmit
+        # slot itself.  Many seeded trials ride the bulk path, so this
+        # stays cheap.
+        network = Network.homogeneous([(0, 0)], chebyshev_ball(1))
+        trials = 400
+        for p in (0.2, 0.5):
+            slots = int(40 / p)  # miss probability (1-p)^slots ~ 1e-4
+            total_latency = 0
+            delivered = 0
+            for seed in range(trials):
+                metrics = simulate(network, SlottedAloha(p), slots=slots,
+                                   packet_interval=slots, seed=seed)
+                total_latency += metrics.total_latency
+                delivered += metrics.packets_delivered
+            assert delivered >= trials - 1  # at most a stray miss
+            mean_latency = total_latency / delivered
+            expected = (1 - p) / p
+            # std of the geometric is sqrt(1-p)/p; allow ~4 standard
+            # errors around the expectation.
+            tolerance = 4 * (1 - p) ** 0.5 / p / trials ** 0.5
+            assert abs(mean_latency - expected) <= tolerance, \
+                (p, mean_latency, expected, tolerance)
+
+    def test_higher_p_transmits_more(self):
+        network = Network.homogeneous([(0, 0)], chebyshev_ball(1))
+        tx = [simulate(network, SlottedAloha(p), slots=200,
+                       packet_interval=1, seed=3).transmissions
+              for p in (0.1, 0.5, 0.9)]
+        assert tx[0] < tx[1] < tx[2]

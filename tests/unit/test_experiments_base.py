@@ -36,7 +36,7 @@ class TestExperimentResult:
 class TestRegistry:
     def test_registry_contains_all_paper_artifacts(self):
         expected = {"fig1", "fig2", "fig3", "fig4", "fig5", "thm1", "thm2",
-                    "finite", "collisions", "scaling", "mobile",
+                    "finite", "collisions", "randmac", "scaling", "mobile",
                     "exactness", "heuristics", "dimensions"}
         assert set(EXPERIMENTS) == expected
 
