@@ -1,18 +1,34 @@
 """Shared fixtures for the benchmark suite.
 
 Every benchmark module regenerates one of the paper's figures/claims.
-The ``report`` fixture collects the regenerated rows and a terminal-
-summary hook prints them after the timing tables, so that
-``pytest benchmarks/ --benchmark-only`` doubles as the reproduction
-report recorded in EXPERIMENTS.md (pytest captures ordinary stdout, so
-printing from inside tests would be invisible on success).
+Two reporting channels exist:
+
+* the ``report`` fixture collects regenerated rows and a terminal-
+  summary hook prints them after the timing tables, so that
+  ``pytest benchmarks/ --benchmark-only`` doubles as the reproduction
+  report recorded in EXPERIMENTS.md (pytest captures ordinary stdout,
+  so printing from inside tests would be invisible on success);
+* the ``record_scaling`` fixture collects *machine-readable* rows —
+  wall time, speedup, engine backend, worker count — and the session
+  hook writes them (merged with the pytest-benchmark timings) to
+  ``BENCH_scaling.json`` at the repo root, so the perf trajectory is
+  tracked across PRs instead of living only in log output.
 """
 
 from __future__ import annotations
 
+import json
+import platform
+from pathlib import Path
+
 import pytest
 
+from repro.engine import active_backend, cpu_budget, shard_workers
+
 _REPORT_BLOCKS: dict[str, str] = {}
+_SCALING_ROWS: list[dict] = []
+
+_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_scaling.json"
 
 
 @pytest.fixture(scope="session")
@@ -25,7 +41,80 @@ def report():
     return _report
 
 
+@pytest.fixture(scope="session")
+def record_scaling():
+    """Register one machine-readable perf row for BENCH_scaling.json.
+
+    ``seconds`` is the measured wall time of the benchmarked operation;
+    ``speedup`` (when given) is relative to the benchmark's own serial /
+    baseline measurement, which is what the acceptance gates assert on.
+    Extra keyword fields pass through to the JSON row unchanged.
+    """
+
+    def _record(name: str, *, seconds: float, speedup: float | None = None,
+                backend: str | None = None, workers: int | None = None,
+                **extra) -> None:
+        row: dict = {
+            "benchmark": name,
+            "seconds": round(float(seconds), 6),
+            "backend": backend if backend is not None else active_backend(),
+            "workers": workers if workers is not None else shard_workers(),
+        }
+        if speedup is not None:
+            row["speedup"] = round(float(speedup), 2)
+        row.update(extra)
+        _SCALING_ROWS.append(row)
+
+    return _record
+
+
+def _benchmark_timing_rows(session) -> list[dict]:
+    """Harvest pytest-benchmark's own timing table, defensively.
+
+    The plugin's internals are not a stable API, so missing attributes
+    simply yield no rows rather than failing the run.
+    """
+    rows = []
+    try:
+        benchmarks = session.config._benchmarksession.benchmarks
+    except AttributeError:
+        return rows
+    for bench in benchmarks:
+        try:
+            stats = bench.stats
+            rows.append({
+                "benchmark": bench.fullname,
+                "seconds": round(float(stats.min), 6),
+                "mean_seconds": round(float(stats.mean), 6),
+                "rounds": int(stats.rounds),
+                "backend": active_backend(),
+                "workers": shard_workers(),
+            })
+        except (AttributeError, TypeError):
+            continue
+    return rows
+
+
+def pytest_sessionfinish(session, exitstatus):
+    rows = _SCALING_ROWS + _benchmark_timing_rows(session)
+    if not rows:
+        return
+    payload = {
+        "schema": 1,
+        "backend": active_backend(),
+        "workers": shard_workers(),
+        "cpus": cpu_budget(),
+        "python": platform.python_version(),
+        "rows": rows,
+    }
+    _JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if _SCALING_ROWS:
+        terminalreporter.section("BENCH_scaling.json")
+        terminalreporter.write_line(f"{len(_SCALING_ROWS)} scaling rows + "
+                                    f"benchmark timings -> {_JSON_PATH}")
     if not _REPORT_BLOCKS:
         return
     terminalreporter.section("regenerated paper artifacts")

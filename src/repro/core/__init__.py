@@ -31,7 +31,9 @@ from repro.core.schedule import (
     MappingSchedule,
     MultiTilingSchedule,
     Schedule,
+    ScheduleDelta,
     TilingSchedule,
+    VerificationCache,
     conflict_offsets,
     find_collisions,
     verify_collision_free,
@@ -56,7 +58,9 @@ __all__ = [
     "MultiTilingSchedule",
     "Schedule",
     "ScheduleAnalysis",
+    "ScheduleDelta",
     "TilingSchedule",
+    "VerificationCache",
     "analyze_schedule",
     "as_multi_tiling",
     "clique_lower_bound",

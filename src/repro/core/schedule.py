@@ -11,13 +11,25 @@ intersecting interference ranges share a slot.  For sensors at ``x`` and
 iff ``y - x`` lies in the difference set ``N_x - N_y``, so verification
 over a window costs ``O(|window| * |offsets|)`` instead of comparing all
 pairs.
+
+Verification comes in two speeds.  :func:`find_collisions` /
+:func:`verify_collision_free` rescan a whole window (on the bulk
+engine, sharded across worker processes when enabled).  Under *churn* —
+repeated small edits to a schedule — a :class:`VerificationCache`
+tracks one window and, given the :class:`ScheduleDelta` describing an
+edit (:meth:`MappingSchedule.with_updates`), re-verifies only the dirty
+region: the edited points dilated by the conflict-offset radius.  Both
+speeds produce identical collision lists.
 """
 
 from __future__ import annotations
 
+from bisect import insort
 from collections.abc import Callable, Iterable, Mapping, Sequence
+from dataclasses import dataclass
 
-from repro.engine.collisions import scan_collisions
+from repro.engine.collisions import scan_collisions, scan_collisions_touching
+from repro.engine.encode import BoxEncoder
 from repro.engine.slots import CosetTable, as_point_batch
 from repro.tiles.prototile import Prototile
 from repro.tiling.base import Tiling
@@ -31,6 +43,8 @@ __all__ = [
     "TilingSchedule",
     "MultiTilingSchedule",
     "Collision",
+    "ScheduleDelta",
+    "VerificationCache",
     "conflict_offsets",
     "find_collisions",
     "verify_collision_free",
@@ -45,6 +59,9 @@ class Schedule:
     def __init__(self, num_slots: int):
         require(num_slots >= 1, "a schedule needs at least one slot")
         self.num_slots = num_slots
+        # Last-window slot buckets for senders_at; see slot_buckets.
+        self._bucket_cache: tuple[tuple[IntVec, ...],
+                                  dict[int, list[IntVec]]] | None = None
 
     def slot_of(self, point: Sequence[int]) -> int:
         """Slot of the sensor at ``point`` (in ``0..num_slots-1``)."""
@@ -62,11 +79,32 @@ class Schedule:
         """True when the sensor at ``point`` owns time step ``time``."""
         return time % self.num_slots == self.slot_of(point)
 
+    def slot_buckets(self,
+                     points: Iterable[Sequence[int]],
+                     ) -> dict[int, list[IntVec]]:
+        """Window points grouped by slot, in window order.
+
+        Computed with one bulk ``slots_of`` pass and cached for the most
+        recent window, so a simulation querying :meth:`senders_at` slot
+        after slot over the same window pays the assignment cost once
+        instead of one ``O(|window|)`` scan per query.  Callers must not
+        mutate the returned lists.
+        """
+        window = tuple(as_intvec(p) for p in points)
+        cached = self._bucket_cache
+        if cached is not None and cached[0] == window:
+            return cached[1]
+        buckets: dict[int, list[IntVec]] = {}
+        for point, slot in zip(window, self.slots_of(window)):
+            buckets.setdefault(slot, []).append(point)
+        self._bucket_cache = (window, buckets)
+        return buckets
+
     def senders_at(self, time: int,
                    points: Iterable[Sequence[int]]) -> list[IntVec]:
         """The subset of ``points`` scheduled at the given time step."""
         slot = time % self.num_slots
-        return [as_intvec(p) for p in points if self.slot_of(p) == slot]
+        return list(self.slot_buckets(points).get(slot, []))
 
 
 class MappingSchedule(Schedule):
@@ -82,6 +120,9 @@ class MappingSchedule(Schedule):
         require(all(s >= 0 for s in slots), "slots must be nonnegative")
         super().__init__(max(slots) + 1)
         self._assignment = dict(assignment)
+        # Domain points bucketed by slot (sorted order), built lazily by
+        # _domain_buckets and derived incrementally by with_updates.
+        self._domain_bucket_cache: dict[int, list[IntVec]] | None = None
 
     def slot_of(self, point: Sequence[int]) -> int:
         key = as_intvec(point)
@@ -99,6 +140,74 @@ class MappingSchedule(Schedule):
     def used_slots(self) -> int:
         """Number of distinct slots actually used."""
         return len(set(self._assignment.values()))
+
+    def with_updates(self, updates: Mapping[Sequence[int], int],
+                     ) -> ScheduleDelta:
+        """A new schedule with some slots reassigned (or points added).
+
+        The receiver is left untouched; the returned
+        :class:`ScheduleDelta` carries the new schedule together with
+        the set of points whose slot actually changed — the dirty set
+        that :meth:`VerificationCache.apply` re-verifies incrementally.
+        No-op entries (a point already on the requested slot) are
+        excluded from the dirty set.
+        """
+        new_assignment = dict(self._assignment)
+        changed: set[IntVec] = set()
+        for point, slot in updates.items():
+            key = as_intvec(point)
+            require(slot >= 0, "slots must be nonnegative")
+            if new_assignment.get(key) != slot:
+                new_assignment[key] = slot
+                changed.add(key)
+        schedule = MappingSchedule(new_assignment)
+        self._seed_domain_buckets(schedule, changed)
+        return ScheduleDelta(base=self, schedule=schedule,
+                             changed=frozenset(changed))
+
+    def _domain_buckets(self) -> dict[int, list[IntVec]]:
+        """Domain points grouped by slot (each bucket sorted), cached."""
+        if self._domain_bucket_cache is None:
+            buckets: dict[int, list[IntVec]] = {}
+            for point in self.points:
+                buckets.setdefault(self._assignment[point], []).append(point)
+            self._domain_bucket_cache = buckets
+        return self._domain_bucket_cache
+
+    def _seed_domain_buckets(self, child: MappingSchedule,
+                             changed: set[IntVec]) -> None:
+        """Derive the child's domain buckets by moving the edited points.
+
+        Only when this schedule's buckets are already built and the edit
+        adds no new points (so both domains — and the sorted bucket
+        order — coincide); otherwise the child rebuilds lazily.  This is
+        the ScheduleDelta form of bucket invalidation: the stale buckets
+        never migrate, only a corrected copy does.
+        """
+        source = self._domain_bucket_cache
+        if source is None or any(p not in self._assignment for p in changed):
+            return
+        derived = {slot: list(members) for slot, members in source.items()}
+        for point in changed:
+            old_slot = self._assignment[point]
+            derived[old_slot].remove(point)
+            if not derived[old_slot]:
+                del derived[old_slot]
+            insort(derived.setdefault(child._assignment[point], []), point)
+        child._domain_bucket_cache = derived
+
+    def senders_at(self, time: int,
+                   points: Iterable[Sequence[int]] | None = None,
+                   ) -> list[IntVec]:
+        """Senders at a time step; ``points=None`` means the whole domain.
+
+        The domain query runs off the precomputed per-slot buckets —
+        ``O(|answer|)`` instead of an ``O(|domain|)`` scan per slot.
+        """
+        if points is not None:
+            return super().senders_at(time, points)
+        slot = time % self.num_slots
+        return list(self._domain_buckets().get(slot, []))
 
 
 class TilingSchedule(Schedule):
@@ -216,6 +325,23 @@ class MultiTilingSchedule(Schedule):
 Collision = tuple[IntVec, IntVec]
 
 
+@dataclass(frozen=True)
+class ScheduleDelta:
+    """One schedule edit: ``base`` became ``schedule``.
+
+    ``changed`` holds exactly the points whose slot differs between the
+    two — the dirty set incremental verification re-checks.  Produced by
+    :meth:`MappingSchedule.with_updates`; any code constructing deltas
+    by hand must uphold the same contract (``base`` and ``schedule``
+    agree everywhere outside ``changed``), since
+    :meth:`VerificationCache.apply` trusts it.
+    """
+
+    base: Schedule
+    schedule: Schedule
+    changed: frozenset[IntVec]
+
+
 def conflict_offsets(prototiles: Iterable[Prototile]) -> frozenset[IntVec]:
     """All nonzero offsets ``y - x`` at which two sensors *could* conflict.
 
@@ -287,52 +413,34 @@ def _origin_shapes(point_list: list[IntVec],
     return shapes, shape_ids
 
 
-def find_collisions(schedule: Schedule,
-                    points: Iterable[Sequence[int]],
-                    neighborhood_of: NeighborhoodFn,
-                    offsets: Iterable[IntVec] | None = None,
-                    ) -> list[Collision]:
-    """All colliding sensor pairs among ``points`` under the schedule.
+def _default_offsets(point_list: list[IntVec],
+                     shapes: Sequence[frozenset[IntVec]]) -> list[IntVec]:
+    """Candidate offsets from the deduplicated window shapes.
 
-    A pair ``(x, y)`` collides when the sensors share a slot and their
-    interference ranges intersect — the exact condition the paper's
-    schedules must avoid.  The scan runs on the bulk engine
-    (:mod:`repro.engine.collisions`): vectorized with numpy when
-    available, pure Python otherwise, with identical results.
-
-    Args:
-        schedule: slot assignment to check.
-        points: the sensors (finite window of the lattice).
-        neighborhood_of: maps a sensor to its interference set (pass the
-            schedule's ``neighborhood_of`` for Theorem 1/2 schedules).
-        offsets: optional candidate conflict offsets; computed from the
-            neighborhoods of the points when omitted.  Any iterable is
-            accepted — a one-shot generator is materialized up front, so
-            it is scanned in full for every point.
-
-    Returns:
-        The colliding pairs, each ordered ``x < y`` and the list sorted —
-        a canonical order independent of backend and input ordering.
+    A homogeneous window has one shape, a D1 deployment a few.
     """
-    point_list = [as_intvec(p) for p in points]
-    if not point_list:
-        return []
-    offset_list = None if offsets is None else list(offsets)
-    shapes, shape_ids = _origin_shapes(point_list, neighborhood_of)
-    if offset_list is None:
-        # Candidate offsets from the deduplicated window shapes: a
-        # homogeneous window has one shape, a D1 deployment a few.
-        origin = (0,) * len(point_list[0])
-        unique = sorted({shape | {origin} for shape in shapes}, key=sorted)
-        prototiles = [Prototile(cells, name=f"window-{index}")
-                      for index, cells in enumerate(unique)]
-        offset_list = sorted(conflict_offsets(prototiles))
+    origin = (0,) * len(point_list[0])
+    unique = sorted({shape | {origin} for shape in shapes}, key=sorted)
+    prototiles = [Prototile(cells, name=f"window-{index}")
+                  for index, cells in enumerate(unique)]
+    return sorted(conflict_offsets(prototiles))
+
+
+def _bulk_slots(schedule: Schedule, point_list: list[IntVec]) -> list[int]:
     # ``schedule`` is duck-typed; only ``slot_of`` is required.
-    bulk_slots = getattr(schedule, "slots_of", None)
-    if bulk_slots is not None:
-        slots = bulk_slots(point_list)
-    else:
-        slots = [schedule.slot_of(p) for p in point_list]
+    bulk = getattr(schedule, "slots_of", None)
+    if bulk is not None:
+        return bulk(point_list)
+    return [schedule.slot_of(p) for p in point_list]
+
+
+def _scan_window(point_list: list[IntVec],
+                 slots: list[int],
+                 shapes: list[frozenset[IntVec]],
+                 shape_ids: list[int],
+                 offset_list: list[IntVec],
+                 neighborhood_of: NeighborhoodFn) -> list[Collision]:
+    """Full-window scan shared by find_collisions and the cache."""
     if len(shapes) <= _MAX_SHAPE_CLASSES:
         return scan_collisions(point_list, slots, shape_ids, shapes,
                                offset_list)
@@ -357,9 +465,203 @@ def find_collisions(schedule: Schedule,
     return collisions
 
 
+def find_collisions(schedule: Schedule,
+                    points: Iterable[Sequence[int]],
+                    neighborhood_of: NeighborhoodFn,
+                    offsets: Iterable[IntVec] | None = None,
+                    cache: VerificationCache | None = None,
+                    ) -> list[Collision]:
+    """All colliding sensor pairs among ``points`` under the schedule.
+
+    A pair ``(x, y)`` collides when the sensors share a slot and their
+    interference ranges intersect — the exact condition the paper's
+    schedules must avoid.  The scan runs on the bulk engine
+    (:mod:`repro.engine.collisions`): vectorized with numpy when
+    available, pure Python otherwise, sharded across worker processes
+    when enabled, with identical results on every path.
+
+    Args:
+        schedule: slot assignment to check.
+        points: the sensors (finite window of the lattice).
+        neighborhood_of: maps a sensor to its interference set (pass the
+            schedule's ``neighborhood_of`` for Theorem 1/2 schedules).
+        offsets: optional candidate conflict offsets; computed from the
+            neighborhoods of the points when omitted.  Any iterable is
+            accepted — a one-shot generator is materialized up front, so
+            it is scanned in full for every point.
+        cache: optional :class:`VerificationCache` over the same window.
+            When the schedule is the one the cache tracks (kept current
+            via :meth:`VerificationCache.apply`) the cached collision
+            list is returned without rescanning; an unknown schedule
+            rescans in full and rebinds the cache to it.
+
+    Returns:
+        The colliding pairs, each ordered ``x < y`` and the list sorted —
+        a canonical order independent of backend and input ordering.
+    """
+    if cache is not None:
+        return cache.collisions_for(schedule, points, neighborhood_of,
+                                    offsets)
+    point_list = [as_intvec(p) for p in points]
+    if not point_list:
+        return []
+    offset_list = None if offsets is None else list(offsets)
+    shapes, shape_ids = _origin_shapes(point_list, neighborhood_of)
+    if offset_list is None:
+        offset_list = _default_offsets(point_list, shapes)
+    slots = _bulk_slots(schedule, point_list)
+    return _scan_window(point_list, slots, shapes, shape_ids, offset_list,
+                        neighborhood_of)
+
+
 def verify_collision_free(schedule: Schedule,
                           points: Iterable[Sequence[int]],
                           neighborhood_of: NeighborhoodFn,
-                          offsets: Iterable[IntVec] | None = None) -> bool:
+                          offsets: Iterable[IntVec] | None = None,
+                          cache: VerificationCache | None = None) -> bool:
     """True when no pair of sensors in ``points`` collides."""
-    return not find_collisions(schedule, points, neighborhood_of, offsets)
+    return not find_collisions(schedule, points, neighborhood_of, offsets,
+                               cache=cache)
+
+
+class VerificationCache:
+    """Incremental collision verification for one sensor window.
+
+    The cache normalizes the window once — points, first-occurrence
+    index, per-point occurrence lists, interference shape classes,
+    conflict offsets, and the box-encoded window key — and remembers the
+    full collision list of the schedule it tracks.  After an edit,
+    :meth:`apply` takes the :class:`ScheduleDelta` and re-verifies only
+    the *dirty region* (the edited points dilated by the conflict-offset
+    radius) in ``O(|edit| * |offsets|^2 + |collisions|)`` time, instead
+    of the ``O(|window| * |offsets|)`` full rescan — while producing a
+    collision list identical to :func:`find_collisions` on the edited
+    schedule.
+
+    The window geometry (``neighborhood_of`` and the offsets) is fixed
+    at construction: deltas reassign slots, never interference ranges.
+    """
+
+    def __init__(self, schedule: Schedule,
+                 points: Iterable[Sequence[int]],
+                 neighborhood_of: NeighborhoodFn,
+                 offsets: Iterable[IntVec] | None = None):
+        point_list = [as_intvec(p) for p in points]
+        require(len(point_list) > 0,
+                "a verification cache needs a nonempty window")
+        self._points = point_list
+        self._neighborhood_of = neighborhood_of
+        self._shapes, self._shape_ids = _origin_shapes(point_list,
+                                                       neighborhood_of)
+        if offsets is None:
+            self._offsets = _default_offsets(point_list, self._shapes)
+        else:
+            self._offsets = list(offsets)
+        self._index_of: dict[IntVec, int] = {}
+        self._occurrences: dict[IntVec, list[int]] = {}
+        for i, point in enumerate(point_list):
+            self._index_of.setdefault(point, i)
+            self._occurrences.setdefault(point, []).append(i)
+        encoder = BoxEncoder(point_list)
+        #: Identity of the verified window: bounding box + size.  Two
+        #: caches with equal keys cover the same boxed region, which is
+        #: what callers maintaining a cache-per-window registry key on.
+        self.window_key = (encoder.lo, encoder.hi, len(point_list))
+        self._schedule = schedule
+        self._slots: list[int] | None = None
+        self._collisions: list[Collision] | None = None
+
+    @property
+    def schedule(self) -> Schedule:
+        """The schedule whose collisions the cache currently holds."""
+        return self._schedule
+
+    def collisions(self) -> list[Collision]:
+        """Colliding pairs of the tracked schedule over the window.
+
+        The first call runs the full bulk scan; later calls return the
+        cached list (updated incrementally by :meth:`apply`).
+        """
+        if self._collisions is None:
+            self._slots = _bulk_slots(self._schedule, self._points)
+            self._collisions = _scan_window(
+                self._points, self._slots, self._shapes, self._shape_ids,
+                self._offsets, self._neighborhood_of)
+        return list(self._collisions)
+
+    def is_collision_free(self) -> bool:
+        """True when the tracked schedule has no colliding pair."""
+        return not self.collisions()
+
+    def apply(self, delta: ScheduleDelta) -> list[Collision]:
+        """Track the delta's schedule, re-verifying only the dirty region.
+
+        Raises:
+            ValueError: when ``delta.base`` is not the schedule this
+                cache tracks — deltas must be applied in order (or the
+                cache rebuilt via :meth:`collisions_for`).
+        """
+        if delta.base is not self._schedule:
+            raise ValueError(
+                "delta.base is not the schedule this cache tracks; "
+                "apply deltas in edit order or rescan with collisions_for")
+        self._schedule = delta.schedule
+        if self._collisions is None:
+            return self.collisions()
+        touched = [p for p in delta.changed if p in self._index_of]
+        if touched:
+            assert self._slots is not None
+            for point, slot in zip(touched,
+                                   _bulk_slots(delta.schedule, touched)):
+                for i in self._occurrences[point]:
+                    self._slots[i] = slot
+            touched_set = frozenset(touched)
+            kept = [pair for pair in self._collisions
+                    if pair[0] not in touched_set
+                    and pair[1] not in touched_set]
+            kept.extend(scan_collisions_touching(
+                self._points, self._slots, self._shape_ids, self._shapes,
+                self._offsets, touched_set, self._index_of,
+                self._occurrences))
+            kept.sort()
+            self._collisions = kept
+        return list(self._collisions)
+
+    def collisions_for(self, schedule: Schedule,
+                       points: Iterable[Sequence[int]] | None = None,
+                       neighborhood_of: NeighborhoodFn | None = None,
+                       offsets: Iterable[IntVec] | None = None,
+                       ) -> list[Collision]:
+        """:func:`find_collisions` through the cache (the ``cache=`` hook).
+
+        The tracked schedule answers from the cache; an unknown schedule
+        triggers a full rescan and rebinds the cache to it (the
+        :class:`ScheduleDelta` path via :meth:`apply` is the incremental
+        lane).  A ``points``/``neighborhood_of``/``offsets`` argument
+        that disagrees with the cached window is an error, not a silent
+        rescan — every scan this cache answers uses the geometry fixed
+        at construction.  (Bound methods compare by target, so passing
+        ``schedule.neighborhood_of`` again is fine; a freshly created
+        but equivalent lambda is rejected because equivalence of
+        arbitrary callables is undecidable — reuse the original.)
+        """
+        if points is not None and [as_intvec(p) for p in points] \
+                != self._points:
+            raise ValueError(
+                "window mismatch: this cache verifies a different window "
+                f"(key {self.window_key})")
+        if neighborhood_of is not None \
+                and neighborhood_of != self._neighborhood_of:
+            raise ValueError(
+                "neighborhood mismatch: this cache was built with a "
+                "different neighborhood function (the window geometry is "
+                "fixed at construction — build a new cache to change it)")
+        if offsets is not None and set(offsets) != set(self._offsets):
+            raise ValueError(
+                "offsets mismatch: this cache was built with different "
+                "conflict offsets")
+        if schedule is not self._schedule:
+            self._schedule = schedule
+            self._slots = None
+            self._collisions = None
+        return self.collisions()

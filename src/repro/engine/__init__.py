@@ -15,7 +15,13 @@ batch counterparts:
   the Hermite-normal-form coset reduction behind every tiling schedule:
   thousands of ``slot_of`` queries collapse into a handful of array ops.
 * :mod:`repro.engine.collisions` — the bulk collision scan used by
-  :func:`repro.core.schedule.find_collisions`.
+  :func:`repro.core.schedule.find_collisions`, plus the dirty-region
+  rescan primitive behind incremental verification.
+* :mod:`repro.engine.parallel` — the multi-core sharding layer: worker
+  resolution (``REPRO_ENGINE_WORKERS``), shard planning, and a
+  fork-friendly process-pool runner.  Sharded kernels are required to
+  return bit-identical results for any worker count; serial stays the
+  default and the reference.
 * :mod:`repro.engine.simindex` — CSR-style receiver adjacency over dense
   integer ids, the data structure behind the simulator fast path.
 * :mod:`repro.engine.randmac` — bulk decision kernels for the random MAC
@@ -37,12 +43,22 @@ from repro.engine.backend import (
     set_backend,
     use_backend,
 )
-from repro.engine.collisions import scan_collisions
+from repro.engine.collisions import scan_collisions, scan_collisions_touching
 from repro.engine.encode import BoxEncoder
+from repro.engine.parallel import (
+    cpu_budget,
+    plan_shards,
+    run_sharded,
+    set_workers,
+    shard_workers,
+    use_workers,
+)
 from repro.engine.randmac import (
     bernoulli_block,
+    bernoulli_block_range,
     masked_bernoulli_block,
     uniform_block,
+    uniform_block_range,
 )
 from repro.engine.simindex import AdjacencyIndex
 from repro.engine.slots import CosetTable
@@ -53,11 +69,20 @@ __all__ = [
     "numpy_module",
     "set_backend",
     "use_backend",
+    "cpu_budget",
+    "shard_workers",
+    "set_workers",
+    "use_workers",
+    "plan_shards",
+    "run_sharded",
     "scan_collisions",
+    "scan_collisions_touching",
     "BoxEncoder",
     "AdjacencyIndex",
     "CosetTable",
     "uniform_block",
+    "uniform_block_range",
     "bernoulli_block",
+    "bernoulli_block_range",
     "masked_bernoulli_block",
 ]

@@ -14,19 +14,38 @@ window, and keep those with equal slots and an allowed shape pair.  The
 numpy path does this with one sorted-key membership pass per offset; the
 Python path with one dict probe per (point, offset).  Results are
 identical: a list of ``(x, y)`` pairs with ``x < y``, sorted.
+
+Two scaling layers sit on top of the serial scan:
+
+* **Sharding** (:mod:`repro.engine.parallel`): with workers enabled,
+  large scans split across processes — the numpy path shards the
+  *offset* axis (each worker reuses the presorted key arrays, inherited
+  copy-on-write), the Python path shards the *point* axis.  Merging is
+  concatenation followed by the same canonical sort, so the result is
+  bit-identical for any worker count.
+* **Dirty-region rescans** (:func:`scan_collisions_touching`): after a
+  slot edit only pairs with an edited endpoint can change, and every
+  such pair lies within one conflict-offset of an edited point — the
+  primitive behind incremental verification in
+  :class:`repro.core.schedule.VerificationCache`.
 """
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Collection, Mapping, Sequence
 
 from repro.engine.backend import active_backend, numpy_module
 from repro.engine.encode import BoxEncoder
+from repro.engine.parallel import plan_shards, run_sharded, shard_workers
 from repro.utils.vectors import IntVec, vadd, vsub
 
-__all__ = ["scan_collisions"]
+__all__ = ["scan_collisions", "scan_collisions_touching"]
 
 Collision = tuple[IntVec, IntVec]
+
+#: (points x offsets) probes below which a scan stays serial even when
+#: workers are enabled — process dispatch costs more than the scan.
+_MIN_PARALLEL_PROBES = 1 << 16
 
 
 def scan_collisions(points: Sequence[IntVec],
@@ -66,12 +85,13 @@ def scan_collisions(points: Sequence[IntVec],
     return collisions
 
 
-def _scan_python(points, slots, shape_ids, differences, offsets):
-    index_of: dict[IntVec, int] = {}
-    for i, point in enumerate(points):
-        index_of.setdefault(point, i)
+def _python_shard(payload, span):
+    """Probe points ``span[0]..span[1]-1`` as left endpoints (worker-safe)."""
+    points, slots, shape_ids, differences, offsets, index_of = payload
+    lo, hi = span
     collisions: list[Collision] = []
-    for i, x in enumerate(points):
+    for i in range(lo, hi):
+        x = points[i]
         slot = slots[i]
         row = differences[shape_ids[i]]
         for delta in offsets:
@@ -81,6 +101,46 @@ def _scan_python(points, slots, shape_ids, differences, offsets):
             if delta in row[shape_ids[j]]:
                 collisions.append((x, points[j]))
     return collisions
+
+
+def _scan_python(points, slots, shape_ids, differences, offsets):
+    index_of: dict[IntVec, int] = {}
+    for i, point in enumerate(points):
+        index_of.setdefault(point, i)
+    payload = (points, slots, shape_ids, differences, offsets, index_of)
+    workers = shard_workers()
+    if workers > 1 and len(points) * len(offsets) >= _MIN_PARALLEL_PROBES:
+        spans = plan_shards(len(points), workers)
+        if len(spans) > 1:
+            parts = run_sharded(_python_shard, payload, spans, workers)
+            return [pair for part in parts for pair in part]
+    return _python_shard(payload, (0, len(points)))
+
+
+def _numpy_shard(payload, span):
+    """Offset passes ``span[0]..span[1]-1`` over presorted keys.
+
+    Returns index pairs (not point tuples) so worker results stay small;
+    the driver resolves them against the original window.
+    """
+    np = numpy_module()
+    keys, sorted_keys, order, slot_arr, shape_arr, allowed, offset_keys = \
+        payload
+    lo, hi = span
+    n = len(keys)
+    pairs: list[tuple[int, int]] = []
+    for j in range(lo, hi):
+        target = keys + offset_keys[j]
+        pos = np.minimum(np.searchsorted(sorted_keys, target), n - 1)
+        xi = np.nonzero(sorted_keys[pos] == target)[0]
+        if xi.size == 0:
+            continue
+        yi = order[pos[xi]]
+        keep = slot_arr[xi] == slot_arr[yi]
+        keep &= allowed[shape_arr[xi], shape_arr[yi], j]
+        if keep.any():
+            pairs.extend(zip(xi[keep].tolist(), yi[keep].tolist()))
+    return pairs
 
 
 def _scan_numpy(points, slots, shape_ids, differences, offsets):
@@ -110,23 +170,96 @@ def _scan_numpy(points, slots, shape_ids, differences, offsets):
             row = differences[a][b]
             for j, delta in enumerate(offsets):
                 allowed[a, b, j] = delta in row
-    n = len(points)
-    found_x: list = []
-    found_y: list = []
-    for j, delta in enumerate(offsets):
-        target = keys + encoder.offset_key(delta)
-        pos = np.minimum(np.searchsorted(sorted_keys, target), n - 1)
-        xi = np.nonzero(sorted_keys[pos] == target)[0]
-        if xi.size == 0:
-            continue
-        yi = order[pos[xi]]
-        keep = slot_arr[xi] == slot_arr[yi]
-        keep &= allowed[shape_arr[xi], shape_arr[yi], j]
-        if keep.any():
-            found_x.append(xi[keep])
-            found_y.append(yi[keep])
-    if not found_x:
+    offset_keys = [encoder.offset_key(delta) for delta in offsets]
+    payload = (keys, sorted_keys, order, slot_arr, shape_arr, allowed,
+               offset_keys)
+    workers = shard_workers()
+    if workers > 1 and len(points) * len(offsets) >= _MIN_PARALLEL_PROBES:
+        # Each worker inherits the presorted key arrays (copy-on-write
+        # under fork) and runs only its span of offset passes.
+        spans = plan_shards(len(offsets), workers)
+        if len(spans) > 1:
+            parts = run_sharded(_numpy_shard, payload, spans, workers)
+            pairs = [pair for part in parts for pair in part]
+            return [(points[i], points[j]) for i, j in pairs]
+    pairs = _numpy_shard(payload, (0, len(offsets)))
+    return [(points[i], points[j]) for i, j in pairs]
+
+
+def scan_collisions_touching(points: Sequence[IntVec],
+                             slots: Sequence[int],
+                             shape_ids: Sequence[int],
+                             shapes: Sequence[frozenset[IntVec]],
+                             offsets: Sequence[IntVec],
+                             touched: Collection[IntVec],
+                             index_of: Mapping[IntVec, int] | None = None,
+                             occurrences: Mapping[IntVec, Sequence[int]]
+                             | None = None) -> list[Collision]:
+    """Colliding pairs with at least one endpoint in ``touched``, sorted.
+
+    Exactly the subset of :func:`scan_collisions` output whose ``x`` or
+    ``y`` lies in ``touched`` — the dirty-region rescan behind
+    incremental verification.  A pair can only involve an edited point
+    if its left endpoint is the edited point itself or sits one
+    (lexicographically positive) conflict offset below it, so the scan
+    probes just that dilation: ``O(|touched| * |offsets|^2)`` work in
+    the worst case, independent of the window size.
+
+    Args:
+        points, slots, shape_ids, shapes, offsets: as for
+            :func:`scan_collisions`, describing the *current* window
+            state (slots already reflecting the edit).
+        touched: the edited points (slot changed); points outside the
+            window are ignored.
+        index_of: optional first-occurrence index of each window point
+            (precomputed by a cache); derived from ``points`` if omitted.
+        occurrences: optional all-occurrence indices per point, matching
+            the once-per-occurrence-of-``x`` duplicate semantics of the
+            full scan; derived from ``points`` if omitted.
+    """
+    if not points or not offsets or not touched:
         return []
-    xs = np.concatenate(found_x).tolist()
-    ys = np.concatenate(found_y).tolist()
-    return [(points[i], points[j]) for i, j in zip(xs, ys)]
+    dimension = len(points[0])
+    zero = (0,) * dimension
+    positive = [delta for delta in offsets if delta > zero]
+    if not positive:
+        return []
+    if index_of is None or occurrences is None:
+        index_of = {}
+        occurrence_lists: dict[IntVec, list[int]] = {}
+        for i, point in enumerate(points):
+            index_of.setdefault(point, i)
+            occurrence_lists.setdefault(point, []).append(i)
+        occurrences = occurrence_lists
+    touched_set = frozenset(touched)
+    # Candidate left endpoints: the touched points, plus every window
+    # point one positive offset below a touched point.
+    candidates = {c for c in touched_set if c in index_of}
+    for c in touched_set:
+        for delta in positive:
+            x = vsub(c, delta)
+            if x in index_of:
+                candidates.add(x)
+    differences: dict[tuple[int, int], frozenset[IntVec]] = {}
+    collisions: list[Collision] = []
+    for x in candidates:
+        for i in occurrences[x]:
+            slot = slots[i]
+            a = shape_ids[i]
+            for delta in positive:
+                j = index_of.get(vadd(x, delta))
+                if j is None or slots[j] != slot:
+                    continue
+                y = points[j]
+                if x not in touched_set and y not in touched_set:
+                    continue
+                b = shape_ids[j]
+                row = differences.get((a, b))
+                if row is None:
+                    row = frozenset(vsub(p, q)
+                                    for p in shapes[a] for q in shapes[b])
+                    differences[(a, b)] = row
+                if delta in row:
+                    collisions.append((x, y))
+    collisions.sort()
+    return collisions

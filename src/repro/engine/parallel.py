@@ -1,0 +1,225 @@
+"""Multi-core sharded execution for the bulk engine kernels.
+
+The vectorized kernels of :mod:`repro.engine` are single-threaded: numpy
+releases the GIL but one process still drives one core.  This module
+adds the *sharding* layer the ROADMAP asks for — kernels split their
+work (offset lists, point ranges, sensor id ranges) into contiguous
+shards, evaluate the shards on a :class:`~concurrent.futures.
+ProcessPoolExecutor`, and merge the partial results into exactly the
+output the serial kernel would have produced.
+
+Determinism is non-negotiable: every sharded kernel in this library is
+required (and tested) to return *bit-identical* results for any worker
+count, because
+
+* collision scans merge by concatenation followed by the same canonical
+  sort the serial path applies;
+* coset-table lookups partition the input rows, so concatenating the
+  shard outputs reproduces the serial order; and
+* random-MAC decisions are pure functions of ``(seed, sensor, slot)``
+  through the counter-based :class:`repro.utils.rng.StreamRNG`, so a
+  worker computing sensors ``lo..hi`` sees the very same draws the
+  serial kernel computes for those sensors.
+
+Sharding is **opt-in**.  The resolution order for the worker count is
+
+1. an explicit :func:`set_workers` / :func:`use_workers` call,
+2. the ``REPRO_ENGINE_WORKERS`` environment variable (a positive
+   integer, or ``auto`` for the usable CPU count),
+3. the default of ``1`` — the serial path, which stays the reference.
+
+Worker processes are started with the ``fork`` method when the platform
+offers it, so the (potentially large) shared payload — point windows,
+presorted key arrays, coset tables — reaches the workers through
+copy-on-write pages instead of pickling; platforms without ``fork``
+transparently fall back to pickling the payload once per worker.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+__all__ = [
+    "cpu_budget",
+    "shard_workers",
+    "set_workers",
+    "use_workers",
+    "plan_shards",
+    "run_sharded",
+]
+
+#: Upper bound on the resolved worker count; a fleet of hundreds of
+#: processes is never what a caller meant on one machine.
+_MAX_WORKERS = 64
+
+
+def cpu_budget() -> int:
+    """CPUs this process may actually use (affinity-aware when possible)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _workers_from_env(raw: str | None) -> int:
+    """Resolve a ``REPRO_ENGINE_WORKERS`` value to a worker count.
+
+    Unset/empty means serial; ``auto`` means the usable CPU count; a bad
+    value warns and stays serial (importing the library must not raise).
+    """
+    if raw is None:
+        return 1
+    text = raw.strip().lower()
+    if not text:
+        return 1
+    if text == "auto":
+        return min(cpu_budget(), _MAX_WORKERS)
+    try:
+        value = int(text)
+    except ValueError:
+        warnings.warn(
+            f"ignoring REPRO_ENGINE_WORKERS={raw!r}: expected a positive "
+            f"integer or 'auto' (staying serial)", stacklevel=3)
+        return 1
+    if value < 1:
+        warnings.warn(
+            f"ignoring REPRO_ENGINE_WORKERS={raw!r}: worker count must be "
+            f">= 1 (staying serial)", stacklevel=3)
+        return 1
+    return min(value, _MAX_WORKERS)
+
+
+_workers = _workers_from_env(os.environ.get("REPRO_ENGINE_WORKERS"))
+
+#: True inside a shard worker process: nested kernels must stay serial
+#: (pool workers are daemonic and cannot fork grandchildren).
+_in_worker = False
+
+#: Payload handed to shard kernels.  Under ``fork`` it is published here
+#: before the pool starts so children inherit it via copy-on-write; under
+#: other start methods the pool initializer installs it per worker.
+_payload: Any = None
+
+
+def shard_workers() -> int:
+    """The worker count sharded kernels will use (``1`` = serial)."""
+    if _in_worker:
+        return 1
+    return _workers
+
+
+def set_workers(count: int) -> None:
+    """Select the worker count for sharded kernels (``1`` disables).
+
+    Raises:
+        ValueError: for a non-positive count.
+    """
+    global _workers
+    if not isinstance(count, int) or count < 1:
+        raise ValueError(f"worker count must be a positive int, got {count!r}")
+    _workers = min(count, _MAX_WORKERS)
+
+
+@contextmanager
+def use_workers(count: int) -> Iterator[None]:
+    """Temporarily force a worker count (used by tests and benchmarks)."""
+    global _workers
+    previous = _workers
+    set_workers(count)
+    try:
+        yield
+    finally:
+        _workers = previous
+
+
+def plan_shards(total: int, shards: int) -> list[tuple[int, int]]:
+    """Split ``range(total)`` into at most ``shards`` contiguous spans.
+
+    Spans are half-open ``(lo, hi)`` pairs, cover the range exactly once
+    in order, never empty, and differ in length by at most one — so the
+    partition (and therefore every sharded result) is a pure function of
+    ``(total, shards)``.
+    """
+    if total <= 0:
+        return []
+    shards = max(1, min(shards, total))
+    base, extra = divmod(total, shards)
+    spans = []
+    lo = 0
+    for i in range(shards):
+        hi = lo + base + (1 if i < extra else 0)
+        spans.append((lo, hi))
+        lo = hi
+    return spans
+
+
+def _worker_init(payload: Any) -> None:
+    """Install the shared payload in a freshly spawned worker."""
+    global _payload, _in_worker
+    _payload = payload
+    _in_worker = True
+
+
+def _invoke(kernel: Callable[[Any, Any], Any], shard_arg: Any) -> Any:
+    return kernel(_payload, shard_arg)
+
+
+def _pool_context():
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - fork-less platform
+        return multiprocessing.get_context()
+
+
+def run_sharded(kernel: Callable[[Any, Any], Any], payload: Any,
+                shard_args: Sequence[Any],
+                workers: int | None = None) -> list[Any]:
+    """Evaluate ``kernel(payload, arg)`` per shard, possibly in parallel.
+
+    Args:
+        kernel: a *module-level* function (workers import it by
+            reference) taking ``(payload, shard_arg)``.
+        payload: the read-only state every shard needs.  Shipped to the
+            workers by fork inheritance when possible, pickled otherwise;
+            kernels must treat it as immutable.
+        shard_args: one small argument per shard (e.g. ``(lo, hi)``
+            spans from :func:`plan_shards`).
+        workers: worker count override; defaults to :func:`shard_workers`.
+
+    Returns:
+        The per-shard results, in ``shard_args`` order — identical to
+        ``[kernel(payload, a) for a in shard_args]`` by construction.
+    """
+    global _payload, _in_worker
+    shard_args = list(shard_args)
+    if workers is None:
+        workers = shard_workers()
+    if _in_worker:
+        workers = 1
+    workers = min(workers, len(shard_args))
+    if workers <= 1:
+        return [kernel(payload, arg) for arg in shard_args]
+    context = _pool_context()
+    if context.get_start_method() == "fork":
+        # Children snapshot these globals at fork time (copy-on-write);
+        # the parent restores them as soon as the pool winds down.
+        previous = _payload
+        _payload, _in_worker = payload, True
+        pool_kwargs: dict[str, Any] = {}
+    else:  # pragma: no cover - fork-less platform
+        previous = _payload
+        pool_kwargs = {"initializer": _worker_init, "initargs": (payload,)}
+    try:
+        with ProcessPoolExecutor(max_workers=workers, mp_context=context,
+                                 **pool_kwargs) as pool:
+            return list(pool.map(_invoke, [kernel] * len(shard_args),
+                                 shard_args))
+    finally:
+        _payload, _in_worker = previous, False

@@ -15,6 +15,13 @@ on ``uint64`` arrays (multiplication and addition wrap mod 2^64 exactly
 like the masked Python integers); converting the top 53 bits to float64
 is exact, so the uniforms — and therefore every threshold comparison —
 agree bit-for-bit with the scalar implementation.
+
+Because each cell is a pure function of ``(seed, sensor, slot)``, the
+sensor axis shards freely: the ``*_range`` variants evaluate only
+sensors ``lo..hi-1``, and the public block functions dispatch large
+windows across worker processes (:mod:`repro.engine.parallel`) and
+reassemble the columns — the merged matrix is identical to the serial
+one for any worker count.
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ from collections.abc import Sequence
 from functools import lru_cache
 
 from repro.engine.backend import active_backend, numpy_module
+from repro.engine.parallel import plan_shards, run_sharded, shard_workers
 from repro.utils.rng import (
     _INV_2_53,
     _MASK64,
@@ -33,7 +41,18 @@ from repro.utils.rng import (
     StreamRNG,
 )
 
-__all__ = ["uniform_block", "bernoulli_block", "masked_bernoulli_block"]
+__all__ = [
+    "uniform_block",
+    "uniform_block_range",
+    "bernoulli_block",
+    "bernoulli_block_range",
+    "masked_bernoulli_block",
+]
+
+#: Decision cells (sensors x slots) below which a block stays serial
+#: even when workers are enabled — process dispatch costs more than the
+#: kernel below this size.
+_MIN_PARALLEL_CELLS = 1 << 16
 
 
 def _np_mix64(np, x):
@@ -43,38 +62,39 @@ def _np_mix64(np, x):
     return x ^ (x >> np.uint64(31))
 
 
-# The per-sensor base hashes depend only on (root, n), not on the slot
-# window, so carrier-sensing protocols — dispatched one slot at a time —
-# reuse them across every slot of a simulation instead of rehashing
-# sensor ids per call.  Cached arrays/tuples are never mutated.
-@lru_cache(maxsize=8)
-def _np_bases(root: int, num_streams: int):
+# The per-sensor base hashes depend only on (root, lo, hi), not on the
+# slot window, so carrier-sensing protocols — dispatched one slot at a
+# time — reuse them across every slot of a simulation instead of
+# rehashing sensor ids per call, and each shard worker caches the bases
+# for its own sensor span.  Cached arrays/tuples are never mutated.
+@lru_cache(maxsize=32)
+def _np_bases(root: int, lo: int, hi: int):
     np = numpy_module()
     with np.errstate(over="ignore"):
-        ids = np.arange(num_streams, dtype=np.uint64)
+        ids = np.arange(lo, hi, dtype=np.uint64)
         return _np_mix64(np, np.uint64(root) ^ (ids * np.uint64(_PHI)))
 
 
-@lru_cache(maxsize=8)
-def _py_bases(root: int, num_streams: int) -> tuple[int, ...]:
+@lru_cache(maxsize=32)
+def _py_bases(root: int, lo: int, hi: int) -> tuple[int, ...]:
     return tuple(_mix64(root ^ ((s * _PHI) & _MASK64))
-                 for s in range(num_streams))
+                 for s in range(lo, hi))
 
 
-def _np_uniform_block(np, rng: StreamRNG, num_streams: int,
+def _np_uniform_block(np, rng: StreamRNG, lo: int, hi: int,
                       t0: int, t1: int):
-    """(t1-t0, num_streams) float64 matrix of draw-0 uniforms."""
-    bases = _np_bases(rng.root, num_streams)
+    """(t1-t0, hi-lo) float64 matrix of draw-0 uniforms."""
+    bases = _np_bases(rng.root, lo, hi)
     with np.errstate(over="ignore"):
         slots = np.arange(t0, t1, dtype=np.uint64) * np.uint64(_PHI)
         states = _np_mix64(np, _np_mix64(np, bases[None, :] ^ slots[:, None]))
     return (states >> np.uint64(11)).astype(np.float64) * _INV_2_53
 
 
-def _py_uniform_block(rng: StreamRNG, num_streams: int,
+def _py_uniform_block(rng: StreamRNG, lo: int, hi: int,
                       t0: int, t1: int) -> list[list[float]]:
     """Pure-Python counterpart with the same cached per-sensor bases."""
-    bases = _py_bases(rng.root, num_streams)
+    bases = _py_bases(rng.root, lo, hi)
     rows = []
     for t in range(t0, t1):
         tk = (t * _PHI) & _MASK64
@@ -83,26 +103,99 @@ def _py_uniform_block(rng: StreamRNG, num_streams: int,
     return rows
 
 
+def uniform_block_range(rng: StreamRNG, lo: int, hi: int,
+                        t0: int, t1: int):
+    """Uniforms for the sensor id range ``lo..hi-1`` over a slot window.
+
+    ``result[t - t0][i - lo] == rng.uniform(i, t)`` exactly, on either
+    backend — sensor ids stay *global*, which is what lets shards of the
+    sensor axis reproduce the serial matrix column-for-column.
+    """
+    if active_backend() == "numpy":
+        return _np_uniform_block(numpy_module(), rng, lo, hi, t0, t1)
+    return _py_uniform_block(rng, lo, hi, t0, t1)
+
+
+def bernoulli_block_range(rng: StreamRNG, lo: int, hi: int,
+                          t0: int, t1: int, p: float):
+    """``uniform(i, t) < p`` for the sensor id range ``lo..hi-1``."""
+    if active_backend() == "numpy":
+        return _np_uniform_block(numpy_module(), rng, lo, hi, t0, t1) < p
+    return [[u < p for u in row]
+            for row in _py_uniform_block(rng, lo, hi, t0, t1)]
+
+
+# ----------------------------------------------------------------------
+# Sharded dispatch: split the sensor axis across worker processes.
+# ----------------------------------------------------------------------
+def _block_shard(payload, span):
+    """One sensor-span shard of a decision block (runs in a worker)."""
+    rng, t0, t1, mode, p, muted = payload
+    lo, hi = span
+    if mode == "uniform":
+        return uniform_block_range(rng, lo, hi, t0, t1)
+    block = bernoulli_block_range(rng, lo, hi, t0, t1, p)
+    if mode == "masked" and t1 > t0:
+        if active_backend() == "numpy":
+            np = numpy_module()
+            block[0] &= ~np.asarray(muted[lo:hi], dtype=bool)
+        else:
+            block[0] = [(not muted[lo + i]) and d
+                        for i, d in enumerate(block[0])]
+    return block
+
+
+def _merge_columns(parts):
+    """Reassemble sensor-span shards side by side, on the caller's backend.
+
+    Workers normally answer on the caller's backend, but a ``spawn``
+    worker re-resolves ``REPRO_ENGINE`` from its own environment, so the
+    merge tolerates either representation per part.
+    """
+    if active_backend() == "numpy":
+        np = numpy_module()
+        return np.concatenate([np.asarray(part) for part in parts], axis=1)
+    rows = []
+    for t in range(len(parts[0])):
+        row: list = []
+        for part in parts:
+            chunk = part[t]
+            row.extend(chunk.tolist() if hasattr(chunk, "tolist") else chunk)
+        rows.append(row)
+    return rows
+
+
+def _dispatch_block(rng: StreamRNG, num_streams: int, t0: int, t1: int,
+                    mode: str, p: float, muted):
+    workers = shard_workers()
+    # Single-slot windows never shard: carrier-sensing protocols request
+    # one of these per simulated slot, and paying a process-pool spawn
+    # per slot to split a one-row kernel is strictly slower than serial
+    # no matter how many sensors the row holds.
+    if (workers > 1 and t1 - t0 > 1
+            and num_streams * (t1 - t0) >= _MIN_PARALLEL_CELLS):
+        spans = plan_shards(num_streams, workers)
+        if len(spans) > 1:
+            parts = run_sharded(_block_shard, (rng, t0, t1, mode, p, muted),
+                                spans, workers)
+            return _merge_columns(parts)
+    return _block_shard((rng, t0, t1, mode, p, muted), (0, num_streams))
+
+
 def uniform_block(rng: StreamRNG, num_streams: int, t0: int, t1: int):
     """Uniforms in [0, 1) for sensors ``0..num_streams-1`` over a window.
 
     ``result[t - t0][i] == rng.uniform(i, t)`` exactly, on either
-    backend; numpy returns a ``(t1-t0, num_streams)`` float64 array, the
-    fallback nested lists.
+    backend and for any worker count; numpy returns a
+    ``(t1-t0, num_streams)`` float64 array, the fallback nested lists.
     """
-    if active_backend() == "numpy":
-        return _np_uniform_block(numpy_module(), rng, num_streams, t0, t1)
-    return _py_uniform_block(rng, num_streams, t0, t1)
+    return _dispatch_block(rng, num_streams, t0, t1, "uniform", 0.0, None)
 
 
 def bernoulli_block(rng: StreamRNG, num_streams: int, t0: int, t1: int,
                     p: float):
     """Boolean decision matrix: ``uniform(i, t) < p`` per sensor and slot."""
-    if active_backend() == "numpy":
-        return _np_uniform_block(numpy_module(), rng, num_streams,
-                                 t0, t1) < p
-    return [[u < p for u in row]
-            for row in _py_uniform_block(rng, num_streams, t0, t1)]
+    return _dispatch_block(rng, num_streams, t0, t1, "bernoulli", p, None)
 
 
 def masked_bernoulli_block(rng: StreamRNG, num_streams: int, t0: int,
@@ -117,14 +210,5 @@ def masked_bernoulli_block(rng: StreamRNG, num_streams: int, t0: int,
     sense.  (The simulator dispatches carrier-sensing protocols with
     single-slot windows anyway.)
     """
-    if active_backend() == "numpy":
-        np = numpy_module()
-        block = _np_uniform_block(np, rng, num_streams, t0, t1) < p
-        if len(block):
-            block[0] &= ~np.asarray(muted, dtype=bool)
-        return block
-    rows = [[u < p for u in row]
-            for row in _py_uniform_block(rng, num_streams, t0, t1)]
-    if rows:
-        rows[0] = [(not muted[i]) and d for i, d in enumerate(rows[0])]
-    return rows
+    muted = list(muted) if not hasattr(muted, "__getitem__") else muted
+    return _dispatch_block(rng, num_streams, t0, t1, "masked", p, muted)

@@ -22,9 +22,22 @@ from __future__ import annotations
 from collections.abc import Mapping, Sequence
 
 from repro.engine.backend import active_backend, numpy_module
+from repro.engine.parallel import plan_shards, run_sharded, shard_workers
 from repro.utils.vectors import IntVec
 
 __all__ = ["CosetTable", "as_point_batch"]
+
+#: Batch sizes below this stay serial even with workers enabled — the
+#: reduction is a handful of array passes, so only very large windows
+#: amortize a process pool.
+_MIN_PARALLEL_POINTS = 1 << 15
+
+
+def _lookup_shard(payload, span):
+    """Serial lookup of one row span (runs in a worker process)."""
+    table, points = payload
+    lo, hi = span
+    return table._lookup_serial(points[lo:hi])
 
 
 def as_point_batch(points):
@@ -90,8 +103,21 @@ class CosetTable:
 
         Accepts a list of integer tuples or a ready-made ``(n, d)``
         integer numpy array.  Falls back to the exact Python path for
-        inputs the int64 kernel cannot represent.
+        inputs the int64 kernel cannot represent.  Very large batches
+        shard across worker processes when workers are enabled
+        (:mod:`repro.engine.parallel`); the rows partition, so the
+        concatenated shard outputs equal the serial list exactly.
         """
+        workers = shard_workers()
+        if workers > 1 and len(points) >= _MIN_PARALLEL_POINTS:
+            spans = plan_shards(len(points), workers)
+            if len(spans) > 1:
+                parts = run_sharded(_lookup_shard, (self, points), spans,
+                                    workers)
+                return [value for part in parts for value in part]
+        return self._lookup_serial(points)
+
+    def _lookup_serial(self, points: Sequence[Sequence[int]]) -> list[int]:
         if active_backend() == "numpy":
             np = numpy_module()
             array = np.asarray(points)

@@ -12,6 +12,7 @@ lattice-level vocabulary used by the tiling and scheduling layers.
 from __future__ import annotations
 
 from collections.abc import Iterator, Sequence
+from functools import lru_cache
 
 from repro.utils.intlin import (
     CosetSpace,
@@ -128,15 +129,28 @@ class Sublattice:
         return f"Sublattice(basis=[{basis}], index={self.index})"
 
 
+# Exactness checks and tiling searches re-enumerate the same
+# (dimension, index) families over and over (every prototile of size m
+# asks for the index-m sublattices), so the enumeration is memoized.
+# Sublattice objects are immutable, making the shared tuples safe; the
+# bound keeps a pathological sweep over huge indices from pinning every
+# family in memory.
+@lru_cache(maxsize=128)
+def _sublattices_of_index(dimension: int, index: int) -> tuple[Sublattice, ...]:
+    return tuple(Sublattice(matrix_columns(hnf))
+                 for hnf in enumerate_hnf_matrices(dimension, index))
+
+
 def all_sublattices_of_index(dimension: int, index: int) -> Iterator[Sublattice]:
     """Every sublattice of ``Z^dimension`` with the given index.
 
     For ``dimension == 2`` there are ``sigma(index)`` of them (sum of
     divisors); this enumeration is the engine of the exactness decision
-    procedure for lattice tilings (:mod:`repro.tiles.exactness`).
+    procedure for lattice tilings (:mod:`repro.tiles.exactness`).  The
+    family is computed once per ``(dimension, index)`` and served from a
+    bounded cache afterwards.
     """
-    for hnf in enumerate_hnf_matrices(dimension, index):
-        yield Sublattice(matrix_columns(hnf))
+    yield from _sublattices_of_index(dimension, index)
 
 
 def diagonal_sublattice(periods: Sequence[int]) -> Sublattice:

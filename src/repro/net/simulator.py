@@ -31,6 +31,14 @@ exists once the previous slot resolves) but still vectorize across
 sensors.  With numpy available the counts and decisions are computed by
 array kernels; the pure-Python fallback runs the same integer arithmetic
 and produces identical metrics.
+
+With workers enabled (``REPRO_ENGINE_WORKERS`` or
+:func:`repro.engine.parallel.set_workers`) large decision windows
+additionally shard their sensor axis across worker processes inside the
+randmac kernels, and the simulator widens the precomputed window to
+amortize the dispatch; because every decision is keyed by
+``(seed, sensor, slot)``, the resulting :class:`SimulationMetrics` are
+bit-identical for any worker count.
 """
 
 from __future__ import annotations
@@ -38,6 +46,7 @@ from __future__ import annotations
 from collections import deque
 
 from repro.engine.backend import active_backend, numpy_module
+from repro.engine.parallel import shard_workers
 from repro.net.energy import UNIT_TX_MODEL, EnergyModel
 from repro.net.metrics import SimulationMetrics
 from repro.net.model import Network
@@ -52,6 +61,24 @@ __all__ = ["BroadcastSimulator", "simulate", "compare_protocols"]
 #: for protocols that do not carrier-sense.  Purely a batching knob: the
 #: counter-based rng makes the results independent of the window size.
 _DECISION_WINDOW = 128
+
+#: Cap on (sensors x slots) cells per precomputed window when workers
+#: widen it — bounds the decision matrix to a few tens of MB.
+_MAX_DECISION_CELLS = 1 << 24
+
+
+def _decision_window_for(num_sensors: int) -> int:
+    """Window length for non-carrier-sense protocols.
+
+    With sharded decisions enabled (``REPRO_ENGINE_WORKERS``), wider
+    windows amortize the per-window worker dispatch; the counter-based
+    rng keeps results identical for every window size, so this is purely
+    a batching decision.
+    """
+    window = _DECISION_WINDOW * shard_workers()
+    if num_sensors > 0:
+        window = min(window, _MAX_DECISION_CELLS // num_sensors)
+    return max(_DECISION_WINDOW, window)
 
 
 class BroadcastSimulator:
@@ -105,7 +132,7 @@ class BroadcastSimulator:
         if bulk_decisions:
             self._decision_block = protocol.decision_block
             self._decision_window = (1 if protocol.uses_carrier_sense
-                                     else _DECISION_WINDOW)
+                                     else _decision_window_for(self._n))
         else:
             self._decision_block = (
                 lambda *args: MACProtocol.decision_block(protocol, *args))

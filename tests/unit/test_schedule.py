@@ -146,3 +146,59 @@ class TestCollisionDetection:
         collisions = find_collisions(
             schedule, points, lambda p: tile.translate(p), offsets)
         assert collisions
+
+
+class TestManyShapeClassesFallback:
+    """The degenerate >_MAX_SHAPE_CLASSES branch of find_collisions.
+
+    Windows where (almost) every point has a distinct interference shape
+    skip the bulk difference-set scan and test ranges directly; that
+    fallback must agree with the bulk-engine path on the same inputs.
+    """
+
+    @staticmethod
+    def _degenerate_window():
+        # Point (i, 0) carries shape {(0,0), (1,0), (0, i+1)}: a shared
+        # horizontal edge (so adjacent same-slot sensors collide) plus a
+        # per-point marker making all 40 rebased shapes distinct.
+        points = [(i, 0) for i in range(40)]
+
+        def neighborhood(p):
+            i = p[0]
+            return frozenset({(i, 0), (i + 1, 0), (i, i + 1)})
+
+        return points, neighborhood
+
+    def test_window_exceeds_shape_class_bound(self):
+        import repro.core.schedule as schedule_module
+
+        points, neighborhood = self._degenerate_window()
+        shapes, _ = schedule_module._origin_shapes(points, neighborhood)
+        assert len(shapes) == len(points) > schedule_module._MAX_SHAPE_CLASSES
+
+    @pytest.mark.parametrize("backend", ["numpy", "python"])
+    def test_fallback_matches_bulk_engine_path(self, backend, monkeypatch):
+        import repro.core.schedule as schedule_module
+        from repro.engine import use_backend
+
+        points, neighborhood = self._degenerate_window()
+        schedule = MappingSchedule({p: p[0] % 2 if p[0] < 20 else 0
+                                    for p in points})
+        with use_backend(backend):
+            fallback = find_collisions(schedule, points, neighborhood)
+            monkeypatch.setattr(schedule_module, "_MAX_SHAPE_CLASSES", 10_000)
+            bulk = find_collisions(schedule, points, neighborhood)
+        assert fallback == bulk
+        assert fallback  # the all-slot-0 half must produce collisions
+
+    def test_fallback_respects_explicit_offsets(self, monkeypatch):
+        import repro.core.schedule as schedule_module
+
+        points, neighborhood = self._degenerate_window()
+        schedule = MappingSchedule({p: 0 for p in points})
+        offsets = [(1, 0), (-1, 0)]
+        fallback = find_collisions(schedule, points, neighborhood, offsets)
+        monkeypatch.setattr(schedule_module, "_MAX_SHAPE_CLASSES", 10_000)
+        bulk = find_collisions(schedule, points, neighborhood, offsets)
+        assert fallback == bulk
+        assert fallback == [((i, 0), (i + 1, 0)) for i in range(39)]

@@ -1,0 +1,262 @@
+"""Incremental verification tests: ScheduleDelta + VerificationCache.
+
+The cache's contract is that after any sequence of ``apply`` calls its
+collision list equals a full :func:`find_collisions` rescan of the
+edited schedule — the dirty-region rescan is an optimization, never an
+approximation.  The randomized tests drive long edit sequences against
+the full-scan oracle on both engine backends.
+"""
+
+import random
+
+import pytest
+
+from repro.core.schedule import (
+    MappingSchedule,
+    ScheduleDelta,
+    VerificationCache,
+    find_collisions,
+    verify_collision_free,
+)
+from repro.core.theorem1 import schedule_from_prototile
+from repro.engine import use_backend
+from repro.tiles.shapes import chebyshev_ball, rectangle_tile
+from repro.utils.vectors import box_points
+
+_TILE = chebyshev_ball(1)
+
+
+def _neighborhood(point):
+    return _TILE.translate(point)
+
+
+def _tiled_mapping(side):
+    """A collision-free MappingSchedule copied from the tiling schedule."""
+    base = schedule_from_prototile(_TILE)
+    points = list(box_points((0, 0), (side - 1, side - 1)))
+    return points, MappingSchedule(dict(zip(points, base.slots_of(points))))
+
+
+class TestWithUpdates:
+    def test_reports_only_real_changes(self):
+        schedule = MappingSchedule({(0, 0): 0, (1, 0): 1, (2, 0): 2})
+        delta = schedule.with_updates({(0, 0): 0, (1, 0): 5})
+        assert delta.base is schedule
+        assert delta.changed == {(1, 0)}
+        assert delta.schedule.slot_of((1, 0)) == 5
+        # the base schedule is untouched
+        assert schedule.slot_of((1, 0)) == 1
+
+    def test_can_add_points(self):
+        schedule = MappingSchedule({(0, 0): 0})
+        delta = schedule.with_updates({(3, 3): 2})
+        assert delta.changed == {(3, 3)}
+        assert delta.schedule.slot_of((3, 3)) == 2
+        with pytest.raises(KeyError):
+            schedule.slot_of((3, 3))
+
+    def test_rejects_negative_slots(self):
+        schedule = MappingSchedule({(0, 0): 0})
+        with pytest.raises(ValueError):
+            schedule.with_updates({(0, 0): -1})
+
+    def test_empty_update_is_a_noop_delta(self):
+        schedule = MappingSchedule({(0, 0): 0})
+        delta = schedule.with_updates({})
+        assert delta.changed == frozenset()
+        assert delta.schedule.slot_of((0, 0)) == 0
+
+
+class TestVerificationCache:
+    def test_full_scan_matches_find_collisions(self):
+        points, schedule = _tiled_mapping(8)
+        cache = VerificationCache(schedule, points, _neighborhood)
+        assert cache.collisions() == find_collisions(schedule, points,
+                                                     _neighborhood)
+        assert cache.is_collision_free()
+
+    def test_rejects_empty_window(self):
+        _, schedule = _tiled_mapping(4)
+        with pytest.raises(ValueError):
+            VerificationCache(schedule, [], _neighborhood)
+
+    def test_apply_detects_introduced_and_fixed_collisions(self):
+        points, schedule = _tiled_mapping(8)
+        cache = VerificationCache(schedule, points, _neighborhood)
+        assert cache.is_collision_free()
+        # copy a neighbor's slot: instant collision
+        bad_slot = schedule.slot_of((4, 4))
+        delta = schedule.with_updates({(4, 5): bad_slot})
+        got = cache.apply(delta)
+        assert got == find_collisions(delta.schedule, points, _neighborhood)
+        assert ((4, 4), (4, 5)) in got
+        # revert: collision-free again
+        revert = delta.schedule.with_updates({(4, 5): schedule.slot_of((4, 5))})
+        assert cache.apply(revert) == []
+        assert cache.is_collision_free()
+
+    def test_apply_requires_deltas_in_order(self):
+        points, schedule = _tiled_mapping(6)
+        cache = VerificationCache(schedule, points, _neighborhood)
+        delta1 = schedule.with_updates({(2, 2): 0})
+        delta2 = delta1.schedule.with_updates({(3, 3): 0})
+        with pytest.raises(ValueError):
+            cache.apply(delta2)  # skips delta1
+        cache.apply(delta1)
+        cache.apply(delta2)
+        assert cache.collisions() == find_collisions(delta2.schedule, points,
+                                                     _neighborhood)
+
+    def test_apply_before_first_scan_runs_full(self):
+        points, schedule = _tiled_mapping(6)
+        cache = VerificationCache(schedule, points, _neighborhood)
+        delta = schedule.with_updates({(1, 1): 0})
+        assert cache.apply(delta) == find_collisions(delta.schedule, points,
+                                                     _neighborhood)
+
+    def test_edits_outside_window_are_ignored(self):
+        points, schedule = _tiled_mapping(6)
+        cache = VerificationCache(schedule, points, _neighborhood)
+        before = cache.collisions()
+        delta = schedule.with_updates({(50, 50): 0})
+        assert cache.apply(delta) == before
+        assert cache.schedule is delta.schedule
+
+    def test_duplicate_window_points_follow_full_scan_semantics(self):
+        points, schedule = _tiled_mapping(5)
+        window = points + points[:7]  # duplicates, same slots
+        cache = VerificationCache(schedule, window, _neighborhood)
+        assert cache.collisions() == find_collisions(schedule, window,
+                                                     _neighborhood)
+        delta = schedule.with_updates({(1, 1): schedule.slot_of((1, 2))})
+        assert cache.apply(delta) == find_collisions(delta.schedule, window,
+                                                     _neighborhood)
+
+    @pytest.mark.parametrize("backend", ["numpy", "python"])
+    def test_random_edit_sequences_match_full_rescan(self, backend):
+        rng = random.Random(91)
+        points, schedule = _tiled_mapping(12)
+        with use_backend(backend):
+            cache = VerificationCache(schedule, points, _neighborhood)
+            current = schedule
+            for _ in range(40):
+                edits = {rng.choice(points): rng.randrange(9)
+                         for _ in range(rng.randrange(1, 5))}
+                delta = current.with_updates(edits)
+                assert cache.apply(delta) == find_collisions(
+                    delta.schedule, points, _neighborhood)
+                current = delta.schedule
+
+    def test_handmade_delta_is_honored(self):
+        # Any code constructing deltas by hand gets the same fast lane,
+        # provided it upholds the changed-set contract.
+        points, schedule = _tiled_mapping(6)
+        cache = VerificationCache(schedule, points, _neighborhood)
+        cache.collisions()
+        edited = MappingSchedule({p: (0 if p == (2, 3)
+                                      else schedule.slot_of(p))
+                                  for p in points})
+        delta = ScheduleDelta(base=schedule, schedule=edited,
+                              changed=frozenset({(2, 3)})
+                              if schedule.slot_of((2, 3)) != 0
+                              else frozenset())
+        assert cache.apply(delta) == find_collisions(edited, points,
+                                                     _neighborhood)
+
+
+class TestCacheWiring:
+    def test_find_collisions_serves_tracked_schedule_from_cache(self):
+        points, schedule = _tiled_mapping(8)
+        cache = VerificationCache(schedule, points, _neighborhood)
+        delta = schedule.with_updates({(3, 3): 0, (3, 4): 0})
+        cache.apply(delta)
+        want = find_collisions(delta.schedule, points, _neighborhood)
+        assert find_collisions(delta.schedule, points, _neighborhood,
+                               cache=cache) == want
+        assert verify_collision_free(delta.schedule, points, _neighborhood,
+                                     cache=cache) == (not want)
+
+    def test_unknown_schedule_rebinds_with_full_rescan(self):
+        points, schedule = _tiled_mapping(8)
+        cache = VerificationCache(schedule, points, _neighborhood)
+        cache.collisions()
+        other = MappingSchedule({p: 0 for p in points})
+        got = find_collisions(other, points, _neighborhood, cache=cache)
+        assert got == find_collisions(other, points, _neighborhood)
+        assert cache.schedule is other
+
+    def test_window_mismatch_is_an_error(self):
+        points, schedule = _tiled_mapping(8)
+        cache = VerificationCache(schedule, points, _neighborhood)
+        with pytest.raises(ValueError):
+            find_collisions(schedule, points[:-1], _neighborhood,
+                            cache=cache)
+
+    def test_offsets_mismatch_is_an_error(self):
+        points, schedule = _tiled_mapping(8)
+        cache = VerificationCache(schedule, points, _neighborhood)
+        with pytest.raises(ValueError):
+            find_collisions(schedule, points, _neighborhood,
+                            offsets=[(1, 0)], cache=cache)
+
+    def test_neighborhood_mismatch_is_an_error(self):
+        points, schedule = _tiled_mapping(8)
+        cache = VerificationCache(schedule, points, _neighborhood)
+        other_tile = rectangle_tile(3, 3)
+        with pytest.raises(ValueError):
+            find_collisions(schedule, points,
+                            lambda p: other_tile.translate(p), cache=cache)
+        # the geometry check also guards the unknown-schedule rebind path
+        other_schedule = MappingSchedule({p: 0 for p in points})
+        with pytest.raises(ValueError):
+            find_collisions(other_schedule, points,
+                            lambda p: other_tile.translate(p), cache=cache)
+        assert cache.schedule is schedule  # rebind never happened
+
+
+class TestSlotBuckets:
+    def test_senders_at_matches_per_point_scan(self):
+        schedule = schedule_from_prototile(rectangle_tile(2, 2))
+        points = list(box_points((0, 0), (5, 5)))
+        for time in range(schedule.num_slots + 2):
+            slot = time % schedule.num_slots
+            want = [p for p in points if schedule.slot_of(p) == slot]
+            assert schedule.senders_at(time, points) == want
+
+    def test_window_order_is_preserved(self):
+        schedule = MappingSchedule({(0, 0): 0, (1, 0): 0, (2, 0): 0})
+        shuffled = [(2, 0), (0, 0), (1, 0)]
+        assert schedule.senders_at(0, shuffled) == shuffled
+
+    def test_buckets_cached_per_window(self):
+        points, schedule = _tiled_mapping(6)
+        first = schedule.slot_buckets(points)
+        assert schedule.slot_buckets(list(points)) is first
+        other = points[:10]
+        assert schedule.slot_buckets(other) is not first
+
+    def test_mapping_schedule_domain_default(self):
+        points, schedule = _tiled_mapping(6)
+        for time in range(schedule.num_slots):
+            assert schedule.senders_at(time) == \
+                schedule.senders_at(time, schedule.points)
+
+    def test_with_updates_derives_domain_buckets(self):
+        points, schedule = _tiled_mapping(6)
+        schedule.senders_at(0)  # build the domain buckets
+        delta = schedule.with_updates({(2, 2): 7, (0, 0): 3})
+        derived = delta.schedule._domain_bucket_cache
+        assert derived is not None
+        fresh = MappingSchedule(dict(delta.schedule._assignment))
+        assert derived == fresh._domain_buckets()
+        # and the public query agrees
+        for time in range(delta.schedule.num_slots):
+            assert delta.schedule.senders_at(time) == \
+                fresh.senders_at(time)
+
+    def test_with_updates_adding_points_rebuilds_lazily(self):
+        points, schedule = _tiled_mapping(4)
+        schedule.senders_at(0)
+        delta = schedule.with_updates({(99, 99): 1})
+        assert delta.schedule._domain_bucket_cache is None
+        assert (99, 99) in delta.schedule.senders_at(1)
