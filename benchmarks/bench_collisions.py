@@ -4,38 +4,31 @@ Times simulator runs for each MAC protocol on the same network and prints
 the collision/energy table — the quantitative form of the paper's "resend
 is evidently a waste of energy" motivation.  The bulk cases exercise the
 engine on ~10^5-point verification windows and a 10^4-sensor simulation.
+Everything routes through the :mod:`repro.api` facade: protocols resolve
+by registry name, backends by :class:`EngineConfig`.
 """
 
 import time
 
 import pytest
 
-from repro.core.schedule import find_collisions, verify_collision_free
-from repro.core.theorem1 import schedule_from_prototile
-from repro.engine import numpy_available, use_backend
+from repro.api import EngineConfig, Session
+from repro.engine import numpy_available
 from repro.experiments.base import format_rows
 from repro.experiments.systems_experiments import run_collisions
-from repro.lattice.region import box_region
-from repro.net.model import Network
-from repro.net.protocols import (
-    CSMALike,
-    GlobalTDMA,
-    ScheduleMAC,
-    SlottedAloha,
-)
-from repro.net.simulator import simulate
 from repro.tiles.shapes import chebyshev_ball
-from repro.utils.vectors import box_points
 
 _TILE = chebyshev_ball(1)
-_POINTS = box_region((0, 0), (9, 9)).points
-_NETWORK = Network.homogeneous(_POINTS, _TILE)
-_SCHEDULE = schedule_from_prototile(_TILE)
+_SESSION = Session.for_prototile(_TILE, window=((0, 0), (9, 9)))
 # Large-window verification workload: a radius-2 neighborhood (25 cells,
 # 80 candidate conflict offsets) over 316 x 316 = 99856 sensors.
-_BULK_TILE = chebyshev_ball(2)
-_BULK_SCHEDULE = schedule_from_prototile(_BULK_TILE)
 _BULK_SIDE = 316
+_BULK_WINDOW = ((0, 0), (_BULK_SIDE - 1, _BULK_SIDE - 1))
+
+
+def _bulk_session(config=None):
+    return Session.for_prototile(chebyshev_ball(2), window=_BULK_WINDOW,
+                                 config=config)
 
 
 def test_collisions_regenerates(report, benchmark):
@@ -45,79 +38,65 @@ def test_collisions_regenerates(report, benchmark):
     assert result.passed
 
 
-def _protocol(name):
-    if name == "tiling":
-        return ScheduleMAC(_SCHEDULE)
-    if name == "tdma":
-        return GlobalTDMA(_NETWORK.positions)
-    if name == "aloha":
-        return SlottedAloha(0.1)
-    return CSMALike(0.1)
-
-
-@pytest.mark.parametrize("name", ["tiling", "tdma", "aloha", "csma"])
+@pytest.mark.parametrize("name", ["schedule", "tdma", "aloha", "csma"])
 def test_simulate_protocol(benchmark, name):
-    protocol = _protocol(name)
+    params = {"p": 0.1} if name in ("aloha", "csma") else {}
 
     def run():
-        return simulate(_NETWORK, protocol, slots=90,
-                        packet_interval=_SCHEDULE.num_slots, seed=7)
+        return _SESSION.simulate(name, slots=90, seed=7, **params)
 
     metrics = benchmark(run)
     assert metrics.slots == 90
-    if name in ("tiling", "tdma"):
+    if name in ("schedule", "tdma"):
         assert metrics.failed_receptions == 0
     else:
         assert metrics.failed_receptions > 0
 
 
 def test_bulk_verification_window(benchmark):
-    points = list(box_points((0, 0), (_BULK_SIDE - 1, _BULK_SIDE - 1)))
+    session = _bulk_session()
 
-    free = benchmark.pedantic(
-        verify_collision_free,
-        args=(_BULK_SCHEDULE, points, _BULK_SCHEDULE.neighborhood_of),
-        rounds=1, iterations=1)
-    assert free
+    report = benchmark.pedantic(session.verify,
+                                kwargs={"use_cache": False},
+                                rounds=1, iterations=1)
+    assert report.collision_free
+    assert report.window_size == _BULK_SIDE ** 2
 
 
 @pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
 def test_bulk_collision_scan_speedup(report, benchmark):
-    points = list(box_points((0, 0), (_BULK_SIDE - 1, _BULK_SIDE - 1)))
+    fallback_session = _bulk_session(EngineConfig(backend="python"))
+    engine_session = _bulk_session(EngineConfig(backend="numpy"))
 
-    def scan():
-        return find_collisions(_BULK_SCHEDULE, points,
-                               _BULK_SCHEDULE.neighborhood_of)
-
-    with use_backend("python"):
+    t0 = time.perf_counter()
+    fallback = fallback_session.verify(use_cache=False)
+    fallback_time = time.perf_counter() - t0
+    engine_time = float("inf")
+    for _ in range(2):
         t0 = time.perf_counter()
-        fallback = scan()
-        fallback_time = time.perf_counter() - t0
-    with use_backend("numpy"):
-        engine_time = float("inf")
-        for _ in range(2):
-            t0 = time.perf_counter()
-            engine = scan()
-            engine_time = min(engine_time, time.perf_counter() - t0)
-        benchmark.pedantic(scan, rounds=1, iterations=1)
+        engine = engine_session.verify(use_cache=False)
+        engine_time = min(engine_time, time.perf_counter() - t0)
+    benchmark.pedantic(engine_session.verify,
+                       kwargs={"use_cache": False}, rounds=1, iterations=1)
 
-    assert engine == fallback == []
+    assert engine.collisions == fallback.collisions == ()
+    assert (engine.backend, fallback.backend) == ("numpy", "python")
     speedup = fallback_time / engine_time
     report("Engine — bulk collision scan",
-           f"{len(points)} sensors, radius-2 neighborhoods: pure Python "
-           f"{fallback_time:.2f} s, engine {engine_time * 1e3:.0f} ms "
-           f"({speedup:.1f}x)")
+           f"{engine.window_size} sensors, radius-2 neighborhoods: pure "
+           f"Python {fallback_time:.2f} s, engine "
+           f"{engine_time * 1e3:.0f} ms ({speedup:.1f}x)")
     assert speedup >= 10
 
 
 def test_simulate_bulk_network(benchmark):
     side = 100  # 10^4 sensors
-    points = list(box_points((0, 0), (side - 1, side - 1)))
-    network = Network.homogeneous(points, _TILE)
+    session = Session.for_prototile(_TILE,
+                                    window=((0, 0), (side - 1, side - 1)))
+    session.network()  # freeze the topology outside the timer
 
     def run():
-        return simulate(network, ScheduleMAC(_SCHEDULE), slots=45,
-                        packet_interval=_SCHEDULE.num_slots, seed=7)
+        return session.simulate("schedule", slots=45, seed=7)
 
     metrics = benchmark.pedantic(run, rounds=1, iterations=1)
     assert metrics.num_sensors == side * side

@@ -10,24 +10,19 @@ import time
 
 import pytest
 
-from repro.core.schedule import MappingSchedule, VerificationCache, \
-    find_collisions
-from repro.core.theorem1 import schedule_from_prototile
-from repro.engine import cpu_budget, numpy_available, use_backend, \
-    use_workers
+from repro.api import EngineConfig, Session
+from repro.core.schedule import find_collisions
+from repro.engine import cpu_budget, numpy_available
 from repro.experiments.base import format_rows
 from repro.experiments.systems_experiments import run_scaling
 from repro.graphs.coloring import dsatur_coloring
 from repro.graphs.interference import conflict_graph_homogeneous
 from repro.lattice.region import box_region
-from repro.net.model import Network
-from repro.net.protocols import SlottedAloha
-from repro.net.simulator import BroadcastSimulator
 from repro.tiles.shapes import chebyshev_ball
 from repro.utils.vectors import box_points
 
 _TILE = chebyshev_ball(1)
-_SCHEDULE = schedule_from_prototile(_TILE)
+_SCHEDULE = Session.for_prototile(_TILE).schedule
 # 316 x 316 = 99856 sensors: the large-window engine workload.
 _BULK_SIDE = 316
 # 100 x 100 = 10^4 sensors: the random-MAC simulator workload.
@@ -68,11 +63,12 @@ def test_dsatur_baseline_cost(benchmark, side):
 @pytest.mark.parametrize("side", [100, _BULK_SIDE])
 def test_bulk_slot_assignment(benchmark, side):
     points = _window(side)
+    session = Session(_SCHEDULE)
 
-    slots = benchmark.pedantic(_SCHEDULE.slots_of, args=(points,),
-                               rounds=1, iterations=1)
-    assert len(slots) == side * side
-    assert set(slots) == set(range(_SCHEDULE.num_slots))
+    assignment = benchmark.pedantic(session.assign, args=(points,),
+                                    rounds=1, iterations=1)
+    assert len(assignment) == side * side
+    assert set(assignment.slots) == set(range(session.num_slots))
 
 
 @pytest.mark.skipif(cpu_budget() < 4,
@@ -89,29 +85,30 @@ def test_sharded_collision_scan_speedup(report, record_scaling):
     >= 2x leaves pool spawn/merge overhead plenty of headroom.
     """
     points = _window(_BULK_SIDE)
-    neighborhood = _SCHEDULE.neighborhood_of
     worker_counts = (2, 4)
 
-    with use_backend("python"):
-        t0 = time.perf_counter()
-        serial = find_collisions(_SCHEDULE, points, neighborhood)
-        serial_time = time.perf_counter() - t0
-        record_scaling("collision-scan/serial", seconds=serial_time,
-                       backend="python", workers=1,
-                       sensors=len(points))
+    serial_session = Session(_SCHEDULE,
+                             config=EngineConfig(backend="python"))
+    t0 = time.perf_counter()
+    serial = serial_session.verify(points, use_cache=False).collisions
+    serial_time = time.perf_counter() - t0
+    record_scaling("collision-scan/serial", seconds=serial_time,
+                   backend="python", workers=1,
+                   sensors=len(points))
 
-        best_speedup = 0.0
-        for workers in worker_counts:
-            with use_workers(workers):
-                t0 = time.perf_counter()
-                sharded = find_collisions(_SCHEDULE, points, neighborhood)
-                shard_time = time.perf_counter() - t0
-            assert sharded == serial
-            speedup = serial_time / shard_time
-            best_speedup = max(best_speedup, speedup)
-            record_scaling("collision-scan/sharded", seconds=shard_time,
-                           speedup=speedup, backend="python",
-                           workers=workers, sensors=len(points))
+    best_speedup = 0.0
+    for workers in worker_counts:
+        session = Session(_SCHEDULE, config=EngineConfig(
+            backend="python", workers=workers))
+        t0 = time.perf_counter()
+        sharded = session.verify(points, use_cache=False).collisions
+        shard_time = time.perf_counter() - t0
+        assert sharded == serial
+        speedup = serial_time / shard_time
+        best_speedup = max(best_speedup, speedup)
+        record_scaling("collision-scan/sharded", seconds=shard_time,
+                       speedup=speedup, backend="python",
+                       workers=workers, sensors=len(points))
 
     report("Engine — sharded collision scan",
            f"{len(points)} sensors, pure-Python kernel: serial "
@@ -123,10 +120,10 @@ def test_sharded_collision_scan_speedup(report, record_scaling):
 
 
 def test_incremental_verification_speedup(report, record_scaling):
-    """VerificationCache on small edits vs full re-verification.
+    """Session.edit (dirty-region re-verification) vs full re-verification.
 
-    A 10^4-point window under churn: each edit reassigns a few slots via
-    ``with_updates`` and the cache re-verifies only the dirty region.
+    A 10^4-point window under churn: each ``Session.edit`` reassigns a
+    few slots and the session's cache re-verifies only the dirty region.
     The incremental result must equal the full rescan and land >= 10x
     faster.
     """
@@ -136,28 +133,28 @@ def test_incremental_verification_speedup(report, record_scaling):
     def neighborhood(p):
         return tile.translate(p)
 
-    schedule = MappingSchedule(
-        dict(zip(points, _SCHEDULE.slots_of(points))))
+    session = Session.for_mapping(
+        dict(zip(points, _SCHEDULE.slots_of(points))),
+        neighborhood_of=neighborhood, window=points)
 
     t0 = time.perf_counter()
-    full = find_collisions(schedule, points, neighborhood)
+    full_report = session.verify(use_cache=False)
     full_time = time.perf_counter() - t0
-    assert full == []
+    assert full_report.collision_free
 
-    cache = VerificationCache(schedule, points, neighborhood)
-    cache.collisions()  # warm: the one-off full scan
-    current = schedule
+    session.verify()  # warm: the one-off full scan into the cache
     incremental_time = float("inf")
     for step in range(5):
-        delta = current.with_updates({
+        updates = {
             (50, 50 + step): (3 * step + 1) % 9,
             (10, 10 + step): (5 * step + 2) % 9,
-        })
+        }
         t0 = time.perf_counter()
-        incremental = cache.apply(delta)
+        session = session.edit(updates)
+        incremental = session.verify().collisions
         incremental_time = min(incremental_time, time.perf_counter() - t0)
-        current = delta.schedule
-    assert incremental == find_collisions(current, points, neighborhood)
+    assert list(incremental) == find_collisions(session.schedule, points,
+                                                neighborhood)
 
     speedup = full_time / incremental_time
     record_scaling("incremental-verification/full", seconds=full_time,
@@ -211,15 +208,16 @@ def test_randmac_simulator_speedup(report, record_scaling, benchmark):
     and on the pure-Python fallback — while the vectorized decisions are
     required to be >= 10x faster end to end.
     """
-    network = Network.homogeneous(_window(_RANDMAC_SIDE), _TILE)
+    session = Session.for_prototile(_TILE, window=_window(_RANDMAC_SIDE))
+    network = session.network()
     network.adjacency_index()  # freeze the topology outside the timers
     slots = 16
 
-    def run(bulk):
-        simulator = BroadcastSimulator(network, SlottedAloha(0.02),
-                                       packet_interval=4, seed=5,
-                                       bulk_decisions=bulk)
-        return simulator.run(slots)
+    def run(bulk, config=None):
+        runner = session if config is None else session.with_config(config)
+        return runner.simulate("aloha", slots, network=network,
+                               packet_interval=4, seed=5, p=0.02,
+                               bulk_decisions=bulk)
 
     t0 = time.perf_counter()
     scalar_metrics = run(False)
@@ -233,8 +231,7 @@ def test_randmac_simulator_speedup(report, record_scaling, benchmark):
     benchmark.pedantic(run, args=(True,), rounds=1, iterations=1)
 
     assert bulk_metrics == scalar_metrics
-    with use_backend("python"):
-        fallback_metrics = run(True)
+    fallback_metrics = run(True, EngineConfig(backend="python"))
     assert fallback_metrics == bulk_metrics
 
     speedup = scalar_time / bulk_time
@@ -246,3 +243,65 @@ def test_randmac_simulator_speedup(report, record_scaling, benchmark):
            f"{bulk_time * 1e3:.1f} ms ({speedup:.1f}x), metrics "
            f"identical on numpy / python / scalar paths")
     assert speedup >= 10
+
+
+def _interleaved_min(direct, facade, rounds):
+    """Min wall time of two callables, measured alternately.
+
+    Interleaving keeps clock drift and cache-warmth from favoring
+    whichever path happens to run second.
+    """
+    best_direct = best_facade = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        direct()
+        best_direct = min(best_direct, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        facade()
+        best_facade = min(best_facade, time.perf_counter() - t0)
+    return best_direct, best_facade
+
+
+def test_facade_overhead(report, record_scaling):
+    """repro.api.Session must be free: <5% over the raw engine calls.
+
+    ``Session.assign`` wraps ``schedule.slots_of`` and ``Session.verify``
+    wraps ``find_collisions``; the typed responses and config plumbing
+    are allowed to cost microseconds, not a perceptible fraction of a
+    10^5-point bulk request.  Interleaved min-of-N timing keeps the
+    gate robust against scheduler noise.
+    """
+    points = _window(_BULK_SIDE)
+    session = Session(_SCHEDULE, window=points)
+    neighborhood = _SCHEDULE.neighborhood_of
+
+    # Warm both paths (coset table, conflict offsets, engine imports).
+    _SCHEDULE.slots_of(points)
+    session.assign(points)
+
+    assign_direct, assign_facade = _interleaved_min(
+        lambda: _SCHEDULE.slots_of(points),
+        lambda: session.assign(points), 9)
+    assign_overhead = assign_facade / assign_direct - 1.0
+
+    find_collisions(_SCHEDULE, points, neighborhood)
+    session.verify(use_cache=False)
+    verify_direct, verify_facade = _interleaved_min(
+        lambda: find_collisions(_SCHEDULE, points, neighborhood),
+        lambda: session.verify(use_cache=False), 5)
+    verify_overhead = verify_facade / verify_direct - 1.0
+
+    record_scaling("facade-overhead/assign", seconds=assign_facade,
+                   overhead=round(assign_overhead, 4),
+                   sensors=len(points))
+    record_scaling("facade-overhead/verify", seconds=verify_facade,
+                   overhead=round(verify_overhead, 4),
+                   sensors=len(points))
+    report("API — facade overhead",
+           f"{len(points)} sensors: assign {assign_direct * 1e3:.2f} ms "
+           f"direct vs {assign_facade * 1e3:.2f} ms via Session "
+           f"({assign_overhead:+.1%}); verify "
+           f"{verify_direct * 1e3:.1f} ms vs {verify_facade * 1e3:.1f} ms "
+           f"({verify_overhead:+.1%})")
+    assert assign_overhead < 0.05
+    assert verify_overhead < 0.05

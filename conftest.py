@@ -1,0 +1,36 @@
+"""Repo-level pytest plumbing: run the suite under an EngineConfig.
+
+``--engine-config=BACKEND[:WORKERS]`` installs a
+:class:`repro.api.EngineConfig` as the session default for the whole
+test run — the config-driven counterpart of exporting ``REPRO_ENGINE``
+/ ``REPRO_ENGINE_WORKERS``.  CI uses it to prove the two configuration
+paths agree: one matrix leg runs the tier-1 suite with
+``--engine-config=python:2`` and *no* engine env vars set.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--engine-config", default=None, metavar="BACKEND[:WORKERS]",
+        help="install a repro.api.EngineConfig default for the whole run, "
+             "e.g. 'python:2' (backend auto/numpy/python, optional worker "
+             "count); the env-var fallbacks are not consulted for the "
+             "fields given")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _engine_config(request):
+    spec = request.config.getoption("--engine-config")
+    if not spec:
+        yield None
+        return
+    from repro.api import EngineConfig, use_config
+    backend, _, workers = spec.partition(":")
+    config = EngineConfig(backend=backend or None,
+                          workers=int(workers) if workers else None)
+    with use_config(config):
+        yield config

@@ -3,7 +3,8 @@
 
 A 12x12 grid of soil sensors reports every round on a shared channel.
 Each sensor's directional antenna interferes with the 2x4 block of
-Figure 3.  We compare four MAC disciplines on identical traffic:
+Figure 3.  One `Session` owns the deployment; the four MAC disciplines
+are compared on identical traffic straight from the registry:
 
 * the paper's 8-slot tiling schedule (deterministic, collision-free),
 * global TDMA (one slot per sensor — 144-slot rounds),
@@ -16,43 +17,31 @@ report.
 Run:  python examples/farm_monitoring.py
 """
 
-from repro.core.theorem1 import schedule_from_prototile
-from repro.lattice.region import box_region
+from repro import Session
 from repro.net.metrics import metrics_table
-from repro.net.model import Network
-from repro.net.protocols import (
-    CSMALike,
-    GlobalTDMA,
-    ScheduleMAC,
-    SlottedAloha,
-)
-from repro.net.simulator import compare_protocols
 from repro.tiles.shapes import directional_antenna
 from repro.viz.ascii_art import render_schedule
 
-FIELD = box_region((0, 0), (11, 11))
+FIELD = ((0, 0), (11, 11))
 ROUNDS = 40
 
 
 def main() -> None:
     antenna = directional_antenna()
-    schedule = schedule_from_prototile(antenna)
-    print(f"Field: {len(FIELD)} sensors, antenna |N| = {antenna.size}, "
-          f"tiling schedule m = {schedule.num_slots} slots")
+    session = Session.for_prototile(antenna, window=FIELD)
+    print(f"Field: {len(session.window)} sensors, antenna "
+          f"|N| = {antenna.size}, tiling schedule "
+          f"m = {session.num_slots} slots")
     print("\nSchedule across one corner of the field:")
-    print(render_schedule(schedule, (0, 0), (11, 7)))
+    print(render_schedule(session.schedule, (0, 0), (11, 7)))
 
-    network = Network.homogeneous(FIELD.points, antenna)
-    protocols = [
-        ScheduleMAC(schedule),
-        GlobalTDMA(network.positions),
-        SlottedAloha(0.08),
-        CSMALike(0.08),
+    slots = ROUNDS * session.num_slots
+    results = [
+        session.simulate(protocol, slots, seed=2024, p=0.08)
+        if protocol in ("aloha", "csma")
+        else session.simulate(protocol, slots, seed=2024)
+        for protocol in ("schedule", "tdma", "aloha", "csma")
     ]
-    slots = ROUNDS * schedule.num_slots
-    results = compare_protocols(network, protocols, slots=slots,
-                                packet_interval=schedule.num_slots,
-                                seed=2024)
     print(f"\n{ROUNDS} sensing rounds ({slots} slots), one report per "
           f"sensor per round:\n")
     print(metrics_table(results))
@@ -63,7 +52,7 @@ def main() -> None:
           f"{tiling.energy_per_delivered:.2f} energy units per report.")
     print("Every probabilistic protocol wastes transmissions on resends; "
           "global TDMA never collides but its 144-slot rounds cannot "
-          "keep up with per-9-slot traffic.")
+          "keep up with per-8-slot traffic.")
 
 
 if __name__ == "__main__":

@@ -4,7 +4,8 @@
 A city block deploys two sensor models: long-range units covering a 2x2
 area and compact units covering a vertical 1x2 strip.  Because the large
 neighborhood contains the small one, the tiling is *respectable* and
-Theorem 2 gives an optimal 4-slot schedule.
+Theorem 2 gives an optimal 4-slot schedule — wrapped in a `Session`
+that verifies and simulates the deployment in two calls.
 
 The example then swaps in the paper's Figure 5 scenario — S- and
 Z-shaped coverage where neither contains the other — and shows the
@@ -13,25 +14,16 @@ optimum jump from 4 to 6 slots, computed exactly.
 Run:  python examples/heterogeneous_city.py
 """
 
+from repro import Session
 from repro.core.optimality import minimum_slots
-from repro.core.schedule import verify_collision_free
-from repro.core.theorem2 import (
-    respectable_optimal_slots,
-    schedule_from_multi_tiling,
-)
-from repro.lattice.region import box_region
 from repro.lattice.sublattice import diagonal_sublattice
 from repro.net.metrics import metrics_table
-from repro.net.model import Network
-from repro.net.protocols import ScheduleMAC
-from repro.net.simulator import simulate
 from repro.tiles.shapes import rectangle_tile
 from repro.tiling.construct import (
     figure5_mixed_tiling,
     figure5_symmetric_tiling,
 )
 from repro.tiling.multi import MultiTiling
-from repro.utils.vectors import box_points
 from repro.viz.ascii_art import render_multi_tiling, render_schedule
 
 
@@ -46,23 +38,20 @@ def respectable_city() -> MultiTiling:
 def main() -> None:
     # ----- Respectable case: Theorem 2 applies with m = |N1|. -----
     city = respectable_city()
-    schedule = schedule_from_multi_tiling(city)
+    session = Session.for_multi_tiling(city, window=((-6, -6), (6, 6)))
     print("Respectable deployment (2x2 contains 1x2):")
     print(render_multi_tiling(city, (0, 0), (7, 5)))
-    print(f"\nTheorem 2 slots: {schedule.num_slots} "
-          f"(= |N1| = {respectable_optimal_slots(city)}, optimal)")
-    print(render_schedule(schedule, (0, 0), (7, 5)))
+    print(f"\nTheorem 2 slots: {session.num_slots} (= |N1|, optimal)")
+    print(render_schedule(session.schedule, (0, 0), (7, 5)))
 
-    window = list(box_points((-6, -6), (6, 6)))
-    assert verify_collision_free(schedule, window,
-                                 schedule.neighborhood_of)
-    print("Verified collision-free under deployment rule D1.")
+    report = session.verify()
+    assert report.collision_free
+    print(f"Verified collision-free under deployment rule D1 "
+          f"({report.window_size} sensors).")
 
-    region = box_region((0, 0), (9, 9))
-    network = Network.from_multi_tiling(region.points, city)
-    metrics = simulate(network, ScheduleMAC(schedule, name="thm2-schedule"),
-                       slots=20 * schedule.num_slots,
-                       packet_interval=schedule.num_slots, seed=9)
+    metrics = session.simulate("schedule", slots=20 * session.num_slots,
+                               window=((0, 0), (9, 9)), seed=9,
+                               name="thm2-schedule")
     print()
     print(metrics_table([metrics]))
 

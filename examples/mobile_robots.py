@@ -13,8 +13,8 @@ ALOHA delivers faster but burns energy on collisions.
 Run:  python examples/mobile_robots.py
 """
 
+from repro import Session
 from repro.core.mobile import MobileScheduler
-from repro.core.theorem1 import schedule_from_prototile
 from repro.lattice.standard import square_lattice
 from repro.net.metrics import metrics_table
 from repro.net.mobility import (
@@ -23,7 +23,6 @@ from repro.net.mobility import (
     MobileTilingMAC,
     RandomWaypoint,
 )
-from repro.tiles.shapes import chebyshev_ball
 
 FLOOR = (-8.0, -8.0, 8.0, 8.0)
 ROBOTS = 24
@@ -32,7 +31,10 @@ SLOTS = 360
 
 
 def main() -> None:
-    schedule = schedule_from_prototile(chebyshev_ball(1))
+    # The grid schedule comes from a Session; the mobile layer then maps
+    # robot positions onto the grid's location-owned slots.
+    session = Session.for_chebyshev(1)
+    schedule = session.schedule
     scheduler = MobileScheduler(square_lattice(), schedule)
     print(f"Floor {FLOOR}, {ROBOTS} robots, radio range {RADIO_RANGE}, "
           f"{schedule.num_slots}-slot location schedule\n")

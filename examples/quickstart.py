@@ -2,47 +2,43 @@
 """Quickstart: an optimal broadcast schedule in a dozen lines.
 
 Sensors sit on the integer grid; each one's radio reaches the 3x3 block
-of cells around it (the paper's Chebyshev-ball neighborhood).  We derive
-the provably optimal 9-slot schedule from a lattice tiling, look some
-slots up, render the schedule, and verify collision-freeness.
+of cells around it (the paper's Chebyshev-ball neighborhood).  One
+`Session` owns the whole lifecycle: derive the provably optimal 9-slot
+schedule from a lattice tiling, assign some slots, render the schedule,
+and verify collision-freeness.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.core.schedule import verify_collision_free
-from repro.core.theorem1 import schedule_from_prototile
-from repro.tiles.shapes import chebyshev_ball
-from repro.utils.vectors import box_points
+from repro import Session
 from repro.viz.ascii_art import render_prototile, render_schedule
 
 
 def main() -> None:
-    # 1. The neighborhood N: every cell a transmission interferes with.
-    neighborhood = chebyshev_ball(1)
+    # 1. One call: find a tiling of the lattice by the 3x3 neighborhood
+    #    N and wrap the deterministic periodic schedule it induces.
+    session = Session.for_chebyshev(1, window=((-10, -10), (10, 10)))
+    neighborhood = session.schedule.prototile
     print("Neighborhood N (O = the sensor itself):")
     print(render_prototile(neighborhood))
     print(f"|N| = {neighborhood.size} -> optimal schedule needs "
           f"{neighborhood.size} slots (Theorem 1)\n")
+    print(f"Built schedule with m = {session.num_slots} slots.")
 
-    # 2. One call: find a tiling of the lattice by N and derive the
-    #    deterministic periodic schedule from it.
-    schedule = schedule_from_prototile(neighborhood)
-    print(f"Built schedule with m = {schedule.num_slots} slots.")
+    # 2. Slot lookups are O(1) per sensor — any sensor, however far out —
+    #    and batched through the bulk engine.
+    sensors = [(0, 0), (1, 2), (-7, 11), (1000, -2000)]
+    for sensor, slot in session.assign(sensors):
+        print(f"  sensor at {sensor} broadcasts in slot {slot}")
 
-    # 3. Slot lookups are O(1) per sensor — any sensor, however far out.
-    for sensor in [(0, 0), (1, 2), (-7, 11), (1000, -2000)]:
-        print(f"  sensor at {sensor} broadcasts in slot "
-              f"{schedule.slot_of(sensor)}")
-
-    # 4. The schedule over a window (slots printed 1-based, paper style).
+    # 3. The schedule over a window (slots printed 1-based, paper style).
     print("\nSchedule on a 12x8 window:")
-    print(render_schedule(schedule, (0, 0), (11, 7)))
+    print(render_schedule(session.schedule, (0, 0), (11, 7)))
 
-    # 5. Independent verification: no two same-slot sensors interfere.
-    window = list(box_points((-10, -10), (10, 10)))
-    assert verify_collision_free(schedule, window,
-                                 schedule.neighborhood_of)
-    print(f"\nVerified collision-free over {len(window)} sensors.")
+    # 4. Independent verification: no two same-slot sensors interfere.
+    report = session.verify()
+    assert report.collision_free
+    print(f"\nVerified collision-free over {report.window_size} sensors.")
 
 
 if __name__ == "__main__":

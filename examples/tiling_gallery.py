@@ -9,7 +9,7 @@ its schedule for each exact shape.
 Run:  python examples/tiling_gallery.py
 """
 
-from repro.core.theorem1 import schedule_from_tiling
+from repro import Session
 from repro.tiles.bn import find_bn_factorization
 from repro.tiles.boundary import boundary_word
 from repro.tiles.exactness import find_sublattice_tiling
@@ -49,11 +49,12 @@ def main() -> None:
             print("-> no tiling, Theorem 1 does not apply "
                   "(graph-coloring fallback needed)")
             continue
-        tiling = LatticeTiling(tile, sublattice)
-        schedule = schedule_from_tiling(tiling)
+        session = Session.for_tiling(LatticeTiling(tile, sublattice),
+                                     window=((-4, -4), (9, 5)))
+        assert session.verify().collision_free
         print(f"-> tiling by {sublattice.basis}, optimal schedule "
-              f"m = {schedule.num_slots}:")
-        print(render_schedule(schedule, (0, 0), (9, 5)))
+              f"m = {session.num_slots} (verified collision-free):")
+        print(render_schedule(session.schedule, (0, 0), (9, 5)))
     print("=" * 60)
 
 

@@ -4,30 +4,57 @@ Klappenecker, Lee, Welch (PODC 2008 / arXiv:0806.1271): deterministic,
 collision-free, slot-optimal broadcast schedules for sensors on lattice
 points, derived from lattice tilings.
 
-Quickstart::
+Quickstart (the typed facade)::
 
-    from repro import schedule_for
+    from repro import EngineConfig, Session
 
-    schedule = schedule_for(chebyshev_radius=1)   # 3x3 neighborhood
-    schedule.slot_of((10, 7))                      # -> slot in 0..8
+    session = Session.for_chebyshev(1)             # 3x3 neighborhood
+    session.assign([(10, 7)]).slots                # -> [slot in 0..8]
+    report = session.verify(window=((-10, -10), (10, 10)))
+    assert report.collision_free
+    session.simulate("aloha", slots=90, p=0.2)     # SimulationMetrics
+
+Engine configuration is an explicit, typed value — ``EngineConfig(
+backend="python", workers=4)`` — passed per session or per call; the
+``REPRO_ENGINE`` / ``REPRO_ENGINE_WORKERS`` env vars keep working as
+lazily-resolved fallbacks.  The legacy free functions (:func:`
+schedule_for`, :func:`find_collisions`, :func:`verify_collision_free`,
+:func:`simulate`) remain first-class and are pinned bit-identical to
+their :class:`Session` counterparts by the equivalence suite.
 
 Package layout:
 
+* :mod:`repro.api` — the :class:`Session`/:class:`EngineConfig` facade
+  unifying scheduling, verification and simulation
 * :mod:`repro.lattice` — Euclidean lattices, sublattices, Voronoi cells
 * :mod:`repro.tiles` — prototiles (neighborhoods), exactness deciders
 * :mod:`repro.tiling` — lattice / periodic / multi-prototile tilings
 * :mod:`repro.core` — the paper's schedules (Theorems 1 and 2), optimality
+* :mod:`repro.engine` — vectorized bulk kernels, backend gate, sharding
 * :mod:`repro.graphs` — baselines: distance-2 coloring, TDMA, annealing
 * :mod:`repro.net` — slotted wireless simulator with the paper's collision
-  semantics
+  semantics, MAC protocols and the name registry
 * :mod:`repro.viz` — ASCII and SVG rendering of the paper's figures
 * :mod:`repro.experiments` — per-figure reproduction harness
 """
 
 from __future__ import annotations
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
+from repro.api import (
+    EngineConfig,
+    Session,
+    SlotAssignment,
+    VerificationReport,
+    default_config,
+    set_default_config,
+    use_config,
+)
+from repro.core.schedule import find_collisions, verify_collision_free
+from repro.net.protocols import make_protocol, protocol_names, \
+    register_protocol
+from repro.net.simulator import simulate
 from repro.tiles.prototile import Prototile
 from repro.tiles.shapes import chebyshev_ball, directional_antenna, plus_pentomino
 
@@ -36,7 +63,8 @@ def schedule_for(chebyshev_radius: int = 1, dimension: int = 2):
     """Convenience: optimal schedule for a Chebyshev-ball neighborhood.
 
     Builds the radius-``r`` Chebyshev neighborhood, finds a tiling, and
-    returns the Theorem 1 schedule (``(2r+1)^d`` slots).
+    returns the Theorem 1 schedule (``(2r+1)^d`` slots).  The facade
+    counterpart is ``Session.for_chebyshev(r, d).schedule``.
     """
     from repro.core.theorem1 import schedule_from_prototile
 
@@ -44,10 +72,23 @@ def schedule_for(chebyshev_radius: int = 1, dimension: int = 2):
 
 
 __all__ = [
+    "EngineConfig",
+    "Session",
+    "SlotAssignment",
+    "VerificationReport",
     "Prototile",
     "chebyshev_ball",
+    "default_config",
     "directional_antenna",
+    "find_collisions",
+    "make_protocol",
     "plus_pentomino",
+    "protocol_names",
+    "register_protocol",
     "schedule_for",
+    "set_default_config",
+    "simulate",
+    "use_config",
+    "verify_collision_free",
     "__version__",
 ]

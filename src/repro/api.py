@@ -1,0 +1,592 @@
+"""repro.api — the typed Session/Config facade over the whole library.
+
+The internals are fast (dual-backend bulk engine, sharded execution,
+incremental dirty-region verification) but historically they were driven
+through an accreted surface: env vars for configuration, free functions
+in :mod:`repro.core.schedule`, a separately-constructed simulator.  This
+module is the service-grade surface the ROADMAP asks for: one
+:class:`Session` object owns a schedule together with its verification
+state and exposes the full lifecycle as typed request/response methods,
+and one :class:`~repro.engine.config.EngineConfig` value replaces the
+process-global knobs (which keep working as lazy fallbacks).
+
+Quickstart::
+
+    from repro.api import EngineConfig, Session
+
+    session = Session.for_chebyshev(1, window=((-10, -10), (10, 10)),
+                                    config=EngineConfig(workers=4))
+    assignment = session.assign([(0, 0), (10, 7)])   # SlotAssignment
+    report = session.verify()                        # VerificationReport
+    assert report.collision_free
+    metrics = session.simulate("aloha", slots=90, p=0.2)
+    text = session.save()                            # JSON round-trip
+    same = Session.load(text)
+
+Every method is pinned bit-identical to the legacy entry point it wraps
+(``schedule.slots_of`` / ``find_collisions`` / ``simulate`` / the
+serializer) by the equivalence suite in ``tests/unit/test_api.py`` —
+the facade adds typing and lifecycle, never different answers.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from contextlib import nullcontext
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.schedule import (
+    Collision,
+    MappingSchedule,
+    MultiTilingSchedule,
+    Schedule,
+    ScheduleDelta,
+    TilingSchedule,
+    VerificationCache,
+    find_collisions,
+)
+from repro.core.serialize import schedule_from_json, schedule_to_json
+from repro.core.theorem1 import schedule_from_prototile, schedule_from_tiling
+from repro.core.theorem2 import schedule_from_multi_tiling
+from repro.engine.backend import active_backend
+from repro.engine.config import (
+    EngineConfig,
+    default_config,
+    set_default_config,
+    use_config,
+)
+from repro.engine.parallel import shard_workers
+from repro.net.energy import UNIT_TX_MODEL, EnergyModel
+from repro.net.metrics import SimulationMetrics
+from repro.net.model import Network, SensorNode
+from repro.net.protocols import (
+    MACProtocol,
+    make_protocol,
+    protocol_names,
+    register_protocol,
+)
+from repro.net.simulator import BroadcastSimulator
+from repro.tiles.prototile import Prototile
+from repro.tiles.shapes import chebyshev_ball
+from repro.tiling.base import Tiling
+from repro.tiling.multi import MultiTiling
+from repro.utils.validation import require
+from repro.utils.vectors import IntVec, as_intvec, box_points
+
+__all__ = [
+    "EngineConfig",
+    "Session",
+    "SlotAssignment",
+    "VerificationReport",
+    "default_config",
+    "set_default_config",
+    "use_config",
+    "make_protocol",
+    "protocol_names",
+    "register_protocol",
+]
+
+NeighborhoodFn = Callable[[IntVec], frozenset[IntVec]]
+
+#: Window specifications accepted by Session: a sequence of points, or a
+#: ``(lo, hi)`` box pair expanded via box_points.
+WindowLike = Any
+
+
+def _as_window(window: WindowLike) -> list[IntVec]:
+    """Normalize a window spec to a point list.
+
+    Accepts an iterable of points, or a 2-element ``(lo, hi)`` pair of
+    corner vectors which is expanded to the full integer box.
+    """
+    if (isinstance(window, tuple) and len(window) == 2
+            and isinstance(window[0], (tuple, list))
+            and window[1] is not None
+            and isinstance(window[1], (tuple, list))
+            and all(isinstance(c, int) for c in window[0])
+            and all(isinstance(c, int) for c in window[1])):
+        return list(box_points(window[0], window[1]))
+    return [as_intvec(p) for p in window]
+
+
+# ----------------------------------------------------------------------
+# Typed responses
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SlotAssignment:
+    """Response of :meth:`Session.assign`: slots for a batch of sensors.
+
+    ``points`` and ``slots`` are aligned; both are stored as handed back
+    by the engine (no copies on the hot path) and must be treated as
+    immutable.
+
+    Attributes:
+        points: the queried sensors, in request order.
+        slots: slot per sensor, each in ``0..num_slots-1``.
+        num_slots: the schedule's period.
+        backend: engine backend that served the request.
+    """
+
+    points: Sequence[Sequence[int]]
+    slots: Sequence[int]
+    num_slots: int
+    backend: str
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+    def __iter__(self) -> Iterator[tuple[IntVec, int]]:
+        for point, slot in zip(self.points, self.slots):
+            yield as_intvec(point), slot
+
+    def slot_of(self, point: Sequence[int]) -> int:
+        """Slot of one queried sensor (O(n) scan; use as_dict for many)."""
+        key = as_intvec(point)
+        for p, slot in self:
+            if p == key:
+                return slot
+        raise KeyError(f"point {key} was not part of this assignment")
+
+    def as_dict(self) -> dict[IntVec, int]:
+        """The assignment as a point -> slot mapping."""
+        return dict(self)
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Response of :meth:`Session.verify`: collisions + how they were found.
+
+    Attributes:
+        collisions: colliding pairs, each ordered ``x < y``, list sorted —
+            byte-identical to :func:`repro.core.schedule.find_collisions`
+            over the same window.
+        window_size: sensors in the verified window.
+        source: how the answer was produced — ``"scan"`` (full window
+            scan), ``"delta"`` (incremental dirty-region re-verification
+            after an :meth:`Session.edit`), or ``"cache"`` (returned from
+            the warm cache without rescanning).
+        checked_points: sensors actually (re)scanned for this answer:
+            the window for a scan, the dirty set for a delta, 0 for a
+            cache hit.
+        cache_hits: session-lifetime count of cache-served verifies.
+        cache_misses: session-lifetime count of full scans.
+        backend: engine backend in effect for the request.
+        workers: shard worker count in effect for the request.
+    """
+
+    collisions: tuple[Collision, ...]
+    window_size: int
+    source: str
+    checked_points: int
+    cache_hits: int
+    cache_misses: int
+    backend: str
+    workers: int
+
+    @property
+    def collision_free(self) -> bool:
+        """True when no pair of sensors in the window collides."""
+        return not self.collisions
+
+
+# ----------------------------------------------------------------------
+# The facade
+# ----------------------------------------------------------------------
+class Session:
+    """One schedule plus its verification/simulation lifecycle.
+
+    A session owns a :class:`~repro.core.schedule.Schedule`, the
+    :class:`~repro.core.schedule.VerificationCache` instances for the
+    windows it has verified, and an optional
+    :class:`~repro.engine.config.EngineConfig` that every request is
+    served under (``None`` keeps the ambient default-config/env-var
+    resolution).  Sessions are cheap value-like objects: :meth:`edit`
+    returns a *new* session for the edited schedule (transferring the
+    warm caches after an incremental dirty-region re-verification), and
+    :meth:`with_config` re-wraps the same schedule under another config.
+
+    Args:
+        schedule: any :class:`~repro.core.schedule.Schedule`.
+        config: engine configuration for this session's requests.
+        window: default verification window — a point iterable or a
+            ``(lo, hi)`` corner pair.  Omitted, a
+            :class:`~repro.core.schedule.MappingSchedule`'s finite
+            domain is used; infinite schedules then require an explicit
+            window per :meth:`verify` call.
+        neighborhood_of: interference map used for verification and
+            network construction; defaults to the schedule's own
+            ``neighborhood_of`` when it has one (Theorem 1/2 schedules).
+        offsets: optional conflict-offset override forwarded to the
+            verifier.
+    """
+
+    def __init__(self, schedule: Schedule, *,
+                 config: EngineConfig | None = None,
+                 window: WindowLike | None = None,
+                 neighborhood_of: NeighborhoodFn | None = None,
+                 offsets: Iterable[IntVec] | None = None):
+        require(hasattr(schedule, "slot_of"),
+                "a Session needs a schedule-like object (slot_of)")
+        if config is not None and not isinstance(config, EngineConfig):
+            raise TypeError(
+                f"config must be an EngineConfig or None, "
+                f"got {type(config).__name__}")
+        self._schedule = schedule
+        self._config = config
+        self._window = None if window is None else _as_window(window)
+        if neighborhood_of is None:
+            neighborhood_of = getattr(schedule, "neighborhood_of", None)
+        self._neighborhood_of = neighborhood_of
+        self._offsets = None if offsets is None else list(offsets)
+        self._caches: dict[tuple, VerificationCache] = {}
+        self._networks: dict[tuple[IntVec, ...], Network] = {}
+        self._cache_hits = 0
+        self._cache_misses = 0
+        #: Per-cache-key dirty-set size of the edit that produced this
+        #: session; the first cache-served verify of such a window
+        #: reports it as the incremental re-verification cost.
+        self._pending_delta: dict[tuple, int] = {}
+
+    # -- builders ------------------------------------------------------
+    @classmethod
+    def for_prototile(cls, prototile: Prototile, *,
+                      config: EngineConfig | None = None,
+                      window: WindowLike | None = None,
+                      max_period_side: int = 6) -> Session:
+        """Session over the Theorem 1 schedule of a neighborhood.
+
+        Raises:
+            ValueError: when the prototile admits no tiling (not exact).
+        """
+        schedule = schedule_from_prototile(prototile,
+                                           max_period_side=max_period_side)
+        return cls(schedule, config=config, window=window)
+
+    @classmethod
+    def for_chebyshev(cls, radius: int = 1, dimension: int = 2, *,
+                      config: EngineConfig | None = None,
+                      window: WindowLike | None = None) -> Session:
+        """Session for the radius-``r`` Chebyshev ball in ``Z^d``."""
+        return cls.for_prototile(chebyshev_ball(radius, dimension),
+                                 config=config, window=window)
+
+    @classmethod
+    def for_tiling(cls, tiling: Tiling, *,
+                   config: EngineConfig | None = None,
+                   window: WindowLike | None = None,
+                   cells: Sequence[IntVec] | None = None) -> Session:
+        """Session over the Theorem 1 schedule of an explicit tiling."""
+        return cls(schedule_from_tiling(tiling, cells), config=config,
+                   window=window)
+
+    @classmethod
+    def for_multi_tiling(cls, multi: MultiTiling, *,
+                         config: EngineConfig | None = None,
+                         window: WindowLike | None = None,
+                         cells: Sequence[IntVec] | None = None) -> Session:
+        """Session over the Theorem 2 schedule of a multi-prototile tiling."""
+        return cls(schedule_from_multi_tiling(multi, cells), config=config,
+                   window=window)
+
+    @classmethod
+    def for_mapping(cls, assignment: Mapping[Sequence[int], int], *,
+                    config: EngineConfig | None = None,
+                    neighborhood_of: NeighborhoodFn | None = None,
+                    window: WindowLike | None = None,
+                    offsets: Iterable[IntVec] | None = None) -> Session:
+        """Session over an explicit point -> slot table."""
+        schedule = MappingSchedule({as_intvec(p): s
+                                    for p, s in assignment.items()})
+        return cls(schedule, config=config, window=window,
+                   neighborhood_of=neighborhood_of, offsets=offsets)
+
+    # -- accessors -----------------------------------------------------
+    @property
+    def schedule(self) -> Schedule:
+        """The wrapped schedule (shared, not copied)."""
+        return self._schedule
+
+    @property
+    def num_slots(self) -> int:
+        return self._schedule.num_slots
+
+    @property
+    def config(self) -> EngineConfig:
+        """The config requests run under (the installed default if unset)."""
+        return self._config if self._config is not None else default_config()
+
+    @property
+    def window(self) -> list[IntVec] | None:
+        """The session's default verification window, if any."""
+        return None if self._window is None else list(self._window)
+
+    @property
+    def cache_stats(self) -> tuple[int, int]:
+        """Session-lifetime verification ``(cache_hits, cache_misses)``."""
+        return self._cache_hits, self._cache_misses
+
+    def with_config(self, config: EngineConfig | None) -> Session:
+        """The same schedule and window under a different config."""
+        session = Session(self._schedule, config=config, window=self._window,
+                          neighborhood_of=self._neighborhood_of,
+                          offsets=self._offsets)
+        return session
+
+    def __repr__(self) -> str:
+        window = (f"{len(self._window)} points" if self._window is not None
+                  else "none")
+        return (f"Session({type(self._schedule).__name__}, "
+                f"slots={self._schedule.num_slots}, window={window})")
+
+    # -- internals -----------------------------------------------------
+    def _applied(self):
+        """Context installing this session's explicit config fields."""
+        config = self._config
+        if config is None or (config.backend is None
+                              and config.workers is None):
+            return nullcontext()
+        return config.apply()
+
+    def _window_list(self, window: WindowLike | None) -> list[IntVec]:
+        if window is not None:
+            return _as_window(window)
+        if self._window is not None:
+            return self._window
+        points = getattr(self._schedule, "points", None)
+        if points is not None:
+            self._window = list(points)
+            return self._window
+        raise ValueError(
+            "this session has no default window; pass window= (a point "
+            "iterable or a (lo, hi) corner pair) to the call or the "
+            "Session constructor")
+
+    def _require_neighborhood(self) -> NeighborhoodFn:
+        if self._neighborhood_of is None:
+            raise ValueError(
+                "this schedule carries no interference model; construct "
+                "the Session with neighborhood_of=")
+        return self._neighborhood_of
+
+    # -- lifecycle: assign ---------------------------------------------
+    def assign(self, points: Iterable[Sequence[int]]) -> SlotAssignment:
+        """Slots for a batch of sensors, served by the bulk engine.
+
+        Semantically ``[schedule.slot_of(p) for p in points]`` — pinned
+        bit-identical by the equivalence suite — but dispatched through
+        the schedule's vectorized ``slots_of`` under this session's
+        config.
+        """
+        if not hasattr(points, "__len__"):
+            points = list(points)
+        with self._applied():
+            bulk = getattr(self._schedule, "slots_of", None)
+            if bulk is not None:
+                slots = bulk(points)
+            else:
+                slots = [self._schedule.slot_of(p) for p in points]
+            backend = active_backend()
+        return SlotAssignment(points=points, slots=slots,
+                              num_slots=self._schedule.num_slots,
+                              backend=backend)
+
+    # -- lifecycle: verify ---------------------------------------------
+    def verify(self, window: WindowLike | None = None, *,
+               offsets: Iterable[IntVec] | None = None,
+               use_cache: bool = True) -> VerificationReport:
+        """Collision report over a window (cached, incremental-aware).
+
+        The first verify of a window runs the full bulk scan and warms a
+        :class:`~repro.core.schedule.VerificationCache`; later verifies
+        of the same window answer from the cache, and a session produced
+        by :meth:`edit` answers from the incrementally re-verified cache
+        (reporting the dirty-set size it cost).  ``use_cache=False``
+        bypasses the cache layer entirely and scans fresh — the exact
+        :func:`~repro.core.schedule.find_collisions` call.
+        """
+        window_list = self._window_list(window)
+        neighborhood = self._require_neighborhood()
+        offset_list = self._offsets if offsets is None else list(offsets)
+        if not use_cache:
+            with self._applied():
+                collisions = find_collisions(self._schedule, window_list,
+                                             neighborhood, offset_list)
+                backend, workers = active_backend(), shard_workers()
+            return VerificationReport(
+                collisions=tuple(collisions), window_size=len(window_list),
+                source="scan", checked_points=len(window_list),
+                cache_hits=self._cache_hits,
+                cache_misses=self._cache_misses,
+                backend=backend, workers=workers)
+        key = (tuple(window_list),
+               None if offset_list is None else tuple(sorted(offset_list)))
+        cache = self._caches.get(key)
+        with self._applied():
+            backend, workers = active_backend(), shard_workers()
+            if cache is None:
+                self._cache_misses += 1
+                cache = VerificationCache(self._schedule, window_list,
+                                          neighborhood, offset_list)
+                collisions = cache.collisions()
+                self._caches[key] = cache
+                source = "scan"
+                checked = len(window_list)
+            else:
+                self._cache_hits += 1
+                collisions = cache.collisions_for(self._schedule,
+                                                  offsets=offset_list)
+                delta_points = self._pending_delta.pop(key, None)
+                if delta_points is not None:
+                    source = "delta"
+                    checked = delta_points
+                else:
+                    source = "cache"
+                    checked = 0
+        return VerificationReport(
+            collisions=tuple(collisions), window_size=len(window_list),
+            source=source, checked_points=checked,
+            cache_hits=self._cache_hits, cache_misses=self._cache_misses,
+            backend=backend, workers=workers)
+
+    def is_collision_free(self, window: WindowLike | None = None) -> bool:
+        """Shorthand: ``verify(window).collision_free``."""
+        return self.verify(window).collision_free
+
+    # -- lifecycle: edit -----------------------------------------------
+    def edit(self, updates: Mapping[Sequence[int], int]) -> Session:
+        """A new session whose schedule has some slots reassigned.
+
+        Wraps :meth:`~repro.core.schedule.MappingSchedule.with_updates`:
+        the edit produces a :class:`~repro.core.schedule.ScheduleDelta`,
+        every warm verification cache is re-verified incrementally over
+        the dirty region only, and the *new* session takes ownership of
+        the warm caches (the old session rebuilds from scratch if
+        verified again).  The receiver is left semantically untouched.
+
+        Raises:
+            TypeError: when the schedule type does not support edits
+                (only mapping-backed schedules do).
+        """
+        with_updates = getattr(self._schedule, "with_updates", None)
+        if with_updates is None:
+            raise TypeError(
+                f"{type(self._schedule).__name__} is immutable; only "
+                f"mapping-backed schedules support edit() — restrict the "
+                f"schedule to a window first (Session.for_mapping)")
+        delta: ScheduleDelta = with_updates(updates)
+        session = Session(delta.schedule, config=self._config,
+                          window=self._window,
+                          neighborhood_of=self._neighborhood_of,
+                          offsets=self._offsets)
+        with session._applied():
+            for cache in self._caches.values():
+                cache.apply(delta)
+        session._caches = self._caches
+        self._caches = {}
+        session._networks = self._networks
+        session._cache_hits = self._cache_hits
+        session._cache_misses = self._cache_misses
+        session._pending_delta = {key: len(delta.changed)
+                                  for key in session._caches}
+        return session
+
+    # -- lifecycle: simulate -------------------------------------------
+    def network(self, window: WindowLike | None = None) -> Network:
+        """The sensor network over a window, built once per window.
+
+        Theorem 1/2 schedules derive interference from their prototile
+        or deployment; other schedules use the session's
+        ``neighborhood_of``.
+        """
+        window_list = self._window_list(window)
+        key = tuple(window_list)
+        network = self._networks.get(key)
+        if network is None:
+            schedule = self._schedule
+            if isinstance(schedule, TilingSchedule):
+                network = Network.homogeneous(window_list, schedule.prototile)
+            elif isinstance(schedule, MultiTilingSchedule):
+                network = Network.from_multi_tiling(window_list,
+                                                    schedule.multi)
+            else:
+                neighborhood = self._require_neighborhood()
+                network = Network(SensorNode(p, neighborhood(p))
+                                  for p in window_list)
+            self._networks[key] = network
+        return network
+
+    def simulate(self, protocol: MACProtocol | str, slots: int, *,
+                 window: WindowLike | None = None,
+                 network: Network | None = None,
+                 packet_interval: int | None = None,
+                 seed: int | None = None,
+                 energy_model: EnergyModel = UNIT_TX_MODEL,
+                 bulk_decisions: bool | None = None,
+                 **protocol_params) -> SimulationMetrics:
+        """Run the slotted broadcast simulator over this session's window.
+
+        ``protocol`` is a constructed :class:`MACProtocol` or a
+        registered name — ``"schedule"`` resolves to a
+        :class:`~repro.net.protocols.ScheduleMAC` over *this session's
+        schedule*, and names like ``"aloha"`` take their parameters as
+        extra keyword arguments (``simulate("aloha", 90, p=0.2)``).
+        ``packet_interval`` defaults to one packet per schedule round.
+
+        Returns the same :class:`SimulationMetrics` the legacy
+        ``repro.net.simulate`` produces for the same inputs, bit for bit.
+        """
+        if network is None:
+            network = self.network(window)
+        elif window is not None:
+            raise ValueError("pass either window= or network=, not both")
+        if isinstance(protocol, str):
+            protocol = make_protocol(protocol, positions=network.positions,
+                                     schedule=self._schedule,
+                                     **protocol_params)
+        elif protocol_params:
+            raise TypeError(
+                f"protocol parameters {sorted(protocol_params)} are only "
+                f"accepted when the protocol is named by string")
+        if packet_interval is None:
+            packet_interval = self._schedule.num_slots
+        simulator = BroadcastSimulator(
+            network, protocol, packet_interval=packet_interval, seed=seed,
+            energy_model=energy_model, bulk_decisions=bulk_decisions,
+            config=self._config)
+        return simulator.run(slots)
+
+    # -- lifecycle: save / load ----------------------------------------
+    def save(self, path: os.PathLike | None = None) -> str:
+        """Serialize the schedule to JSON (optionally writing a file).
+
+        Round-trips through :mod:`repro.core.serialize`; the window,
+        config and caches are session state, not schedule state, and are
+        not serialized.
+        """
+        text = schedule_to_json(self._schedule)
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        return text
+
+    @classmethod
+    def load(cls, source: str | os.PathLike, *,
+             config: EngineConfig | None = None,
+             window: WindowLike | None = None,
+             neighborhood_of: NeighborhoodFn | None = None,
+             offsets: Iterable[IntVec] | None = None) -> Session:
+        """Rebuild a session from :meth:`save` output.
+
+        ``source`` is the JSON text itself, or an :class:`os.PathLike`
+        pointing at a file of it (a plain ``str`` is always treated as
+        JSON — wrap file names in :class:`pathlib.Path`).
+        """
+        if isinstance(source, os.PathLike):
+            with open(source, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        else:
+            text = source
+        return cls(schedule_from_json(text), config=config, window=window,
+                   neighborhood_of=neighborhood_of, offsets=offsets)

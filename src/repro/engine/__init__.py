@@ -9,6 +9,9 @@ batch counterparts:
   dependency; every kernel has a pure-Python implementation that produces
   byte-identical results, and ``REPRO_ENGINE=python`` (or
   :func:`set_backend`) forces the fallback even when numpy is installed.
+* :mod:`repro.engine.config` — :class:`EngineConfig`, the typed per-call
+  alternative to the env vars: explicit fields outrank the installed
+  default config, which outranks the (lazily re-read) environment.
 * :mod:`repro.engine.encode` — injective integer keys for lattice points
   of a finite window, so membership tests become sorted-array lookups.
 * :mod:`repro.engine.slots` — :class:`CosetTable`, a vectorized form of
@@ -40,10 +43,17 @@ from repro.engine.backend import (
     active_backend,
     numpy_available,
     numpy_module,
+    requested_backend,
     set_backend,
     use_backend,
 )
 from repro.engine.collisions import scan_collisions, scan_collisions_touching
+from repro.engine.config import (
+    EngineConfig,
+    default_config,
+    set_default_config,
+    use_config,
+)
 from repro.engine.encode import BoxEncoder
 from repro.engine.parallel import (
     cpu_budget,
@@ -64,9 +74,14 @@ from repro.engine.simindex import AdjacencyIndex
 from repro.engine.slots import CosetTable
 
 __all__ = [
+    "EngineConfig",
+    "default_config",
+    "set_default_config",
+    "use_config",
     "active_backend",
     "numpy_available",
     "numpy_module",
+    "requested_backend",
     "set_backend",
     "use_backend",
     "cpu_budget",

@@ -2,9 +2,15 @@
 
 numpy is an optional dependency.  The resolution order is:
 
-1. an explicit :func:`set_backend` / :func:`use_backend` call,
-2. the ``REPRO_ENGINE`` environment variable (``auto``/``numpy``/``python``),
-3. ``auto``: numpy when importable, pure Python otherwise.
+1. an explicit :func:`set_backend` / :func:`use_backend` call (which is
+   also how a per-call :class:`repro.engine.config.EngineConfig` applies
+   itself),
+2. the default :class:`~repro.engine.config.EngineConfig` installed via
+   :func:`repro.engine.config.set_default_config`,
+3. the ``REPRO_ENGINE`` environment variable
+   (``auto``/``numpy``/``python``), re-read lazily at resolution time —
+   never captured at import, so env changes after import take effect,
+4. ``auto``: numpy when importable, pure Python otherwise.
 
 Every engine kernel is written twice — once against numpy arrays and once
 against plain lists/dicts — and the two implementations are required (and
@@ -23,6 +29,7 @@ __all__ = [
     "numpy_module",
     "numpy_available",
     "active_backend",
+    "requested_backend",
     "set_backend",
     "use_backend",
 ]
@@ -51,20 +58,36 @@ def numpy_available() -> bool:
     return numpy_module() is not None
 
 
-def _initial_backend() -> str:
-    requested = os.environ.get("REPRO_ENGINE", "auto").strip().lower()
+#: Malformed ``REPRO_ENGINE`` values already warned about.  Lazy
+#: resolution re-reads the env on every call; the warning still fires
+#: only once per distinct bad value instead of once per kernel call.
+_env_warned: set[str] = set()
+
+
+def _backend_from_env() -> str:
+    """Resolve ``REPRO_ENGINE`` to a request, warning once on bad values.
+
+    A library must not raise on a bad env var, but a typo'd
+    ``REPRO_ENGINE`` silently running the wrong backend is worse than
+    noise — so unknown values warn (once) and fall back to ``auto``.
+    """
+    raw = os.environ.get("REPRO_ENGINE", "auto")
+    requested = raw.strip().lower()
     if requested in _CHOICES:
         return requested
-    # Importing a library must not raise on a bad env var, but a typo'd
-    # REPRO_ENGINE silently running the wrong backend is worse than noise.
-    warnings.warn(
-        f"ignoring unknown REPRO_ENGINE value {requested!r}; "
-        f"expected one of {_CHOICES} (falling back to 'auto')",
-        stacklevel=2)
+    if raw not in _env_warned:
+        _env_warned.add(raw)
+        warnings.warn(
+            f"ignoring unknown REPRO_ENGINE value {requested!r}; "
+            f"expected one of {_CHOICES} (falling back to 'auto')",
+            stacklevel=3)
     return "auto"
 
 
-_backend = _initial_backend()
+#: The explicit :func:`set_backend` selection; ``None`` means "not set",
+#: in which case resolution falls through to the default config and then
+#: the env var — lazily, on every call.
+_backend: str | None = None
 
 
 def set_backend(name: str) -> None:
@@ -83,6 +106,23 @@ def set_backend(name: str) -> None:
     _backend = name
 
 
+def requested_backend() -> str:
+    """The resolved *request* (``auto``/``numpy``/``python``), pre-degrade.
+
+    Walks the resolution order — explicit :func:`set_backend`, then the
+    default :class:`~repro.engine.config.EngineConfig`, then
+    ``REPRO_ENGINE`` — without collapsing ``auto`` or degrading a
+    ``numpy`` request, which is :func:`active_backend`'s job.
+    """
+    if _backend is not None:
+        return _backend
+    from repro.engine import config as _config
+    default = _config._default
+    if default is not None and default.backend is not None:
+        return default.backend
+    return _backend_from_env()
+
+
 def active_backend() -> str:
     """The resolved backend for the next kernel call: ``numpy``/``python``.
 
@@ -91,7 +131,7 @@ def active_backend() -> str:
     dereference a missing module; :func:`set_backend` is the strict API
     that rejects the request up front instead.
     """
-    if _backend == "python":
+    if requested_backend() == "python":
         return "python"
     return "numpy" if numpy_available() else "python"
 

@@ -1,0 +1,200 @@
+"""Typed engine configuration: the explicit alternative to env vars.
+
+Historically the engine was configured through process-global state:
+``REPRO_ENGINE`` picked the kernel backend, ``REPRO_ENGINE_WORKERS`` the
+shard worker count, and knobs like the simulator's decision window were
+module constants.  That is workable for a library, but the ROADMAP's
+service-grade surface needs *per-call* configuration that can be typed,
+validated, passed around, and tested — without mutating the process.
+
+:class:`EngineConfig` is that object.  Every field is optional; a
+``None`` field means "fall back to the ambient resolution", which keeps
+the env vars working but demotes them to default producers:
+
+1. an explicit field on the :class:`EngineConfig` in effect,
+2. an explicit :func:`repro.engine.backend.set_backend` /
+   :func:`repro.engine.parallel.set_workers` call (the strict,
+   imperative API — it outranks the *default* config but not a config
+   passed per call, which applies itself innermost),
+3. the session default installed via :func:`set_default_config` /
+   :func:`use_config`,
+4. the environment variable, re-read lazily at resolution time (never
+   captured at import),
+5. the built-in default (``auto`` backend, serial workers).
+
+The module lives in :mod:`repro.engine` so that the engine and the
+network simulator can accept ``config=`` parameters without importing
+the high-level facade (:mod:`repro.api` re-exports everything here).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from contextlib import ExitStack, contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = [
+    "EngineConfig",
+    "default_config",
+    "set_default_config",
+    "use_config",
+]
+
+_BACKEND_CHOICES = ("auto", "numpy", "python")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """One validated bundle of engine knobs.
+
+    Attributes:
+        backend: kernel backend — ``"auto"``, ``"numpy"`` or ``"python"``.
+            ``None`` falls back to ``set_backend`` / ``REPRO_ENGINE`` /
+            ``auto`` (in that order, resolved lazily).
+        workers: shard worker count for the multi-core kernels (``1`` is
+            serial).  ``None`` falls back to ``set_workers`` /
+            ``REPRO_ENGINE_WORKERS`` / serial.
+        bulk_decisions: drive random-MAC protocols through their
+            vectorized ``decision_block`` (the default); ``False`` pins
+            the scalar ``wants_to_send`` reference path.
+        decision_window: slots of random-MAC decisions precomputed per
+            block for non-carrier-sense protocols.  Purely a batching
+            knob — the counter-based rng makes results identical for
+            every window size.  ``None`` uses the simulator default.
+    """
+
+    backend: str | None = None
+    workers: int | None = None
+    bulk_decisions: bool = True
+    decision_window: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.backend is not None and self.backend not in _BACKEND_CHOICES:
+            raise ValueError(
+                f"unknown engine backend {self.backend!r}; expected one of "
+                f"{_BACKEND_CHOICES} (or None for the ambient fallback)")
+        if self.workers is not None and (
+                not isinstance(self.workers, int)
+                or isinstance(self.workers, bool) or self.workers < 1):
+            raise ValueError(
+                f"workers must be a positive int or None, "
+                f"got {self.workers!r}")
+        if not isinstance(self.bulk_decisions, bool):
+            raise ValueError(
+                f"bulk_decisions must be a bool, got {self.bulk_decisions!r}")
+        if self.decision_window is not None and (
+                not isinstance(self.decision_window, int)
+                or isinstance(self.decision_window, bool)
+                or self.decision_window < 1):
+            raise ValueError(
+                f"decision_window must be a positive int or None, "
+                f"got {self.decision_window!r}")
+
+    # ------------------------------------------------------------------
+    def resolve_backend(self) -> str:
+        """The backend kernels will run on: ``"numpy"`` or ``"python"``.
+
+        An explicit ``backend`` field resolves exactly like
+        :func:`repro.engine.backend.active_backend` would resolve the
+        same request (``numpy`` degrades to ``python`` when numpy is
+        missing); ``None`` defers to the ambient resolution.
+        """
+        from repro.engine.backend import active_backend, numpy_available
+        if self.backend is None:
+            return active_backend()
+        if self.backend == "python":
+            return "python"
+        return "numpy" if numpy_available() else "python"
+
+    def resolve_workers(self) -> int:
+        """The worker count sharded kernels will use (``1`` = serial)."""
+        from repro.engine.parallel import _MAX_WORKERS, shard_workers
+        if self.workers is None:
+            return shard_workers()
+        return min(self.workers, _MAX_WORKERS)
+
+    def replace(self, **changes) -> EngineConfig:
+        """A copy with some fields changed (the dataclass ``replace``)."""
+        return dataclasses.replace(self, **changes)
+
+    @classmethod
+    def from_env(cls) -> EngineConfig:
+        """Snapshot the env fallbacks into explicit fields.
+
+        Useful to freeze the process-wide defaults into a value that no
+        later ``os.environ`` mutation can shift.
+        """
+        import os
+
+        from repro.engine.backend import _backend_from_env
+        from repro.engine.parallel import _workers_from_env
+        return cls(backend=_backend_from_env(),
+                   workers=_workers_from_env(
+                       os.environ.get("REPRO_ENGINE_WORKERS")))
+
+    @contextmanager
+    def apply(self) -> Iterator[None]:
+        """Make the explicit fields the ambient engine state for a block.
+
+        Only non-``None`` fields are applied (via
+        :func:`~repro.engine.backend.use_backend` /
+        :func:`~repro.engine.parallel.use_workers`), so an all-default
+        config is a no-op.  This is how per-call ``config=`` parameters
+        reach kernels whose dispatch reads the ambient state.  Like
+        every config resolution path (and unlike the strict
+        :func:`~repro.engine.backend.set_backend`), a ``numpy`` request
+        degrades to ``python`` when numpy is not importable instead of
+        raising.
+        """
+        from repro.engine.backend import numpy_available, use_backend
+        from repro.engine.parallel import use_workers
+        backend = self.backend
+        if backend == "numpy" and not numpy_available():
+            backend = "python"
+        with ExitStack() as stack:
+            if backend is not None:
+                stack.enter_context(use_backend(backend))
+            if self.workers is not None:
+                stack.enter_context(use_workers(self.workers))
+            yield
+
+
+# ----------------------------------------------------------------------
+# The session default: one process-wide EngineConfig that the ambient
+# resolution (active_backend / shard_workers) consults before the env.
+# ----------------------------------------------------------------------
+_default: EngineConfig | None = None
+
+
+def default_config() -> EngineConfig:
+    """The installed default config, or an all-``None`` one when unset."""
+    return _default if _default is not None else EngineConfig()
+
+
+def set_default_config(config: EngineConfig | None) -> None:
+    """Install (or with ``None`` clear) the process-default config.
+
+    Fields set on the default outrank the env vars for every call that
+    does not pass its own config; ``None`` fields keep falling through
+    to the env.  Unlike :func:`repro.engine.backend.set_backend` this
+    validates nothing beyond the dataclass itself — a ``numpy`` request
+    still degrades gracefully when numpy is missing.
+    """
+    global _default
+    if config is not None and not isinstance(config, EngineConfig):
+        raise TypeError(
+            f"expected an EngineConfig or None, got {type(config).__name__}")
+    _default = config
+
+
+@contextmanager
+def use_config(config: EngineConfig | None) -> Iterator[None]:
+    """Temporarily install a default config (tests, CI legs)."""
+    global _default
+    previous = _default
+    set_default_config(config)
+    try:
+        yield
+    finally:
+        _default = previous

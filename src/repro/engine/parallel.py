@@ -23,10 +23,16 @@ count, because
 
 Sharding is **opt-in**.  The resolution order for the worker count is
 
-1. an explicit :func:`set_workers` / :func:`use_workers` call,
-2. the ``REPRO_ENGINE_WORKERS`` environment variable (a positive
-   integer, or ``auto`` for the usable CPU count),
-3. the default of ``1`` — the serial path, which stays the reference.
+1. an explicit :func:`set_workers` / :func:`use_workers` call (which is
+   also how a per-call :class:`repro.engine.config.EngineConfig` applies
+   itself),
+2. the default :class:`~repro.engine.config.EngineConfig` installed via
+   :func:`repro.engine.config.set_default_config`,
+3. the ``REPRO_ENGINE_WORKERS`` environment variable (a positive
+   integer, or ``auto`` for the usable CPU count), re-read lazily at
+   resolution time — never captured at import, so env changes after
+   import take effect,
+4. the default of ``1`` — the serial path, which stays the reference.
 
 Worker processes are started with the ``fork`` method when the platform
 offers it, so the (potentially large) shared payload — point windows,
@@ -66,11 +72,18 @@ def cpu_budget() -> int:
         return os.cpu_count() or 1
 
 
+#: Malformed ``REPRO_ENGINE_WORKERS`` values already warned about.  The
+#: env var is re-read on every resolution (lazily — never captured at
+#: import), so without this the warning would fire once per kernel call.
+_env_warned: set[str] = set()
+
+
 def _workers_from_env(raw: str | None) -> int:
     """Resolve a ``REPRO_ENGINE_WORKERS`` value to a worker count.
 
     Unset/empty means serial; ``auto`` means the usable CPU count; a bad
-    value warns and stays serial (importing the library must not raise).
+    value warns (once per distinct value) and stays serial — resolving
+    the env must never raise.
     """
     if raw is None:
         return 1
@@ -82,19 +95,26 @@ def _workers_from_env(raw: str | None) -> int:
     try:
         value = int(text)
     except ValueError:
-        warnings.warn(
-            f"ignoring REPRO_ENGINE_WORKERS={raw!r}: expected a positive "
-            f"integer or 'auto' (staying serial)", stacklevel=3)
+        if raw not in _env_warned:
+            _env_warned.add(raw)
+            warnings.warn(
+                f"ignoring REPRO_ENGINE_WORKERS={raw!r}: expected a positive "
+                f"integer or 'auto' (staying serial)", stacklevel=3)
         return 1
     if value < 1:
-        warnings.warn(
-            f"ignoring REPRO_ENGINE_WORKERS={raw!r}: worker count must be "
-            f">= 1 (staying serial)", stacklevel=3)
+        if raw not in _env_warned:
+            _env_warned.add(raw)
+            warnings.warn(
+                f"ignoring REPRO_ENGINE_WORKERS={raw!r}: worker count must "
+                f"be >= 1 (staying serial)", stacklevel=3)
         return 1
     return min(value, _MAX_WORKERS)
 
 
-_workers = _workers_from_env(os.environ.get("REPRO_ENGINE_WORKERS"))
+#: The explicit :func:`set_workers` selection; ``None`` means "not set",
+#: in which case resolution falls through to the default config and then
+#: the env var — lazily, on every call.
+_workers: int | None = None
 
 #: True inside a shard worker process: nested kernels must stay serial
 #: (pool workers are daemonic and cannot fork grandchildren).
@@ -107,10 +127,22 @@ _payload: Any = None
 
 
 def shard_workers() -> int:
-    """The worker count sharded kernels will use (``1`` = serial)."""
+    """The worker count sharded kernels will use (``1`` = serial).
+
+    Resolution is lazy: with no explicit :func:`set_workers` call and no
+    default :class:`~repro.engine.config.EngineConfig` worker count, the
+    ``REPRO_ENGINE_WORKERS`` env var is consulted *now*, so mutating the
+    environment after import (or between calls) takes effect.
+    """
     if _in_worker:
         return 1
-    return _workers
+    if _workers is not None:
+        return _workers
+    from repro.engine import config as _config
+    default = _config._default
+    if default is not None and default.workers is not None:
+        return min(default.workers, _MAX_WORKERS)
+    return _workers_from_env(os.environ.get("REPRO_ENGINE_WORKERS"))
 
 
 def set_workers(count: int) -> None:

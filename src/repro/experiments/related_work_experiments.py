@@ -13,8 +13,7 @@
 
 from __future__ import annotations
 
-from repro.core.schedule import verify_collision_free
-from repro.core.theorem1 import schedule_from_prototile
+from repro.api import Session
 from repro.experiments.base import ExperimentResult
 from repro.graphs.anneal import anneal_minimum_slots
 from repro.graphs.coloring import (
@@ -43,7 +42,7 @@ def run_heuristics(side: int = 6, seed: int = 5) -> ExperimentResult:
         dsatur = max(dsatur_coloring(graph).values()) + 1
         mfa, _ = anneal_minimum_slots(graph, seed=seed)
         hopfield, _ = hopfield_minimum_slots(graph, seed=seed)
-        schedule = schedule_from_prototile(tile)
+        schedule = Session.for_prototile(tile).schedule
         rows.append({
             "prototile": tile.name,
             "sensors": len(points),
@@ -75,19 +74,18 @@ def run_dimensions(max_dimension: int = 3) -> ExperimentResult:
     all_ok = True
     for dimension in range(1, max_dimension + 1):
         tile = chebyshev_ball(1, dimension=dimension)
-        schedule = schedule_from_prototile(tile)
         radius = 4 if dimension < 3 else 2
         lo = (-radius,) * dimension
         hi = (radius,) * dimension
         window = list(box_points(lo, hi))
-        collision_free = verify_collision_free(
-            schedule, window, schedule.neighborhood_of)
+        session = Session.for_prototile(tile, window=window)
+        collision_free = session.verify().collision_free
         expected = 3 ** dimension
-        all_ok &= collision_free and schedule.num_slots == expected
+        all_ok &= collision_free and session.num_slots == expected
         rows.append({
             "dimension": dimension,
             "|N|": tile.size,
-            "slots": schedule.num_slots,
+            "slots": session.num_slots,
             "expected": expected,
             "window sensors": len(window),
             "collision-free": collision_free,

@@ -20,11 +20,9 @@ from __future__ import annotations
 
 import time
 
-from repro.core.theorem1 import schedule_from_prototile
+from repro.api import Session
 from repro.experiments.base import ExperimentResult
-from repro.graphs.anneal import anneal_minimum_slots
 from repro.graphs.coloring import dsatur_coloring, greedy_coloring
-from repro.graphs.hopfield import hopfield_minimum_slots
 from repro.graphs.interference import conflict_graph_homogeneous
 from repro.lattice.region import box_region
 from repro.lattice.standard import square_lattice
@@ -35,9 +33,6 @@ from repro.net.mobility import (
     MobileTilingMAC,
     RandomWaypoint,
 )
-from repro.net.model import Network
-from repro.net.protocols import CSMALike, GlobalTDMA, ScheduleMAC, SlottedAloha
-from repro.net.simulator import compare_protocols, simulate
 from repro.core.mobile import MobileScheduler
 from repro.tiles.bn import (
     find_bn_factorization,
@@ -53,19 +48,13 @@ __all__ = ["run_collisions", "run_randmac", "run_scaling", "run_mobile",
 
 def run_collisions(slots: int = 270, seed: int = 7) -> ExperimentResult:
     """Protocol comparison on a 10x10 grid with the 3x3 neighborhood."""
-    tile = chebyshev_ball(1)
-    points = box_region((0, 0), (9, 9)).points
-    network = Network.homogeneous(points, tile)
-    schedule = schedule_from_prototile(tile)
-    protocols = [
-        ScheduleMAC(schedule),
-        GlobalTDMA(network.positions),
-        SlottedAloha(0.1),
-        CSMALike(0.1),
+    session = Session.for_chebyshev(1, window=((0, 0), (9, 9)))
+    results = [
+        session.simulate(protocol, slots, seed=seed, p=0.1)
+        if protocol in ("aloha", "csma")
+        else session.simulate(protocol, slots, seed=seed)
+        for protocol in ("schedule", "tdma", "aloha", "csma")
     ]
-    results = compare_protocols(network, protocols, slots=slots,
-                                packet_interval=schedule.num_slots,
-                                seed=seed)
     rows = [m.as_row() for m in results]
     tiling, tdma, aloha, csma = results
     passed = (
@@ -83,8 +72,8 @@ def run_collisions(slots: int = 270, seed: int = 7) -> ExperimentResult:
         "random access wastes energy on resends; TDMA is collision-free "
         "but slow",
         rows, passed,
-        notes=f"{len(points)} sensors, {slots} slots, traffic every "
-              f"{schedule.num_slots} slots")
+        notes=f"{len(session.window)} sensors, {slots} slots, traffic "
+              f"every {session.num_slots} slots")
 
 
 def run_randmac(p_values: tuple[float, ...] = (0.05, 0.15, 0.3),
@@ -97,15 +86,14 @@ def run_randmac(p_values: tuple[float, ...] = (0.05, 0.15, 0.3),
     reproducible from its seed alone, and the vectorized decision path
     keeps the whole sweep cheap enough to live in the tier-1 suite.
     """
-    tile = chebyshev_ball(1)
-    points = box_region((0, 0), (7, 7)).points
-    network = Network.homogeneous(points, tile)
+    session = Session.for_chebyshev(1, window=((0, 0), (7, 7)))
+    points = session.window
     rows = []
     mean_collisions: dict[tuple[str, float], float] = {}
-    for label, make in (("aloha", SlottedAloha), ("csma", CSMALike)):
+    for label in ("aloha", "csma"):
         for p in p_values:
-            runs = [simulate(network, make(p), slots=slots,
-                             packet_interval=8, seed=seed + trial)
+            runs = [session.simulate(label, slots, packet_interval=8,
+                                     seed=seed + trial, p=p)
                     for trial in range(trials)]
             collisions = sum(m.failed_receptions for m in runs) / trials
             mean_collisions[label, p] = collisions
@@ -140,14 +128,14 @@ def run_scaling(sides: tuple[int, ...] = (4, 6, 8, 10, 14),
                 seed: int = 3) -> ExperimentResult:
     """Round length and scheduling cost versus network size."""
     tile = chebyshev_ball(1)
-    schedule = schedule_from_prototile(tile)
+    session = Session.for_prototile(tile)
     rows = []
     for side in sides:
         region = box_region((0, 0), (side - 1, side - 1))
         points = list(region.points)
         start = time.perf_counter()
         for point in points:
-            schedule.slot_of(point)
+            session.schedule.slot_of(point)
         tiling_time = time.perf_counter() - start
         graph = conflict_graph_homogeneous(points, tile)
         start = time.perf_counter()
@@ -156,7 +144,7 @@ def run_scaling(sides: tuple[int, ...] = (4, 6, 8, 10, 14),
         greedy = greedy_coloring(graph)
         rows.append({
             "sensors": len(points),
-            "tiling slots": schedule.num_slots,
+            "tiling slots": session.num_slots,
             "tdma slots": len(points),
             "dsatur slots": max(dsatur.values()) + 1,
             "greedy slots": max(greedy.values()) + 1,
@@ -181,7 +169,7 @@ def run_mobile(slots: int = 270, count: int = 30,
                seed: int = 11) -> ExperimentResult:
     """Section 5's mobile rule versus mobile ALOHA."""
     lattice = square_lattice()
-    schedule = schedule_from_prototile(chebyshev_ball(1))
+    schedule = Session.for_chebyshev(1).schedule
     scheduler = MobileScheduler(lattice, schedule)
     results: list[SimulationMetrics] = []
     for mac in (MobileTilingMAC(scheduler), MobileAlohaMAC(0.15)):

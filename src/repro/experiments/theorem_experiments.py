@@ -11,17 +11,10 @@
 
 from __future__ import annotations
 
+from repro.api import Session
 from repro.core.optimality import minimum_slots, minimum_slots_region
-from repro.core.restriction import (
-    restriction_criterion_holds,
-    restriction_report,
-)
-from repro.core.schedule import verify_collision_free
-from repro.core.theorem1 import schedule_from_prototile
-from repro.core.theorem2 import (
-    respectable_optimal_slots,
-    schedule_from_multi_tiling,
-)
+from repro.core.restriction import restriction_report
+from repro.core.theorem2 import respectable_optimal_slots
 from repro.experiments.base import ExperimentResult
 from repro.lattice.region import box_region
 from repro.lattice.sublattice import diagonal_sublattice
@@ -52,9 +45,8 @@ def run_thm1() -> ExperimentResult:
     rows = []
     window = list(box_points((-7, -7), (7, 7)))
     for tile in gallery:
-        schedule = schedule_from_prototile(tile)
-        collision_free = verify_collision_free(
-            schedule, window, schedule.neighborhood_of)
+        session = Session.for_prototile(tile, window=window)
+        collision_free = session.verify().collision_free
         # Exact optimum on a core patch large enough to contain N + N.
         lo, hi = tile.bounding_box()
         span = max(hi[i] - lo[i] for i in range(2)) + 1
@@ -63,7 +55,7 @@ def run_thm1() -> ExperimentResult:
         rows.append({
             "prototile": tile.name,
             "|N|": tile.size,
-            "schedule slots": schedule.num_slots,
+            "schedule slots": session.num_slots,
             "patch optimum": optimum,
             "collision-free": collision_free,
         })
@@ -93,22 +85,21 @@ def respectable_pair_tiling() -> MultiTiling:
 def run_thm2() -> ExperimentResult:
     """Theorem 2 on a respectable two-prototile tiling."""
     multi = respectable_pair_tiling()
-    schedule = schedule_from_multi_tiling(multi)
-    window = list(box_points((-8, -8), (8, 8)))
-    collision_free = verify_collision_free(
-        schedule, window, schedule.neighborhood_of)
+    session = Session.for_multi_tiling(multi,
+                                       window=((-8, -8), (8, 8)))
+    collision_free = session.verify().collision_free
     optimum, _ = minimum_slots(multi)
     expected = respectable_optimal_slots(multi)
     rows = [{
         "prototiles": "2x2 square + 1x2 domino",
         "respectable": multi.is_respectable(),
         "|N1|": expected,
-        "thm2 slots": schedule.num_slots,
+        "thm2 slots": session.num_slots,
         "exact optimum": optimum,
         "collision-free": collision_free,
     }]
     passed = (multi.is_respectable() and collision_free
-              and schedule.num_slots == expected == optimum)
+              and session.num_slots == expected == optimum)
     return ExperimentResult(
         "thm2", "Theorem 2: respectable multi-prototile tilings",
         "m = |N1| slots, collision-free, optimal",
@@ -118,7 +109,7 @@ def run_thm2() -> ExperimentResult:
 def run_finite() -> ExperimentResult:
     """Conclusions: restriction to a finite region D."""
     tile = plus_pentomino()
-    schedule = schedule_from_prototile(tile)
+    schedule = Session.for_prototile(tile).schedule
     regions = [
         ("1x1", box_region((0, 0), (0, 0))),
         ("2x2", box_region((0, 0), (1, 1))),

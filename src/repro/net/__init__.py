@@ -13,8 +13,12 @@ from repro.net.protocols import (
     CSMALike,
     GlobalTDMA,
     MACProtocol,
+    ProtocolContext,
     ScheduleMAC,
     SlottedAloha,
+    make_protocol,
+    protocol_names,
+    register_protocol,
 )
 from repro.net.simulator import BroadcastSimulator, compare_protocols, simulate
 
@@ -29,12 +33,16 @@ __all__ = [
     "MobileSimulator",
     "MobileTilingMAC",
     "Network",
+    "ProtocolContext",
     "RandomWaypoint",
     "ScheduleMAC",
     "SensorNode",
     "SimulationMetrics",
     "SlottedAloha",
     "compare_protocols",
+    "make_protocol",
     "metrics_table",
+    "protocol_names",
+    "register_protocol",
     "simulate",
 ]

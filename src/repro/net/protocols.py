@@ -23,13 +23,19 @@ interface the simulator drives: a whole ``(slot, sensor)`` window of
 decisions at once, drawn from the counter-based
 :class:`repro.utils.rng.StreamRNG` so each sensor's randomness is keyed
 by ``(seed, sensor, slot)`` and the two granularities agree bit-for-bit.
+
+Protocols also resolve *by name* through the registry at the bottom of
+this module (``make_protocol("aloha", p=0.2)``), which is what lets the
+:class:`repro.api.Session` facade accept ``simulate(protocol="aloha",
+p=0.2)`` request-style instead of requiring constructed objects.
 """
 
 from __future__ import annotations
 
 import abc
 import random
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
 
 from repro.core.schedule import Schedule
 from repro.engine.randmac import bernoulli_block, masked_bernoulli_block
@@ -38,7 +44,8 @@ from repro.utils.validation import require_probability
 from repro.utils.vectors import IntVec, as_intvec
 
 __all__ = ["MACProtocol", "ScheduleMAC", "GlobalTDMA", "SlottedAloha",
-           "CSMALike"]
+           "CSMALike", "ProtocolContext", "register_protocol",
+           "protocol_names", "make_protocol"]
 
 
 class MACProtocol(abc.ABC):
@@ -226,3 +233,136 @@ class CSMALike(MACProtocol):
             return super().decision_block(positions, t0, t1, heard, rng)
         return masked_bernoulli_block(rng, len(positions), t0, t1, self.p,
                                       heard)
+
+
+# ----------------------------------------------------------------------
+# Protocol registry: resolve protocols by name (the facade's request
+# surface), with the deployment context injected by the caller.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ProtocolContext:
+    """What a named protocol may need from its deployment.
+
+    Attributes:
+        positions: the network's sensor positions (``tdma`` needs them
+            for its one-slot-per-sensor round).
+        schedule: a periodic schedule (``schedule`` wraps it in a
+            :class:`ScheduleMAC`).
+    """
+
+    positions: tuple[IntVec, ...] | None = None
+    schedule: Schedule | None = None
+
+    def require_positions(self, name: str) -> tuple[IntVec, ...]:
+        if self.positions is None:
+            raise ValueError(
+                f"protocol {name!r} needs the sensor positions; resolve it "
+                f"through a network-aware caller (simulate / Session)")
+        return self.positions
+
+    def require_schedule(self, name: str) -> Schedule:
+        if self.schedule is None:
+            raise ValueError(
+                f"protocol {name!r} needs a schedule; resolve it through "
+                f"repro.api.Session.simulate (or construct ScheduleMAC "
+                f"directly)")
+        return self.schedule
+
+
+#: factory(context, **params) -> MACProtocol
+ProtocolFactory = Callable[..., MACProtocol]
+
+_REGISTRY: dict[str, ProtocolFactory] = {}
+
+
+def _normalize(name: str) -> str:
+    return name.strip().lower().replace("_", "-")
+
+
+def register_protocol(name: str, factory: ProtocolFactory | None = None,
+                      *, overwrite: bool = False):
+    """Register a named protocol factory (usable as a decorator).
+
+    The factory is called as ``factory(context, **params)`` where
+    ``context`` is a :class:`ProtocolContext`; names are matched
+    case-insensitively with ``_``/``-`` folded together.
+
+    Raises:
+        ValueError: when the name is already taken and ``overwrite`` is
+            not set — shadowing a built-in silently would change what
+            every ``simulate(protocol=...)`` call means.
+    """
+    key = _normalize(name)
+
+    def _register(fn: ProtocolFactory) -> ProtocolFactory:
+        if not overwrite and key in _REGISTRY:
+            raise ValueError(
+                f"protocol name {key!r} is already registered; pass "
+                f"overwrite=True to replace it")
+        _REGISTRY[key] = fn
+        return fn
+
+    if factory is None:
+        return _register
+    return _register(factory)
+
+
+def protocol_names() -> tuple[str, ...]:
+    """The registered protocol names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def make_protocol(name: str, /, *,
+                  positions: Sequence[IntVec] | None = None,
+                  schedule: Schedule | None = None,
+                  **params) -> MACProtocol:
+    """Build a registered protocol by name.
+
+    Args:
+        name: a registered name (see :func:`protocol_names`).
+        positions: sensor positions, for protocols that need the
+            deployment (``tdma``).
+        schedule: a schedule, for ``schedule``-driven MACs.
+        **params: forwarded to the factory (e.g. ``p=0.2`` for
+            ``aloha``/``csma``).
+
+    Raises:
+        KeyError: for an unknown name (listing the known ones).
+    """
+    key = _normalize(name)
+    try:
+        factory = _REGISTRY[key]
+    except KeyError:
+        known = ", ".join(protocol_names())
+        raise KeyError(
+            f"unknown protocol {name!r}; known: {known}") from None
+    context = ProtocolContext(
+        positions=None if positions is None
+        else tuple(as_intvec(p) for p in positions),
+        schedule=schedule)
+    return factory(context, **params)
+
+
+@register_protocol("aloha")
+@register_protocol("slotted-aloha")
+def _make_aloha(context: ProtocolContext, p: float) -> MACProtocol:
+    return SlottedAloha(p)
+
+
+@register_protocol("csma")
+@register_protocol("csma-like")
+def _make_csma(context: ProtocolContext, p: float) -> MACProtocol:
+    return CSMALike(p)
+
+
+@register_protocol("tdma")
+@register_protocol("global-tdma")
+def _make_tdma(context: ProtocolContext) -> MACProtocol:
+    return GlobalTDMA(context.require_positions("tdma"))
+
+
+@register_protocol("schedule")
+@register_protocol("tiling-schedule")
+def _make_schedule_mac(context: ProtocolContext,
+                       name: str = "tiling-schedule") -> MACProtocol:
+    return ScheduleMAC(context.require_schedule("schedule"), name=name)

@@ -44,13 +44,15 @@ bit-identical for any worker count.
 from __future__ import annotations
 
 from collections import deque
+from contextlib import nullcontext
 
-from repro.engine.backend import active_backend, numpy_module
+from repro.engine.backend import numpy_module
+from repro.engine.config import EngineConfig, default_config
 from repro.engine.parallel import shard_workers
 from repro.net.energy import UNIT_TX_MODEL, EnergyModel
 from repro.net.metrics import SimulationMetrics
 from repro.net.model import Network
-from repro.net.protocols import MACProtocol
+from repro.net.protocols import MACProtocol, make_protocol
 from repro.utils.rng import StreamRNG
 from repro.utils.validation import require_positive
 from repro.utils.vectors import IntVec
@@ -67,18 +69,23 @@ _DECISION_WINDOW = 128
 _MAX_DECISION_CELLS = 1 << 24
 
 
-def _decision_window_for(num_sensors: int) -> int:
+def _decision_window_for(num_sensors: int, workers: int | None = None,
+                         base: int | None = None) -> int:
     """Window length for non-carrier-sense protocols.
 
-    With sharded decisions enabled (``REPRO_ENGINE_WORKERS``), wider
-    windows amortize the per-window worker dispatch; the counter-based
-    rng keeps results identical for every window size, so this is purely
-    a batching decision.
+    With sharded decisions enabled (``REPRO_ENGINE_WORKERS`` or an
+    :class:`EngineConfig` worker count), wider windows amortize the
+    per-window worker dispatch; the counter-based rng keeps results
+    identical for every window size, so this is purely a batching
+    decision.  ``workers``/``base`` override the ambient worker
+    resolution and the module default window when given.
     """
-    window = _DECISION_WINDOW * shard_workers()
+    if base is None:
+        base = _DECISION_WINDOW
+    window = base * (shard_workers() if workers is None else workers)
     if num_sensors > 0:
         window = min(window, _MAX_DECISION_CELLS // num_sensors)
-    return max(_DECISION_WINDOW, window)
+    return max(base, window)
 
 
 class BroadcastSimulator:
@@ -88,15 +95,30 @@ class BroadcastSimulator:
                  packet_interval: int = 1,
                  seed: int | None = None,
                  energy_model: EnergyModel = UNIT_TX_MODEL,
-                 bulk_decisions: bool = True):
+                 bulk_decisions: bool | None = None,
+                 config: EngineConfig | None = None):
         """``bulk_decisions=False`` forces the scalar reference path:
         random-MAC decisions fall back to one ``wants_to_send`` call per
         sensor per slot (ignoring any vectorized ``decision_block``
         override).  Both paths draw from the same per-sensor counter
         streams, so they produce identical metrics — the flag exists for
-        the equivalence tests and benchmarks that prove it.
+        the equivalence tests and benchmarks that prove it.  ``None``
+        (the default) defers to ``config.bulk_decisions``, which
+        defaults to the vectorized path.
+
+        ``config`` pins this simulator's backend, worker count and
+        decision window explicitly; with no config at all the installed
+        default config is consulted, and fields left ``None`` keep the
+        ambient env-var-driven behavior.  The config is re-applied
+        around every :meth:`step`, so the kernels the MAC protocols
+        dispatch into see it too.
         """
         require_positive(packet_interval, "packet_interval")
+        if config is None:
+            config = default_config()
+        self._config = config
+        if bulk_decisions is None:
+            bulk_decisions = config.bulk_decisions
         self.network = network
         self.protocol = protocol
         self.packet_interval = packet_interval
@@ -131,8 +153,11 @@ class BroadcastSimulator:
         self._stream = StreamRNG(seed)
         if bulk_decisions:
             self._decision_block = protocol.decision_block
-            self._decision_window = (1 if protocol.uses_carrier_sense
-                                     else _decision_window_for(self._n))
+            self._decision_window = (
+                1 if protocol.uses_carrier_sense
+                else _decision_window_for(self._n,
+                                          workers=config.resolve_workers(),
+                                          base=config.decision_window))
         else:
             self._decision_block = (
                 lambda *args: MACProtocol.decision_block(protocol, *args))
@@ -142,7 +167,8 @@ class BroadcastSimulator:
         # run() advances this so windows never precompute past the
         # requested horizon; step() callers keep the unbounded default.
         self._decision_horizon: int | None = None
-        self._np = numpy_module() if active_backend() == "numpy" else None
+        self._np = (numpy_module()
+                    if config.resolve_backend() == "numpy" else None)
         if self._np is not None:
             np = self._np
             self._edge_senders, self._edge_receivers = \
@@ -164,8 +190,25 @@ class BroadcastSimulator:
         """Packets still queued across all sensors."""
         return sum(len(q) for q in self._queues)
 
+    def _applied(self):
+        """Context applying the explicit config fields, if there are any.
+
+        Kernels reached through the protocols (decision blocks and their
+        sharded dispatch) resolve the *ambient* backend/worker state, so
+        a simulator carrying an explicit config installs it around every
+        step; an all-default config skips the bookkeeping entirely.
+        """
+        config = self._config
+        if config.backend is None and config.workers is None:
+            return nullcontext()
+        return config.apply()
+
     def step(self) -> list[IntVec]:
         """Advance one slot; returns the sensors that transmitted."""
+        with self._applied():
+            return self._step()
+
+    def _step(self) -> list[IntVec]:
         time = self._time
         metrics = self.metrics
         n = self._n
@@ -292,33 +335,59 @@ class BroadcastSimulator:
         require_positive(slots, "slots")
         self._decision_horizon = self._time + slots
         try:
-            for _ in range(slots):
-                self.step()
+            with self._applied():
+                for _ in range(slots):
+                    self._step()
         finally:
             self._decision_horizon = None
         return self.metrics
 
 
-def simulate(network: Network, protocol: MACProtocol, slots: int,
+def _resolve_protocol(network: Network, protocol: MACProtocol | str,
+                      protocol_params: dict) -> MACProtocol:
+    if isinstance(protocol, str):
+        return make_protocol(protocol, positions=network.positions,
+                             **protocol_params)
+    if protocol_params:
+        raise TypeError(
+            f"protocol parameters {sorted(protocol_params)} are only "
+            f"accepted when the protocol is named by string")
+    return protocol
+
+
+def simulate(network: Network, protocol: MACProtocol | str, slots: int,
              packet_interval: int = 1,
              seed: int | None = None,
-             energy_model: EnergyModel = UNIT_TX_MODEL) -> SimulationMetrics:
-    """One-shot convenience wrapper around :class:`BroadcastSimulator`."""
-    simulator = BroadcastSimulator(network, protocol,
-                                   packet_interval=packet_interval,
-                                   seed=seed, energy_model=energy_model)
+             energy_model: EnergyModel = UNIT_TX_MODEL,
+             config: EngineConfig | None = None,
+             **protocol_params) -> SimulationMetrics:
+    """One-shot convenience wrapper around :class:`BroadcastSimulator`.
+
+    ``protocol`` may be a constructed :class:`MACProtocol` or a
+    registered name (``"aloha"``, ``"csma"``, ``"tdma"``, ...), in which
+    case extra keyword arguments parameterize it — e.g.
+    ``simulate(network, "aloha", slots=90, p=0.2)``.  ``config`` pins the
+    engine configuration for this run (backend, workers, decision
+    window); omitted, the ambient env-var-driven behavior is unchanged.
+    """
+    simulator = BroadcastSimulator(
+        network, _resolve_protocol(network, protocol, protocol_params),
+        packet_interval=packet_interval,
+        seed=seed, energy_model=energy_model, config=config)
     return simulator.run(slots)
 
 
-def compare_protocols(network: Network, protocols: list[MACProtocol],
+def compare_protocols(network: Network,
+                      protocols: list[MACProtocol | str],
                       slots: int, packet_interval: int = 1,
                       seed: int | None = None,
                       energy_model: EnergyModel = UNIT_TX_MODEL,
+                      config: EngineConfig | None = None,
                       ) -> list[SimulationMetrics]:
     """Run each protocol on the same network and traffic pattern."""
     return [
         simulate(network, protocol, slots,
                  packet_interval=packet_interval, seed=seed,
-                 energy_model=energy_model)
+                 energy_model=energy_model, config=config)
         for protocol in protocols
     ]

@@ -1,0 +1,490 @@
+"""repro.api: EngineConfig resolution, Session lifecycle, registry.
+
+Two contracts are pinned here:
+
+* configuration — explicit ``EngineConfig`` fields outrank the installed
+  default config, which outranks the env vars, which are resolved
+  *lazily* (mutating ``os.environ`` after import takes effect) and warn
+  at most once per malformed value;
+* lifecycle — every ``Session`` method is bit-identical to the legacy
+  entry point it wraps (the full equivalence matrix lives in
+  ``test_api_surface.py``; this file covers the stateful parts: caches,
+  edits, protocol resolution, save/load).
+"""
+
+import warnings
+
+import pytest
+
+import repro.engine.config as config_module
+import repro.engine.parallel as parallel_module
+from repro.api import EngineConfig, Session, use_config
+from repro.core.schedule import find_collisions
+from repro.engine.backend import active_backend, use_backend
+from repro.engine.config import default_config, set_default_config
+from repro.engine.parallel import shard_workers, use_workers
+from repro.net.protocols import (
+    CSMALike,
+    GlobalTDMA,
+    ScheduleMAC,
+    SlottedAloha,
+    make_protocol,
+    protocol_names,
+    register_protocol,
+)
+from repro.tiles.shapes import chebyshev_ball, directional_antenna
+from repro.utils.vectors import box_points
+
+WINDOW = ((-6, -6), (6, 6))
+
+
+@pytest.fixture
+def clean_engine(monkeypatch):
+    """No env vars, no default config: the built-in resolution only."""
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+    monkeypatch.delenv("REPRO_ENGINE_WORKERS", raising=False)
+    previous = config_module._default
+    set_default_config(None)
+    yield
+    set_default_config(previous)
+
+
+# ----------------------------------------------------------------------
+# EngineConfig
+# ----------------------------------------------------------------------
+class TestEngineConfig:
+    def test_frozen_and_validated(self):
+        config = EngineConfig(backend="python", workers=2)
+        with pytest.raises(AttributeError):
+            config.backend = "numpy"
+        for bad in (dict(backend="fortran"), dict(workers=0),
+                    dict(workers=1.5), dict(workers=True),
+                    dict(decision_window=0), dict(bulk_decisions="yes")):
+            with pytest.raises(ValueError):
+                EngineConfig(**bad)
+
+    def test_replace(self):
+        config = EngineConfig(backend="python")
+        bumped = config.replace(workers=4)
+        assert bumped == EngineConfig(backend="python", workers=4)
+        assert config.workers is None  # original untouched
+
+    def test_resolve_backend_explicit(self, clean_engine):
+        assert EngineConfig(backend="python").resolve_backend() == "python"
+
+    def test_resolve_backend_defers_to_ambient(self, clean_engine):
+        with use_backend("python"):
+            assert EngineConfig().resolve_backend() == "python"
+
+    def test_resolve_workers(self, clean_engine):
+        assert EngineConfig(workers=3).resolve_workers() == 3
+        assert EngineConfig().resolve_workers() == 1
+        # capped like set_workers
+        assert EngineConfig(workers=100000).resolve_workers() == 64
+
+    def test_from_env_snapshots(self, clean_engine, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "python")
+        monkeypatch.setenv("REPRO_ENGINE_WORKERS", "3")
+        config = EngineConfig.from_env()
+        assert config.backend == "python"
+        assert config.workers == 3
+
+    def test_apply_installs_fields(self, clean_engine):
+        with EngineConfig(backend="python", workers=2).apply():
+            assert active_backend() == "python"
+            assert shard_workers() == 2
+        assert shard_workers() == 1
+
+    def test_apply_degrades_numpy_request_without_numpy(self, clean_engine,
+                                                        monkeypatch):
+        import repro.engine.backend as backend_module
+        monkeypatch.setattr(backend_module, "numpy_available", lambda: False)
+        with EngineConfig(backend="numpy").apply():
+            assert active_backend() == "python"
+        assert EngineConfig(backend="numpy").resolve_backend() == "python"
+
+    def test_default_config_outranks_env(self, clean_engine, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "numpy")
+        monkeypatch.setenv("REPRO_ENGINE_WORKERS", "4")
+        with use_config(EngineConfig(backend="python", workers=2)):
+            assert active_backend() == "python"
+            assert shard_workers() == 2
+        assert active_backend() == "numpy"
+        assert shard_workers() == 4
+
+    def test_explicit_call_outranks_default_config(self, clean_engine):
+        with use_config(EngineConfig(backend="python", workers=2)):
+            with use_backend("numpy"), use_workers(3):
+                assert active_backend() == "numpy"
+                assert shard_workers() == 3
+
+    def test_set_default_config_type_checked(self):
+        with pytest.raises(TypeError):
+            set_default_config("python")
+        assert default_config() == default_config()
+
+    def test_default_config_drives_simulator_knobs(self, clean_engine):
+        from repro.net.model import Network
+        from repro.net.simulator import BroadcastSimulator
+        network = Network.homogeneous(
+            list(box_points((0, 0), (3, 3))), chebyshev_ball(1))
+        config = EngineConfig(bulk_decisions=False, decision_window=7)
+        with use_config(config):
+            defaulted = BroadcastSimulator(network, SlottedAloha(0.2),
+                                           seed=1)
+        assert defaulted._decision_window == 1  # scalar reference path
+        explicit = BroadcastSimulator(network, SlottedAloha(0.2), seed=1,
+                                      config=config)
+        bulk = BroadcastSimulator(network, SlottedAloha(0.2), seed=1)
+        assert defaulted.run(20) == explicit.run(20) == bulk.run(20)
+        windowed = BroadcastSimulator(
+            network, SlottedAloha(0.2), seed=1,
+            config=EngineConfig(decision_window=7))
+        assert windowed._decision_window == 7
+
+
+# ----------------------------------------------------------------------
+# Satellite: lazy env resolution, warn-once
+# ----------------------------------------------------------------------
+class TestLazyEnvResolution:
+    def test_workers_env_change_after_import(self, clean_engine,
+                                             monkeypatch):
+        assert shard_workers() == 1
+        monkeypatch.setenv("REPRO_ENGINE_WORKERS", "2")
+        assert shard_workers() == 2
+        monkeypatch.setenv("REPRO_ENGINE_WORKERS", "3")
+        assert shard_workers() == 3
+        monkeypatch.delenv("REPRO_ENGINE_WORKERS")
+        assert shard_workers() == 1
+
+    def test_backend_env_change_after_import(self, clean_engine,
+                                             monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "python")
+        assert active_backend() == "python"
+        monkeypatch.setenv("REPRO_ENGINE", "auto")
+        assert active_backend() in ("numpy", "python")
+
+    def test_malformed_workers_value_warns_once(self, clean_engine,
+                                                monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_WORKERS", "a-bad-count")
+        parallel_module._env_warned.discard("a-bad-count")
+        with pytest.warns(UserWarning, match="a-bad-count"):
+            assert shard_workers() == 1
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert shard_workers() == 1  # second resolution stays silent
+        parallel_module._env_warned.discard("a-bad-count")
+
+    def test_explicit_workers_override_env(self, clean_engine, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_WORKERS", "4")
+        with use_workers(1):
+            assert shard_workers() == 1
+        assert shard_workers() == 4
+
+
+class TestRandmacWorkersParam:
+    """The per-call ``workers=`` hook on the randmac block kernels."""
+
+    @staticmethod
+    def _rows(block):
+        return [[bool(cell) for cell in row] for row in block]
+
+    def test_workers_param_is_bit_identical(self, clean_engine,
+                                            monkeypatch):
+        import repro.engine.randmac as randmac_module
+        from repro.engine.randmac import (
+            bernoulli_block,
+            masked_bernoulli_block,
+            uniform_block,
+        )
+        from repro.utils.rng import StreamRNG
+        monkeypatch.setattr(randmac_module, "_MIN_PARALLEL_CELLS", 1)
+        rng = StreamRNG(7)
+        muted = [i % 3 == 0 for i in range(6)]
+        serial = bernoulli_block(rng, 6, 0, 4, 0.4, workers=1)
+        sharded = bernoulli_block(rng, 6, 0, 4, 0.4, workers=2)
+        assert self._rows(sharded) == self._rows(serial)
+        assert [list(map(float, row))
+                for row in uniform_block(rng, 6, 0, 4, workers=2)] == \
+            [list(map(float, row))
+             for row in uniform_block(rng, 6, 0, 4, workers=1)]
+        assert self._rows(
+            masked_bernoulli_block(rng, 6, 0, 4, 0.4, muted, workers=2)) \
+            == self._rows(
+                masked_bernoulli_block(rng, 6, 0, 4, 0.4, muted, workers=1))
+
+    def test_workers_param_overrides_ambient(self, clean_engine,
+                                             monkeypatch):
+        """workers=1 pins the serial path even with ambient workers on."""
+        import repro.engine.randmac as randmac_module
+        from repro.engine.randmac import bernoulli_block
+        from repro.utils.rng import StreamRNG
+
+        def fail_if_sharded(*args, **kwargs):  # pragma: no cover
+            raise AssertionError("workers=1 must not dispatch shards")
+
+        monkeypatch.setattr(randmac_module, "_MIN_PARALLEL_CELLS", 1)
+        monkeypatch.setattr(randmac_module, "run_sharded", fail_if_sharded)
+        with use_workers(4):
+            bernoulli_block(StreamRNG(1), 8, 0, 4, 0.3, workers=1)
+
+
+# ----------------------------------------------------------------------
+# Session lifecycle
+# ----------------------------------------------------------------------
+class TestSessionBasics:
+    def test_builders(self):
+        assert Session.for_chebyshev(1).num_slots == 9
+        assert Session.for_prototile(directional_antenna()).num_slots == 8
+        mapping = Session.for_mapping({(0, 0): 0, (1, 0): 1})
+        assert mapping.num_slots == 2
+        with pytest.raises(TypeError):
+            Session(Session.for_chebyshev(1).schedule, config="python")
+
+    def test_assign_matches_slot_of(self):
+        session = Session.for_chebyshev(1)
+        points = list(box_points((-5, -5), (5, 5)))
+        assignment = session.assign(points)
+        assert list(assignment.slots) == \
+            [session.schedule.slot_of(p) for p in points]
+        assert assignment.num_slots == 9
+        assert len(assignment) == len(points)
+        assert assignment.as_dict()[(0, 0)] == \
+            session.schedule.slot_of((0, 0))
+        assert assignment.slot_of((2, 3)) == \
+            session.schedule.slot_of((2, 3))
+        with pytest.raises(KeyError):
+            assignment.slot_of((99, 99))
+
+    def test_verify_report_and_cache(self):
+        session = Session.for_chebyshev(1, window=WINDOW)
+        first = session.verify()
+        assert first.collision_free and first.source == "scan"
+        assert first.checked_points == first.window_size == 169
+        second = session.verify()
+        assert second.source == "cache" and second.checked_points == 0
+        assert session.cache_stats == (1, 1)
+        fresh = session.verify(use_cache=False)
+        assert fresh.source == "scan"
+        assert fresh.collisions == first.collisions
+
+    def test_verify_needs_a_window(self):
+        with pytest.raises(ValueError, match="window"):
+            Session.for_chebyshev(1).verify()
+
+    def test_verify_with_explicit_offsets_coexists_with_warm_cache(self):
+        from repro.core.schedule import conflict_offsets
+        session = Session.for_chebyshev(1, window=WINDOW)
+        default = session.verify()
+        offsets = sorted(conflict_offsets([chebyshev_ball(1)]))
+        explicit = session.verify(offsets=offsets)
+        assert explicit.source == "scan"  # its own cache entry
+        assert session.verify(offsets=offsets).source == "cache"
+        assert session.verify().source == "cache"
+        assert explicit.collisions == default.collisions
+
+    def test_window_box_expansion_matches_box_points(self):
+        session = Session.for_chebyshev(1, window=WINDOW)
+        assert session.window == list(box_points(*WINDOW))
+
+    def test_mapping_domain_is_default_window(self):
+        points = list(box_points((0, 0), (4, 4)))
+        base = Session.for_chebyshev(1)
+        session = Session.for_mapping(
+            base.assign(points).as_dict(),
+            neighborhood_of=lambda p: chebyshev_ball(1).translate(p))
+        assert session.verify().window_size == 25
+
+    def test_repr(self):
+        text = repr(Session.for_chebyshev(1, window=WINDOW))
+        assert "TilingSchedule" in text and "slots=9" in text
+
+
+class TestSessionEdit:
+    @staticmethod
+    def _mapping_session():
+        points = list(box_points((0, 0), (7, 7)))
+        base = Session.for_chebyshev(1)
+        return points, Session.for_mapping(
+            base.assign(points).as_dict(),
+            neighborhood_of=lambda p: chebyshev_ball(1).translate(p),
+            window=points)
+
+    def test_edit_reverifies_incrementally(self):
+        points, session = self._mapping_session()
+        assert session.verify().collision_free
+        edited = session.edit({(3, 3): (session.schedule.slot_of((3, 3))
+                                        + 1) % 9})
+        report = edited.verify()
+        assert report.source == "delta"
+        assert report.checked_points == 1
+        # bit-identical to a from-scratch scan of the edited schedule
+        assert list(report.collisions) == find_collisions(
+            edited.schedule, points, session._neighborhood_of)
+        assert not report.collision_free
+        # the original session is untouched semantically
+        assert session.verify().collision_free
+
+    def test_edit_chain_matches_full_rescan(self):
+        points, session = self._mapping_session()
+        session.verify()
+        for step in range(4):
+            session = session.edit({(step, step): (5 * step + 1) % 9,
+                                    (6, step): (3 * step + 2) % 9})
+        assert list(session.verify().collisions) == find_collisions(
+            session.schedule, points, session._neighborhood_of)
+
+    def test_edit_requires_mapping_schedule(self):
+        with pytest.raises(TypeError, match="immutable"):
+            Session.for_chebyshev(1).edit({(0, 0): 1})
+
+    def test_delta_label_is_per_window(self):
+        """A window first verified after the edit never claims 'delta'."""
+        points, session = self._mapping_session()
+        session.verify()
+        edited = session.edit({(2, 2): (session.schedule.slot_of((2, 2))
+                                        + 1) % 9})
+        other = points[:16]
+        first = edited.verify(other)
+        assert first.source == "scan"
+        assert edited.verify(other).source == "cache"
+        # the edited window still reports its one delta, once
+        assert edited.verify().source == "delta"
+        assert edited.verify().source == "cache"
+
+
+class TestSessionSimulate:
+    def test_named_protocols_match_constructed(self):
+        session = Session.for_chebyshev(1, window=((0, 0), (5, 5)))
+        network = session.network()
+        for name, protocol in (
+                ("schedule", ScheduleMAC(session.schedule)),
+                ("tdma", GlobalTDMA(network.positions)),
+                ("aloha", SlottedAloha(0.2)),
+                ("csma", CSMALike(0.2))):
+            params = {"p": 0.2} if name in ("aloha", "csma") else {}
+            named = session.simulate(name, 36, seed=11, **params)
+            constructed = session.simulate(protocol, 36, seed=11)
+            assert named == constructed, name
+
+    def test_window_and_network_are_exclusive(self):
+        session = Session.for_chebyshev(1, window=((0, 0), (3, 3)))
+        with pytest.raises(ValueError, match="not both"):
+            session.simulate("aloha", 5, window=((0, 0), (2, 2)),
+                             network=session.network(), p=0.1)
+
+    def test_params_rejected_for_constructed_protocols(self):
+        session = Session.for_chebyshev(1, window=((0, 0), (3, 3)))
+        with pytest.raises(TypeError, match="only"):
+            session.simulate(SlottedAloha(0.1), 5, p=0.2)
+
+    def test_multi_tiling_network(self):
+        from repro.experiments.theorem_experiments import \
+            respectable_pair_tiling
+        session = Session.for_multi_tiling(respectable_pair_tiling(),
+                                           window=((0, 0), (7, 7)))
+        metrics = session.simulate("schedule", 24, seed=5)
+        assert metrics.failed_receptions == 0
+
+
+class TestSessionSaveLoad:
+    @pytest.mark.parametrize("build", [
+        lambda: Session.for_chebyshev(1),
+        lambda: Session.for_prototile(directional_antenna()),
+        lambda: Session.for_mapping({(0, 0): 0, (1, 0): 1, (0, 1): 2}),
+    ])
+    def test_round_trip(self, build):
+        session = build()
+        clone = Session.load(session.save())
+        points = list(box_points((0, 0), (3, 3))) \
+            if not hasattr(session.schedule, "points") \
+            else session.schedule.points
+        assert clone.assign(points).slots == session.assign(points).slots
+        assert clone.num_slots == session.num_slots
+
+    def test_file_round_trip(self, tmp_path):
+        session = Session.for_chebyshev(1, window=WINDOW)
+        target = tmp_path / "schedule.json"
+        text = session.save(target)
+        assert target.read_text() == text
+        clone = Session.load(target, window=WINDOW)
+        assert clone.verify().collisions == session.verify().collisions
+
+
+class TestSessionConfig:
+    def test_config_pins_backend_and_workers(self, clean_engine):
+        session = Session.for_chebyshev(
+            1, window=WINDOW, config=EngineConfig(backend="python",
+                                                  workers=2))
+        report = session.verify()
+        assert (report.backend, report.workers) == ("python", 2)
+        assert session.assign([(0, 0)]).backend == "python"
+        # ambient state is untouched outside the calls
+        assert shard_workers() == 1
+
+    def test_with_config(self, clean_engine):
+        session = Session.for_chebyshev(1, window=WINDOW)
+        python = session.with_config(EngineConfig(backend="python"))
+        assert python.schedule is session.schedule
+        assert python.verify().backend == "python"
+
+    def test_backends_agree_through_facade(self, clean_engine):
+        results = {}
+        for backend in ("numpy", "python"):
+            session = Session.for_prototile(
+                directional_antenna(), window=WINDOW,
+                config=EngineConfig(backend=backend))
+            results[backend] = (session.assign(session.window).slots,
+                                session.verify().collisions)
+        assert results["numpy"] == results["python"]
+
+
+# ----------------------------------------------------------------------
+# Protocol registry
+# ----------------------------------------------------------------------
+class TestProtocolRegistry:
+    def test_builtin_names(self):
+        names = protocol_names()
+        for name in ("aloha", "csma", "tdma", "schedule",
+                     "slotted-aloha", "csma-like", "global-tdma",
+                     "tiling-schedule"):
+            assert name in names
+
+    def test_make_protocol_normalizes_names(self):
+        assert isinstance(make_protocol(" ALOHA ", p=0.1), SlottedAloha)
+        assert isinstance(make_protocol("csma_like", p=0.1), CSMALike)
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(KeyError, match="aloha"):
+            make_protocol("nonesuch")
+
+    def test_context_requirements(self):
+        with pytest.raises(ValueError, match="positions"):
+            make_protocol("tdma")
+        with pytest.raises(ValueError, match="schedule"):
+            make_protocol("schedule")
+
+    def test_register_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_protocol("aloha", lambda context: None)
+
+    def test_register_custom(self):
+        name = "test-custom-proto"
+        try:
+            register_protocol(name,
+                              lambda context, p=0.5: SlottedAloha(p))
+            protocol = make_protocol(name, p=0.25)
+            assert isinstance(protocol, SlottedAloha)
+            assert protocol.p == 0.25
+        finally:
+            from repro.net import protocols as protocols_module
+            protocols_module._REGISTRY.pop(name, None)
+
+    def test_simulate_free_function_accepts_names(self):
+        from repro.net.simulator import simulate
+        session = Session.for_chebyshev(1, window=((0, 0), (4, 4)))
+        network = session.network()
+        named = simulate(network, "aloha", slots=18, seed=2, p=0.15)
+        constructed = simulate(network, SlottedAloha(0.15), slots=18,
+                               seed=2)
+        assert named == constructed
