@@ -12,18 +12,18 @@ import time
 
 import pytest
 
-from repro.api import EngineConfig, Session
+from repro.api import Box, EngineConfig, Session
 from repro.engine import numpy_available
 from repro.experiments.base import format_rows
 from repro.experiments.systems_experiments import run_collisions
 from repro.tiles.shapes import chebyshev_ball
 
 _TILE = chebyshev_ball(1)
-_SESSION = Session.for_prototile(_TILE, window=((0, 0), (9, 9)))
+_SESSION = Session.for_prototile(_TILE, window=Box((0, 0), (9, 9)))
 # Large-window verification workload: a radius-2 neighborhood (25 cells,
 # 80 candidate conflict offsets) over 316 x 316 = 99856 sensors.
 _BULK_SIDE = 316
-_BULK_WINDOW = ((0, 0), (_BULK_SIDE - 1, _BULK_SIDE - 1))
+_BULK_WINDOW = Box((0, 0), (_BULK_SIDE - 1, _BULK_SIDE - 1))
 
 
 def _bulk_session(config=None):
@@ -92,7 +92,7 @@ def test_bulk_collision_scan_speedup(report, benchmark):
 def test_simulate_bulk_network(benchmark):
     side = 100  # 10^4 sensors
     session = Session.for_prototile(_TILE,
-                                    window=((0, 0), (side - 1, side - 1)))
+                                    window=Box((0, 0), (side - 1, side - 1)))
     session.network()  # freeze the topology outside the timer
 
     def run():

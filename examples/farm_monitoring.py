@@ -17,12 +17,12 @@ report.
 Run:  python examples/farm_monitoring.py
 """
 
-from repro import Session
+from repro import Box, Session
 from repro.net.metrics import metrics_table
 from repro.tiles.shapes import directional_antenna
 from repro.viz.ascii_art import render_schedule
 
-FIELD = ((0, 0), (11, 11))
+FIELD = Box((0, 0), (11, 11))
 ROUNDS = 40
 
 

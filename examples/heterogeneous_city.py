@@ -14,7 +14,7 @@ optimum jump from 4 to 6 slots, computed exactly.
 Run:  python examples/heterogeneous_city.py
 """
 
-from repro import Session
+from repro import Box, Session
 from repro.core.optimality import minimum_slots
 from repro.lattice.sublattice import diagonal_sublattice
 from repro.net.metrics import metrics_table
@@ -38,7 +38,7 @@ def respectable_city() -> MultiTiling:
 def main() -> None:
     # ----- Respectable case: Theorem 2 applies with m = |N1|. -----
     city = respectable_city()
-    session = Session.for_multi_tiling(city, window=((-6, -6), (6, 6)))
+    session = Session.for_multi_tiling(city, window=Box((-6, -6), (6, 6)))
     print("Respectable deployment (2x2 contains 1x2):")
     print(render_multi_tiling(city, (0, 0), (7, 5)))
     print(f"\nTheorem 2 slots: {session.num_slots} (= |N1|, optimal)")
@@ -50,7 +50,7 @@ def main() -> None:
           f"({report.window_size} sensors).")
 
     metrics = session.simulate("schedule", slots=20 * session.num_slots,
-                               window=((0, 0), (9, 9)), seed=9,
+                               window=Box((0, 0), (9, 9)), seed=9,
                                name="thm2-schedule")
     print()
     print(metrics_table([metrics]))

@@ -10,14 +10,14 @@ and verify collision-freeness.
 Run:  python examples/quickstart.py
 """
 
-from repro import Session
+from repro import Box, Session
 from repro.viz.ascii_art import render_prototile, render_schedule
 
 
 def main() -> None:
     # 1. One call: find a tiling of the lattice by the 3x3 neighborhood
     #    N and wrap the deterministic periodic schedule it induces.
-    session = Session.for_chebyshev(1, window=((-10, -10), (10, 10)))
+    session = Session.for_chebyshev(1, window=Box((-10, -10), (10, 10)))
     neighborhood = session.schedule.prototile
     print("Neighborhood N (O = the sensor itself):")
     print(render_prototile(neighborhood))

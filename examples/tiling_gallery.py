@@ -9,7 +9,7 @@ its schedule for each exact shape.
 Run:  python examples/tiling_gallery.py
 """
 
-from repro import Session
+from repro import Box, Session
 from repro.tiles.bn import find_bn_factorization
 from repro.tiles.boundary import boundary_word
 from repro.tiles.exactness import find_sublattice_tiling
@@ -50,7 +50,7 @@ def main() -> None:
                   "(graph-coloring fallback needed)")
             continue
         session = Session.for_tiling(LatticeTiling(tile, sublattice),
-                                     window=((-4, -4), (9, 5)))
+                                     window=Box((-4, -4), (9, 5)))
         assert session.verify().collision_free
         print(f"-> tiling by {sublattice.basis}, optimal schedule "
               f"m = {session.num_slots} (verified collision-free):")

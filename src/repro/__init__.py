@@ -6,11 +6,11 @@ points, derived from lattice tilings.
 
 Quickstart (the typed facade)::
 
-    from repro import EngineConfig, Session
+    from repro import Box, EngineConfig, Session
 
     session = Session.for_chebyshev(1)             # 3x3 neighborhood
     session.assign([(10, 7)]).slots                # -> [slot in 0..8]
-    report = session.verify(window=((-10, -10), (10, 10)))
+    report = session.verify(window=Box((-10, -10), (10, 10)))
     assert report.collision_free
     session.simulate("aloha", slots=90, p=0.2)     # SimulationMetrics
 
@@ -43,6 +43,7 @@ from __future__ import annotations
 __version__ = "1.1.0"
 
 from repro.api import (
+    Box,
     EngineConfig,
     Session,
     SlotAssignment,
@@ -72,6 +73,7 @@ def schedule_for(chebyshev_radius: int = 1, dimension: int = 2):
 
 
 __all__ = [
+    "Box",
     "EngineConfig",
     "Session",
     "SlotAssignment",

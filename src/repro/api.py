@@ -12,9 +12,9 @@ process-global knobs (which keep working as lazy fallbacks).
 
 Quickstart::
 
-    from repro.api import EngineConfig, Session
+    from repro.api import Box, EngineConfig, Session
 
-    session = Session.for_chebyshev(1, window=((-10, -10), (10, 10)),
+    session = Session.for_chebyshev(1, window=Box((-10, -10), (10, 10)),
                                     config=EngineConfig(workers=4))
     assignment = session.assign([(0, 0), (10, 7)])   # SlotAssignment
     report = session.verify()                        # VerificationReport
@@ -35,7 +35,7 @@ import os
 from collections.abc import Iterable, Iterator, Mapping, Sequence
 from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, NamedTuple
 
 from repro.core.schedule import (
     Collision,
@@ -76,6 +76,7 @@ from repro.utils.validation import require
 from repro.utils.vectors import IntVec, as_intvec, box_points
 
 __all__ = [
+    "Box",
     "EngineConfig",
     "Session",
     "SlotAssignment",
@@ -90,24 +91,65 @@ __all__ = [
 
 NeighborhoodFn = Callable[[IntVec], frozenset[IntVec]]
 
-#: Window specifications accepted by Session: a sequence of points, or a
-#: ``(lo, hi)`` box pair expanded via box_points.
+
+class Box(NamedTuple):
+    """Explicit box-shaped window spec: the closed ``[lo, hi]`` corner pair.
+
+    ``Box((-10, -10), (10, 10))`` expands to every lattice point of the
+    box (inclusive on both corners).  The marker exists so a box is
+    never confused with a literal two-point window: any plain iterable
+    passed as ``window=`` is taken as the points themselves, only a
+    ``Box`` is expanded.
+    """
+
+    lo: tuple[int, ...]
+    hi: tuple[int, ...]
+
+    def points(self) -> list[IntVec]:
+        """Every lattice point of the box, in box_points order.
+
+        Raises:
+            ValueError: when the corners have different dimensions or
+                are swapped (``lo > hi`` on some axis) — an empty box
+                is always a caller mistake, never a window.
+        """
+        lo, hi = as_intvec(self.lo), as_intvec(self.hi)
+        if len(lo) != len(hi) or any(l > h for l, h in zip(lo, hi)):
+            raise ValueError(
+                f"Box corners must satisfy lo <= hi per dimension; got "
+                f"lo={lo}, hi={hi}")
+        return list(box_points(lo, hi))
+
+
+#: Window specifications accepted by Session: an iterable of points
+#: (taken literally), or a :class:`Box` expanded to the full integer
+#: box.  The pre-Box corner-pair form — a bare 2-tuple of coordinate
+#: tuples — is rejected loudly rather than silently re-read as two
+#: points.
 WindowLike = Any
 
 
 def _as_window(window: WindowLike) -> list[IntVec]:
     """Normalize a window spec to a point list.
 
-    Accepts an iterable of points, or a 2-element ``(lo, hi)`` pair of
-    corner vectors which is expanded to the full integer box.
+    A :class:`Box` expands to the full integer box; every other
+    iterable is treated as the points themselves.  The one exception is
+    the legacy corner-pair spelling (a bare 2-tuple of int sequences),
+    which used to mean a box: silently verifying just its two corner
+    points would make old callers' reports vacuously collision-free, so
+    it raises instead — pass ``Box(lo, hi)``, or a list for two
+    literal points.
     """
+    if isinstance(window, Box):
+        return window.points()
     if (isinstance(window, tuple) and len(window) == 2
-            and isinstance(window[0], (tuple, list))
-            and window[1] is not None
-            and isinstance(window[1], (tuple, list))
-            and all(isinstance(c, int) for c in window[0])
-            and all(isinstance(c, int) for c in window[1])):
-        return list(box_points(window[0], window[1]))
+            and all(isinstance(corner, (tuple, list)) and corner
+                    and all(isinstance(c, int) for c in corner)
+                    for corner in window)):
+        raise TypeError(
+            f"ambiguous window {window!r}: a bare corner-pair tuple "
+            f"used to mean a box — pass Box{window!r} for the box, or "
+            f"a list {list(window)!r} for two literal points")
     return [as_intvec(p) for p in window]
 
 
@@ -168,8 +210,8 @@ class VerificationReport:
             after an :meth:`Session.edit`), or ``"cache"`` (returned from
             the warm cache without rescanning).
         checked_points: sensors actually (re)scanned for this answer:
-            the window for a scan, the dirty set for a delta, 0 for a
-            cache hit.
+            the window for a scan, the changed points that fall inside
+            this window for a delta, 0 for a cache hit.
         cache_hits: session-lifetime count of cache-served verifies.
         cache_misses: session-lifetime count of full scans.
         backend: engine backend in effect for the request.
@@ -210,11 +252,12 @@ class Session:
     Args:
         schedule: any :class:`~repro.core.schedule.Schedule`.
         config: engine configuration for this session's requests.
-        window: default verification window — a point iterable or a
-            ``(lo, hi)`` corner pair.  Omitted, a
+        window: default verification window — a point iterable (taken
+            literally) or a :class:`Box`.  Omitted, a
             :class:`~repro.core.schedule.MappingSchedule`'s finite
-            domain is used; infinite schedules then require an explicit
-            window per :meth:`verify` call.
+            domain is used (re-derived after every :meth:`edit`, so
+            added points are covered); infinite schedules then require
+            an explicit window per :meth:`verify` call.
         neighborhood_of: interference map used for verification and
             network construction; defaults to the schedule's own
             ``neighborhood_of`` when it has one (Theorem 1/2 schedules).
@@ -236,6 +279,11 @@ class Session:
         self._schedule = schedule
         self._config = config
         self._window = None if window is None else _as_window(window)
+        #: True when the window was passed in by the caller; a window
+        #: lazily derived from the schedule's domain stays False and is
+        #: never transferred by edit()/with_config() — the new session
+        #: re-derives it from its own schedule.
+        self._window_explicit = window is not None
         if neighborhood_of is None:
             neighborhood_of = getattr(schedule, "neighborhood_of", None)
         self._neighborhood_of = neighborhood_of
@@ -244,9 +292,10 @@ class Session:
         self._networks: dict[tuple[IntVec, ...], Network] = {}
         self._cache_hits = 0
         self._cache_misses = 0
-        #: Per-cache-key dirty-set size of the edit that produced this
-        #: session; the first cache-served verify of such a window
-        #: reports it as the incremental re-verification cost.
+        #: Per-cache-key count of the edited points inside that window
+        #: (keys the edit never touched are absent); the first
+        #: cache-served verify of such a window reports the count as
+        #: its incremental re-verification cost.
         self._pending_delta: dict[tuple, int] = {}
 
     # -- builders ------------------------------------------------------
@@ -329,7 +378,8 @@ class Session:
 
     def with_config(self, config: EngineConfig | None) -> Session:
         """The same schedule and window under a different config."""
-        session = Session(self._schedule, config=config, window=self._window,
+        session = Session(self._schedule, config=config,
+                          window=self._transferable_window(),
                           neighborhood_of=self._neighborhood_of,
                           offsets=self._offsets)
         return session
@@ -360,8 +410,19 @@ class Session:
             return self._window
         raise ValueError(
             "this session has no default window; pass window= (a point "
-            "iterable or a (lo, hi) corner pair) to the call or the "
-            "Session constructor")
+            "iterable or a Box(lo, hi)) to the call or the Session "
+            "constructor")
+
+    def _transferable_window(self) -> list[IntVec] | None:
+        """The window a derived session may inherit.
+
+        Only a caller-supplied window transfers; one lazily derived
+        from the schedule's domain returns ``None`` so the derived
+        session re-derives it from *its* schedule — after an edit that
+        adds points, the default window must grow with the domain or
+        the new sensors would silently escape verification.
+        """
+        return self._window if self._window_explicit else None
 
     def _require_neighborhood(self) -> NeighborhoodFn:
         if self._neighborhood_of is None:
@@ -465,6 +526,12 @@ class Session:
         the warm caches (the old session rebuilds from scratch if
         verified again).  The receiver is left semantically untouched.
 
+        A default window that was lazily derived from the schedule's
+        domain is re-derived by the new session, so an edit that *adds*
+        points grows the default verification window with the domain; a
+        caller-supplied window is kept as pinned (verification of the
+        added points then needs an explicit window).
+
         Raises:
             TypeError: when the schedule type does not support edits
                 (only mapping-backed schedules do).
@@ -477,7 +544,7 @@ class Session:
                 f"schedule to a window first (Session.for_mapping)")
         delta: ScheduleDelta = with_updates(updates)
         session = Session(delta.schedule, config=self._config,
-                          window=self._window,
+                          window=self._transferable_window(),
                           neighborhood_of=self._neighborhood_of,
                           offsets=self._offsets)
         with session._applied():
@@ -485,11 +552,22 @@ class Session:
                 cache.apply(delta)
         session._caches = self._caches
         self._caches = {}
-        session._networks = self._networks
+        session._networks = dict(self._networks)
         session._cache_hits = self._cache_hits
         session._cache_misses = self._cache_misses
-        session._pending_delta = {key: len(delta.changed)
-                                  for key in session._caches}
+        # Each cache only rescanned the changed points inside its own
+        # window; per key, add that count to any cost still unreported
+        # from earlier edits (the pending counts travel with the caches
+        # they describe — the receiver keeps neither).  A window the
+        # chain never touched gets no entry: its next verify is a plain
+        # cache hit, nothing was re-checked.
+        session._pending_delta = self._pending_delta
+        self._pending_delta = {}
+        for key, cache in session._caches.items():
+            inside = len(cache.touched_in_window(delta.changed))
+            if inside:
+                session._pending_delta[key] = \
+                    session._pending_delta.get(key, 0) + inside
         return session
 
     # -- lifecycle: simulate -------------------------------------------

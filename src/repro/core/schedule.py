@@ -576,6 +576,20 @@ class VerificationCache:
         """The schedule whose collisions the cache currently holds."""
         return self._schedule
 
+    def __contains__(self, point: object) -> bool:
+        """True when ``point`` is part of the verified window."""
+        return point in self._index_of
+
+    def touched_in_window(self, changed: Iterable[IntVec]) -> list[IntVec]:
+        """The subset of ``changed`` that :meth:`apply` would rescan.
+
+        The single definition of the rescan criterion: callers
+        accounting for incremental re-verification cost (how many
+        points a delta actually touched in this window) share it with
+        :meth:`apply` instead of re-deriving membership.
+        """
+        return [p for p in changed if p in self._index_of]
+
     def collisions(self) -> list[Collision]:
         """Colliding pairs of the tracked schedule over the window.
 
@@ -608,7 +622,7 @@ class VerificationCache:
         self._schedule = delta.schedule
         if self._collisions is None:
             return self.collisions()
-        touched = [p for p in delta.changed if p in self._index_of]
+        touched = self.touched_in_window(delta.changed)
         if touched:
             assert self._slots is not None
             for point, slot in zip(touched,

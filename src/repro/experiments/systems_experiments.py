@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import time
 
-from repro.api import Session
+from repro.api import Box, Session
 from repro.experiments.base import ExperimentResult
 from repro.graphs.coloring import dsatur_coloring, greedy_coloring
 from repro.graphs.interference import conflict_graph_homogeneous
@@ -48,7 +48,7 @@ __all__ = ["run_collisions", "run_randmac", "run_scaling", "run_mobile",
 
 def run_collisions(slots: int = 270, seed: int = 7) -> ExperimentResult:
     """Protocol comparison on a 10x10 grid with the 3x3 neighborhood."""
-    session = Session.for_chebyshev(1, window=((0, 0), (9, 9)))
+    session = Session.for_chebyshev(1, window=Box((0, 0), (9, 9)))
     results = [
         session.simulate(protocol, slots, seed=seed, p=0.1)
         if protocol in ("aloha", "csma")
@@ -86,7 +86,7 @@ def run_randmac(p_values: tuple[float, ...] = (0.05, 0.15, 0.3),
     reproducible from its seed alone, and the vectorized decision path
     keeps the whole sweep cheap enough to live in the tier-1 suite.
     """
-    session = Session.for_chebyshev(1, window=((0, 0), (7, 7)))
+    session = Session.for_chebyshev(1, window=Box((0, 0), (7, 7)))
     points = session.window
     rows = []
     mean_collisions: dict[tuple[str, float], float] = {}

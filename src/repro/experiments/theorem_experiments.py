@@ -11,7 +11,7 @@
 
 from __future__ import annotations
 
-from repro.api import Session
+from repro.api import Box, Session
 from repro.core.optimality import minimum_slots, minimum_slots_region
 from repro.core.restriction import restriction_report
 from repro.core.theorem2 import respectable_optimal_slots
@@ -86,7 +86,7 @@ def run_thm2() -> ExperimentResult:
     """Theorem 2 on a respectable two-prototile tiling."""
     multi = respectable_pair_tiling()
     session = Session.for_multi_tiling(multi,
-                                       window=((-8, -8), (8, 8)))
+                                       window=Box((-8, -8), (8, 8)))
     collision_free = session.verify().collision_free
     optimum, _ = minimum_slots(multi)
     expected = respectable_optimal_slots(multi)

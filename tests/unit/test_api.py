@@ -18,7 +18,7 @@ import pytest
 
 import repro.engine.config as config_module
 import repro.engine.parallel as parallel_module
-from repro.api import EngineConfig, Session, use_config
+from repro.api import Box, EngineConfig, Session, use_config
 from repro.core.schedule import find_collisions
 from repro.engine.backend import active_backend, use_backend
 from repro.engine.config import default_config, set_default_config
@@ -35,7 +35,7 @@ from repro.net.protocols import (
 from repro.tiles.shapes import chebyshev_ball, directional_antenna
 from repro.utils.vectors import box_points
 
-WINDOW = ((-6, -6), (6, 6))
+WINDOW = Box((-6, -6), (6, 6))
 
 
 @pytest.fixture
@@ -287,6 +287,24 @@ class TestSessionBasics:
         session = Session.for_chebyshev(1, window=WINDOW)
         assert session.window == list(box_points(*WINDOW))
 
+    def test_only_box_marker_expands(self):
+        """Plain iterables are points; the legacy 2-tuple form is loud."""
+        session = Session.for_chebyshev(1)
+        assert session.verify([(0, 0), (3, 3)]).window_size == 2
+        assert session.verify(Box((0, 0), (3, 3))).window_size == 16
+        assert Box((0, 0), (3, 3)).points() == \
+            list(box_points((0, 0), (3, 3)))
+        # the pre-Box corner-pair spelling must fail, never silently
+        # shrink to its two corner points
+        with pytest.raises(TypeError, match="Box"):
+            session.verify(((0, 0), (3, 3)))
+
+    def test_box_rejects_swapped_or_mismatched_corners(self):
+        session = Session.for_chebyshev(1)
+        for bad in (Box((3, 3), (0, 0)), Box((0, 0), (3, 3, 3))):
+            with pytest.raises(ValueError, match="lo <= hi"):
+                session.verify(bad)
+
     def test_mapping_domain_is_default_window(self):
         points = list(box_points((0, 0), (4, 4)))
         base = Session.for_chebyshev(1)
@@ -352,10 +370,128 @@ class TestSessionEdit:
         assert edited.verify().source == "delta"
         assert edited.verify().source == "cache"
 
+    def test_delta_checked_points_counted_per_window(self):
+        """checked_points is the changed points *inside* that window."""
+        points, session = self._mapping_session()
+        small = points[:16]              # excludes (7, 7)
+        session.verify()
+        session.verify(small)
+        edited = session.edit({
+            (0, 0): (session.schedule.slot_of((0, 0)) + 1) % 9,
+            (7, 7): (session.schedule.slot_of((7, 7)) + 1) % 9})
+        small_report = edited.verify(small)
+        assert small_report.source == "delta"
+        assert small_report.checked_points == 1  # only (0, 0) is inside
+        full_report = edited.verify()
+        assert full_report.source == "delta"
+        assert full_report.checked_points == 2
+
+    def test_window_untouched_by_edit_reports_cache(self):
+        """An edit entirely outside a warm window rescans nothing there."""
+        points, session = self._mapping_session()
+        small = points[:16]
+        session.verify(small)
+        edited = session.edit({(7, 7): (session.schedule.slot_of((7, 7))
+                                        + 1) % 9})
+        report = edited.verify(small)
+        assert report.source == "cache"
+        assert report.checked_points == 0
+        assert list(report.collisions) == find_collisions(
+            edited.schedule, small, session._neighborhood_of)
+
+    def test_receiver_keeps_no_stale_delta_accounting(self):
+        """Once its caches are stolen, the old session's reports are clean."""
+        points, session = self._mapping_session()
+        session.verify()
+        middle = session.edit({(3, 3): (session.schedule.slot_of((3, 3))
+                                        + 1) % 9})
+        middle.edit({(4, 4): 0})      # steals middle's caches and accounting
+        assert middle.verify().source == "scan"
+        follow = middle.verify()      # pure cache hit, never "delta"
+        assert follow.source == "cache"
+        assert follow.checked_points == 0
+
+    def test_chained_edits_accumulate_unreported_counts(self):
+        """Rescans from every not-yet-reported edit sum up per window."""
+        points, session = self._mapping_session()
+        small = points[:16]           # holds (0, 0), excludes (7, 7)
+        session.verify()
+        session.verify(small)
+        chained = session.edit(
+            {(0, 0): (session.schedule.slot_of((0, 0)) + 1) % 9}).edit(
+            {(7, 7): (session.schedule.slot_of((7, 7)) + 1) % 9})
+        full_report = chained.verify()
+        assert full_report.source == "delta"
+        assert full_report.checked_points == 2    # both edits, summed
+        small_report = chained.verify(small)
+        assert small_report.source == "delta"
+        assert small_report.checked_points == 1   # second edit fell outside
+
+    def test_networks_are_not_shared_across_edit(self):
+        points, session = self._mapping_session()
+        session.network()
+        edited = session.edit({(3, 3): (session.schedule.slot_of((3, 3))
+                                        + 1) % 9})
+        assert edited._networks is not session._networks
+        assert edited._networks == session._networks
+
+
+class TestSessionEditAddsPoints:
+    """Edits that grow the domain must not escape verification."""
+
+    @staticmethod
+    def _session(assignment, **kwargs):
+        return Session.for_mapping(
+            assignment,
+            neighborhood_of=lambda p: chebyshev_ball(1).translate(p),
+            **kwargs)
+
+    def test_added_colliding_point_is_found(self):
+        session = self._session({(0, 0): 0, (10, 10): 0})
+        assert session.verify().collision_free
+        edited = session.edit({(1, 1): 0})   # adjacent to (0, 0), same slot
+        report = edited.verify()
+        assert report.window_size == 3       # default window grew
+        assert report.source == "scan"       # fresh window, honest cost
+        assert list(report.collisions) == [((0, 0), (1, 1))]
+        fresh = self._session(dict.fromkeys([(0, 0), (1, 1), (10, 10)], 0))
+        assert list(report.collisions) == list(fresh.verify().collisions)
+
+    def test_added_point_result_is_order_independent(self):
+        """Same answer whether the parent verified before the edit or not."""
+        results = []
+        for verify_first in (False, True):
+            session = self._session({(0, 0): 0, (10, 10): 0})
+            if verify_first:
+                session.verify()
+            results.append(
+                list(session.edit({(1, 1): 0}).verify().collisions))
+        assert results[0] == results[1] == [((0, 0), (1, 1))]
+
+    def test_explicit_window_stays_pinned(self):
+        """A caller-supplied window is kept verbatim across edits."""
+        session = self._session({(0, 0): 0, (10, 10): 0},
+                                window=[(0, 0), (10, 10)])
+        session.verify()
+        edited = session.edit({(1, 1): 0})
+        report = edited.verify()             # the pinned two-point window
+        assert report.window_size == 2
+        assert report.collision_free
+        # the grown domain is still verifiable explicitly
+        assert not edited.verify(edited.schedule.points).collision_free
+
+    def test_with_config_preserves_derived_window_semantics(self):
+        """with_config() must not freeze a lazily-derived window either."""
+        session = self._session({(0, 0): 0, (10, 10): 0})
+        session.verify()                     # derives the domain window
+        rewrapped = session.with_config(EngineConfig(backend="python"))
+        report = rewrapped.edit({(1, 1): 0}).verify()
+        assert list(report.collisions) == [((0, 0), (1, 1))]
+
 
 class TestSessionSimulate:
     def test_named_protocols_match_constructed(self):
-        session = Session.for_chebyshev(1, window=((0, 0), (5, 5)))
+        session = Session.for_chebyshev(1, window=Box((0, 0), (5, 5)))
         network = session.network()
         for name, protocol in (
                 ("schedule", ScheduleMAC(session.schedule)),
@@ -368,13 +504,13 @@ class TestSessionSimulate:
             assert named == constructed, name
 
     def test_window_and_network_are_exclusive(self):
-        session = Session.for_chebyshev(1, window=((0, 0), (3, 3)))
+        session = Session.for_chebyshev(1, window=Box((0, 0), (3, 3)))
         with pytest.raises(ValueError, match="not both"):
-            session.simulate("aloha", 5, window=((0, 0), (2, 2)),
+            session.simulate("aloha", 5, window=Box((0, 0), (2, 2)),
                              network=session.network(), p=0.1)
 
     def test_params_rejected_for_constructed_protocols(self):
-        session = Session.for_chebyshev(1, window=((0, 0), (3, 3)))
+        session = Session.for_chebyshev(1, window=Box((0, 0), (3, 3)))
         with pytest.raises(TypeError, match="only"):
             session.simulate(SlottedAloha(0.1), 5, p=0.2)
 
@@ -382,7 +518,7 @@ class TestSessionSimulate:
         from repro.experiments.theorem_experiments import \
             respectable_pair_tiling
         session = Session.for_multi_tiling(respectable_pair_tiling(),
-                                           window=((0, 0), (7, 7)))
+                                           window=Box((0, 0), (7, 7)))
         metrics = session.simulate("schedule", 24, seed=5)
         assert metrics.failed_receptions == 0
 
@@ -482,7 +618,7 @@ class TestProtocolRegistry:
 
     def test_simulate_free_function_accepts_names(self):
         from repro.net.simulator import simulate
-        session = Session.for_chebyshev(1, window=((0, 0), (4, 4)))
+        session = Session.for_chebyshev(1, window=Box((0, 0), (4, 4)))
         network = session.network()
         named = simulate(network, "aloha", slots=18, seed=2, p=0.15)
         constructed = simulate(network, SlottedAloha(0.15), slots=18,

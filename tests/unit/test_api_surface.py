@@ -16,7 +16,7 @@ import pytest
 
 import repro
 import repro.api
-from repro.api import EngineConfig, Session
+from repro.api import Box, EngineConfig, Session
 from repro.core.schedule import find_collisions, verify_collision_free
 from repro.core.serialize import schedule_from_json, schedule_to_json
 from repro.core.theorem1 import schedule_from_prototile
@@ -30,7 +30,8 @@ from repro.utils.vectors import box_points
 # Snapshots: the exact exported names.  Update deliberately.
 # ----------------------------------------------------------------------
 REPRO_EXPORTS = frozenset({
-    "EngineConfig", "Session", "SlotAssignment", "VerificationReport",
+    "Box", "EngineConfig", "Session", "SlotAssignment",
+    "VerificationReport",
     "Prototile", "chebyshev_ball", "default_config", "directional_antenna",
     "find_collisions", "make_protocol", "plus_pentomino", "protocol_names",
     "register_protocol", "schedule_for", "set_default_config", "simulate",
@@ -38,7 +39,8 @@ REPRO_EXPORTS = frozenset({
 })
 
 API_EXPORTS = frozenset({
-    "EngineConfig", "Session", "SlotAssignment", "VerificationReport",
+    "Box", "EngineConfig", "Session", "SlotAssignment",
+    "VerificationReport",
     "default_config", "set_default_config", "use_config",
     "make_protocol", "protocol_names", "register_protocol",
 })
@@ -183,7 +185,7 @@ def test_save_load_equivalence():
 def test_default_path_is_deprecation_warning_free():
     """The whole lifecycle on defaults: no DeprecationWarning anywhere."""
     with _forbid_deprecation():
-        session = Session.for_chebyshev(1, window=((0, 0), (5, 5)))
+        session = Session.for_chebyshev(1, window=Box((0, 0), (5, 5)))
         session.assign([(0, 0), (3, 2)])
         session.verify()
         session.simulate("aloha", 9, seed=1, p=0.1)
