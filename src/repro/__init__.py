@@ -36,6 +36,8 @@ Package layout:
   semantics, MAC protocols and the name registry
 * :mod:`repro.viz` — ASCII and SVG rendering of the paper's figures
 * :mod:`repro.experiments` — per-figure reproduction harness
+* :mod:`repro.scenarios` — deterministic scenario generation plus the
+  differential oracle cross-checking every engine path
 """
 
 from __future__ import annotations

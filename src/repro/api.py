@@ -376,6 +376,17 @@ class Session:
         """Session-lifetime verification ``(cache_hits, cache_misses)``."""
         return self._cache_hits, self._cache_misses
 
+    @property
+    def neighborhood_of(self) -> NeighborhoodFn | None:
+        """The interference model requests run under, if any.
+
+        The model is session state, not schedule state — ``save()``
+        does not serialize it — so callers reloading a mapping-backed
+        schedule pass this to :meth:`load` to restore verification:
+        ``Session.load(text, neighborhood_of=old.neighborhood_of)``.
+        """
+        return self._neighborhood_of
+
     def with_config(self, config: EngineConfig | None) -> Session:
         """The same schedule and window under a different config."""
         session = Session(self._schedule, config=config,
@@ -569,6 +580,25 @@ class Session:
                 session._pending_delta[key] = \
                     session._pending_delta.get(key, 0) + inside
         return session
+
+    def restrict(self, window: WindowLike | None = None) -> Session:
+        """An editable mapping-backed session over a finite window.
+
+        Freezes this schedule's slots over the window into an explicit
+        :class:`~repro.core.schedule.MappingSchedule` — the form that
+        supports :meth:`edit` — while keeping this session's
+        interference model, conflict offsets and config, so a verify of
+        the same window answers identically.  Theorem 1/2 sessions are
+        immutable; churn workloads restrict first, then edit.
+        """
+        window_list = self._window_list(window)
+        slots = self.assign(window_list).slots
+        assignment = {point: int(slot)
+                      for point, slot in zip(window_list, slots)}
+        return Session(MappingSchedule(assignment), config=self._config,
+                       window=window_list,
+                       neighborhood_of=self._neighborhood_of,
+                       offsets=self._offsets)
 
     # -- lifecycle: simulate -------------------------------------------
     def network(self, window: WindowLike | None = None) -> Network:

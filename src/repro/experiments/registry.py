@@ -16,6 +16,7 @@ from repro.experiments.related_work_experiments import (
     run_dimensions,
     run_heuristics,
 )
+from repro.experiments.scenario_experiments import run_scenarios
 from repro.experiments.systems_experiments import (
     run_collisions,
     run_exactness,
@@ -47,6 +48,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "exactness": run_exactness,
     "heuristics": run_heuristics,
     "dimensions": run_dimensions,
+    "scenarios": run_scenarios,
 }
 
 

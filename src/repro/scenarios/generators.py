@@ -1,0 +1,352 @@
+"""Scenario generator families: specs as pure functions of (family, seed, index).
+
+Every family is a registered builder ``build(seed, index) ->
+ScenarioSpec``.  All randomness flows through the counter-based
+:class:`repro.utils.rng.StreamRNG` with streams keyed by *field name*
+(:func:`repro.utils.rng.label_stream`), so a spec depends on nothing but
+its ``(family, seed, index)`` coordinates — not on how many specs were
+generated before it, in which order, or in which process.  That is what
+makes any corpus member re-runnable standalone from the triple the CLI
+prints.
+
+The five families map the scenario space the ROADMAP asks for:
+
+* ``grid_sweep`` — every exact gallery prototile (plus Chebyshev balls
+  in 1-D/2-D/3-D) over varying windows: the bread-and-butter Theorem 1
+  coverage sweep;
+* ``heterogeneous_mix`` — Theorem 2 multi-prototile column tilings with
+  randomly failed sensors and mixed MAC simulation: heterogeneous
+  durations/shapes in one deployment;
+* ``churn`` — repeated random slot-reassignment scripts over a
+  restricted window: the incremental-verification workload;
+* ``mobile`` — the whole window drifting between verification rounds:
+  fleet mobility at lattice granularity (translation invariance is the
+  checked paper property);
+* ``adversarial_edits`` — edits chosen *knowing the schedule* to force
+  a specific collision pair (or to revert and restore cleanliness), so
+  the oracle can assert exact outcomes, not just agreement.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.scenarios.spec import ScenarioSpec
+from repro.tiles.shapes import GALLERY
+from repro.utils.rng import StreamRNG, label_stream
+from repro.utils.vectors import IntVec, box_points, vadd
+
+__all__ = [
+    "FAMILIES",
+    "ScenarioFamily",
+    "scenario_family",
+    "family_names",
+    "generate",
+    "generate_corpus",
+    "iter_corpus",
+    "EXACT_TILES",
+]
+
+#: Gallery prototiles that are exact (admit a tiling) — the U-pentomino
+#: is deliberately absent, Theorem 1 does not apply to it.
+EXACT_TILES = ("chebyshev-1", "plus", "antenna", "domino", "rect-2x3",
+               "I", "O", "S", "Z", "L", "T")
+
+#: Tiles cheap enough for edit-script scenarios (small difference sets).
+_EDIT_TILES = ("chebyshev-1", "plus", "domino", "rect-2x3", "T")
+
+
+@dataclass(frozen=True)
+class ScenarioFamily:
+    """One registered generator family."""
+
+    name: str
+    description: str
+    build: Callable[[int, int], ScenarioSpec]
+
+    def __call__(self, seed: int, index: int) -> ScenarioSpec:
+        return self.build(seed, index)
+
+
+FAMILIES: dict[str, ScenarioFamily] = {}
+
+
+def scenario_family(name: str, description: str):
+    """Register a ``build(seed, index)`` function as a named family."""
+
+    def _register(fn: Callable[[int, int], ScenarioSpec]):
+        if name in FAMILIES:
+            raise ValueError(f"scenario family {name!r} already registered")
+        FAMILIES[name] = ScenarioFamily(name=name, description=description,
+                                        build=fn)
+        return fn
+
+    return _register
+
+
+def family_names() -> tuple[str, ...]:
+    """The registered family names, sorted."""
+    return tuple(sorted(FAMILIES))
+
+
+def generate(family: str, seed: int, index: int) -> ScenarioSpec:
+    """The spec at ``(family, seed, index)`` — a pure function.
+
+    Raises:
+        KeyError: for an unknown family (listing the known ones).
+    """
+    try:
+        builder = FAMILIES[family]
+    except KeyError:
+        known = ", ".join(family_names())
+        raise KeyError(
+            f"unknown scenario family {family!r}; known: {known}") from None
+    spec = builder(seed, index)
+    assert spec.family == family and spec.seed == seed \
+        and spec.index == index, "family builder mislabeled its spec"
+    return spec
+
+
+def generate_corpus(family: str, seed: int, count: int,
+                    start: int = 0) -> list[ScenarioSpec]:
+    """Specs ``start .. start+count-1`` of one family stream."""
+    return [generate(family, seed, index)
+            for index in range(start, start + count)]
+
+
+# ----------------------------------------------------------------------
+# Field-keyed draws
+# ----------------------------------------------------------------------
+class _Draws:
+    """Named draws for one ``(family, seed, index)`` coordinate.
+
+    Each field name addresses its own counter stream, so adding a field
+    to a generator never shifts the values of the existing ones — specs
+    stay stable under generator evolution as long as field names and
+    their interpretation are kept.
+    """
+
+    def __init__(self, family: str, seed: int, index: int):
+        self._rng = StreamRNG(seed)
+        self._family = family
+        self._index = index
+
+    def randint(self, name: str, lo: int, hi: int, draw: int = 0) -> int:
+        """A uniform integer in the *closed* range ``[lo, hi]``."""
+        stream = label_stream(f"{self._family}:{name}")
+        return lo + self._rng.randrange(stream, self._index, hi - lo + 1,
+                                        draw)
+
+    def choice(self, name: str, options, draw: int = 0):
+        stream = label_stream(f"{self._family}:{name}")
+        return self._rng.choice(stream, self._index, options, draw)
+
+
+def _window_corners(draws: _Draws, *, min_side: int = 4, max_side: int = 7,
+                    spread: int = 5) -> tuple[IntVec, IntVec]:
+    """A 2-D window box: random side lengths at a random offset."""
+    lo = (draws.randint("window-x", -spread, spread),
+          draws.randint("window-y", -spread, spread))
+    hi = (lo[0] + draws.randint("window-w", min_side, max_side) - 1,
+          lo[1] + draws.randint("window-h", min_side, max_side) - 1)
+    return lo, hi
+
+
+# ----------------------------------------------------------------------
+# The families
+# ----------------------------------------------------------------------
+@scenario_family(
+    "grid_sweep",
+    "Theorem 1 sweep: every exact gallery prototile (and 1-D/2-D/3-D "
+    "Chebyshev balls) over randomized windows")
+def _grid_sweep(seed: int, index: int) -> ScenarioSpec:
+    draws = _Draws("grid_sweep", seed, index)
+    # The sweep axis is the index: gallery tiles, then the off-dimension
+    # Chebyshev balls, then two *stress* entries whose windows are large
+    # enough (>= 2^16 probe/decision cells) to push the sharded kernels
+    # past their serial cutoffs — without them the oracle's worker axis
+    # would never leave the serial fast path.
+    kinds = [("prototile", name) for name in EXACT_TILES]
+    kinds += [("chebyshev", (1, 1)), ("chebyshev", (2, 1)),
+              ("chebyshev", (1, 3)),
+              ("stress", "verify"), ("stress", "simulate")]
+    kind, detail = kinds[index % len(kinds)]
+    simulate = index % 2 == 0
+    common = dict(
+        family="grid_sweep", seed=seed, index=index,
+        protocol="schedule" if simulate else None,
+        sim_slots=draws.randint("sim-slots", 18, 36) if simulate else 0,
+        sim_seed=draws.randint("sim-seed", 0, 2**31) if simulate else 0,
+    )
+    if kind == "prototile":
+        lo, hi = _window_corners(draws)
+        return ScenarioSpec(construction="prototile", prototile=detail,
+                            window_lo=lo, window_hi=hi, **common)
+    if kind == "stress":
+        # verify-stress: window x conflict-offsets past the collision
+        # scan's 2^16 serial cutoff (chebyshev-1 has 24 offsets, so a
+        # ~55-side window).  simulate-stress: sensors x slots past the
+        # decision kernels' cutoff (a ~31-side window over 80 slots).
+        side = draws.randint("stress-side", 53, 57) \
+            if detail == "verify" else draws.randint("stress-side", 29, 33)
+        lo = (draws.randint("window-x", -5, 5),
+              draws.randint("window-y", -5, 5))
+        hi = (lo[0] + side - 1, lo[1] + side - 1)
+        if detail == "simulate":
+            common.update(protocol="aloha",
+                          protocol_params=(("p", 0.2),),
+                          sim_slots=80,
+                          sim_seed=draws.randint("sim-seed", 0, 2**31))
+        return ScenarioSpec(construction="prototile",
+                            prototile="chebyshev-1",
+                            window_lo=lo, window_hi=hi, **common)
+    radius, dimension = detail
+    anchor = draws.randint("window-x", -5, 5)
+    side = draws.randint("window-w", 3, 6) if dimension < 3 else 3
+    if dimension == 1:
+        lo, hi = (anchor,), (anchor + 4 * side - 1,)
+    else:
+        lo = (anchor,) * dimension
+        hi = tuple(anchor + side - 1 for _ in range(dimension))
+    return ScenarioSpec(construction="chebyshev", radius=radius,
+                        dimension=dimension, window_lo=lo, window_hi=hi,
+                        **common)
+
+
+@scenario_family(
+    "heterogeneous_mix",
+    "Theorem 2 S/Z column tilings with failed sensors and mixed MAC "
+    "simulation")
+def _heterogeneous_mix(seed: int, index: int) -> ScenarioSpec:
+    draws = _Draws("heterogeneous_mix", seed, index)
+    length = draws.randint("pattern-length", 1, 3)
+    pattern = "".join(draws.choice("pattern", "SZ", draw=i)
+                      for i in range(length))
+    lo, hi = _window_corners(draws, min_side=4, max_side=7)
+    box = list(box_points(lo, hi))
+    # Kill up to 3 sensors, but never the whole window.
+    count = min(draws.randint("failures", 0, 3), len(box) - 1)
+    failures = tuple(sorted({
+        draws.choice("failure-site", box, draw=i) for i in range(count)}))
+    protocol = draws.choice("protocol",
+                            (None, "schedule", "aloha", "csma", "tdma"))
+    params: tuple[tuple[str, float], ...] = ()
+    if protocol in ("aloha", "csma"):
+        params = (("p", draws.choice("p", (0.1, 0.2, 0.3))),)
+    return ScenarioSpec(
+        family="heterogeneous_mix", seed=seed, index=index,
+        construction="multi", pattern=pattern, window_lo=lo, window_hi=hi,
+        failures=failures, protocol=protocol, protocol_params=params,
+        sim_slots=draws.randint("sim-slots", 18, 36) if protocol else 0,
+        sim_seed=draws.randint("sim-seed", 0, 2**31) if protocol else 0)
+
+
+@scenario_family(
+    "churn",
+    "random slot-reassignment scripts over a restricted window — the "
+    "incremental-verification workload")
+def _churn(seed: int, index: int) -> ScenarioSpec:
+    draws = _Draws("churn", seed, index)
+    tile_name = draws.choice("tile", _EDIT_TILES)
+    num_slots = GALLERY[tile_name].size
+    lo, hi = _window_corners(draws, min_side=4, max_side=6)
+    box = list(box_points(lo, hi))
+    steps = []
+    for step in range(draws.randint("steps", 2, 4)):
+        pairs = {}
+        for k in range(draws.randint("step-size", 1, 3, draw=step)):
+            point = draws.choice("edit-site", box, draw=7 * step + k)
+            slot = draws.randint("edit-slot", 0, num_slots - 1,
+                                 draw=7 * step + k)
+            pairs[point] = slot
+        steps.append(tuple(sorted(pairs.items())))
+    return ScenarioSpec(
+        family="churn", seed=seed, index=index,
+        construction="prototile", prototile=tile_name,
+        window_lo=lo, window_hi=hi, edits=tuple(steps))
+
+
+@scenario_family(
+    "mobile",
+    "the whole deployment window drifting between verification rounds "
+    "(fleet mobility at lattice granularity)")
+def _mobile(seed: int, index: int) -> ScenarioSpec:
+    draws = _Draws("mobile", seed, index)
+    tile_name = draws.choice("tile", EXACT_TILES)
+    lo, hi = _window_corners(draws, min_side=4, max_side=6)
+    drift = []
+    for step in range(draws.randint("rounds", 2, 4)):
+        move = (draws.randint("drift-x", -2, 2, draw=step),
+                draws.randint("drift-y", -2, 2, draw=step))
+        if move == (0, 0):
+            move = (1, 0)  # a resting round teaches nothing
+        drift.append(move)
+    simulate = index % 2 == 0
+    return ScenarioSpec(
+        family="mobile", seed=seed, index=index,
+        construction="prototile", prototile=tile_name,
+        window_lo=lo, window_hi=hi, drift=tuple(drift),
+        protocol="schedule" if simulate else None,
+        sim_slots=draws.randint("sim-slots", 18, 36) if simulate else 0,
+        sim_seed=draws.randint("sim-seed", 0, 2**31) if simulate else 0)
+
+
+@scenario_family(
+    "adversarial_edits",
+    "edits chosen knowing the schedule: force a specific collision pair, "
+    "or force one and revert it")
+def _adversarial_edits(seed: int, index: int) -> ScenarioSpec:
+    draws = _Draws("adversarial_edits", seed, index)
+    tile_name = draws.choice("tile", _EDIT_TILES)
+    tile = GALLERY[tile_name]
+    lo, hi = _window_corners(draws, min_side=4, max_side=6)
+    window = list(box_points(lo, hi))
+    in_window = frozenset(window)
+    # Conflicting offsets: y - x in N - N means the two interference
+    # ranges intersect (the paper's collision condition).
+    offsets = sorted(tile.difference_set() - {(0,) * tile.dimension})
+    # Deterministic scan for a (victim, partner) pair inside the window,
+    # starting from a drawn position so different indices pick different
+    # pairs.
+    start = draws.randint("victim", 0, len(window) - 1)
+    victim = partner = None
+    for i in range(len(window)):
+        x = window[(start + i) % len(window)]
+        shift = draws.randint("offset", 0, len(offsets) - 1)
+        for j in range(len(offsets)):
+            y = vadd(x, offsets[(shift + j) % len(offsets)])
+            if y in in_window:
+                victim, partner = x, y
+                break
+        if victim is not None:
+            break
+    assert victim is not None, \
+        "window smaller than one interference range (generator bug)"
+    # Read the actual schedule — adversarial means schedule-aware.
+    base = ScenarioSpec(family="adversarial_edits", seed=seed, index=index,
+                        construction="prototile", prototile=tile_name,
+                        window_lo=lo, window_hi=hi).base_session()
+    slot_of = dict(zip(window, base.assign(window).slots))
+    collide = ((victim, int(slot_of[partner])),)
+    revert = index % 2 == 1
+    if revert:
+        edits = (collide, ((victim, int(slot_of[victim])),))
+        return ScenarioSpec(
+            family="adversarial_edits", seed=seed, index=index,
+            construction="prototile", prototile=tile_name,
+            window_lo=lo, window_hi=hi, edits=edits,
+            expect_collision_free=True)
+    pair = tuple(sorted((victim, partner)))
+    return ScenarioSpec(
+        family="adversarial_edits", seed=seed, index=index,
+        construction="prototile", prototile=tile_name,
+        window_lo=lo, window_hi=hi, edits=(collide,),
+        forced_collisions=(pair,), expect_collision_free=False)
+
+
+def iter_corpus(families: Iterable[str], seed: int,
+                count: int) -> Iterator[ScenarioSpec]:
+    """Specs ``0..count-1`` of each family, in family order."""
+    for family in families:
+        yield from generate_corpus(family, seed, count)

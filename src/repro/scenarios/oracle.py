@@ -1,0 +1,464 @@
+"""The differential oracle: one scenario, every engine path, one answer.
+
+The library serves the same questions through many independently
+optimized paths — numpy kernels and the pure-Python fallback, serial and
+process-sharded execution, full-window rescans and incremental
+dirty-region re-verification, the typed :class:`repro.api.Session`
+facade and the legacy free functions.  Each pair is pinned equivalent by
+its own unit suite; the oracle closes the loop *end to end*: it replays
+one :class:`~repro.scenarios.spec.ScenarioSpec` over the whole cross
+product
+
+    {numpy, python} x {1, 2 workers} x {full, incremental} x
+    {facade, legacy}
+
+and demands that every path produce the bit-identical
+:class:`Observation` — slot assignments per round, collision lists per
+stage, simulation metrics, serialization round-trip — and that the
+reference observation satisfy the paper's invariants (Theorem 1/2
+collision-freeness and slot optimality, ``verify_collision_free``
+agreement, forced collisions present, slots in range).
+
+A failing spec reports human-readable violations plus the exact CLI
+command (:meth:`~repro.scenarios.spec.ScenarioSpec.cli_command`) that
+re-runs it standalone.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import astuple, dataclass, field
+
+from repro.api import Session
+from repro.core.schedule import (
+    MappingSchedule,
+    MultiTilingSchedule,
+    TilingSchedule,
+    VerificationCache,
+    find_collisions,
+    verify_collision_free,
+)
+from repro.core.serialize import schedule_from_json, schedule_to_json
+from repro.core.theorem1 import optimal_slot_count, schedule_from_prototile
+from repro.core.theorem2 import schedule_from_multi_tiling, theorem2_slot_count
+from repro.engine.config import EngineConfig
+from repro.net.model import Network, SensorNode
+from repro.net.protocols import make_protocol
+from repro.net.simulator import simulate as net_simulate
+from repro.scenarios.spec import ScenarioSpec
+from repro.tiles.shapes import GALLERY, chebyshev_ball
+from repro.tiling.construct import alternating_column_tiling
+
+__all__ = [
+    "EnginePath",
+    "Observation",
+    "OracleReport",
+    "full_matrix",
+    "run_path",
+    "run_oracle",
+    "run_corpus",
+]
+
+
+@dataclass(frozen=True)
+class EnginePath:
+    """One cell of the engine matrix."""
+
+    backend: str   # "numpy" | "python"
+    workers: int   # 1 | 2
+    mode: str      # "full" | "incremental"
+    surface: str   # "facade" | "legacy"
+
+    def label(self) -> str:
+        return f"{self.backend}/w{self.workers}/{self.mode}/{self.surface}"
+
+    def config(self) -> EngineConfig:
+        return EngineConfig(backend=self.backend, workers=self.workers)
+
+
+def full_matrix(backends=("numpy", "python"), workers=(1, 2),
+                modes=("full", "incremental"),
+                surfaces=("facade", "legacy")) -> tuple[EnginePath, ...]:
+    """The engine matrix (2 x 2 x 2 x 2 = 16 paths by default).
+
+    Narrow any axis for cheaper sweeps (the property suite runs
+    ``backends=("python",), workers=(1,)``); the CI stress tier and the
+    pinned corpus always run the full product.
+    """
+    return tuple(EnginePath(b, w, m, s) for b, w, m, s
+                 in itertools.product(backends, workers, modes, surfaces))
+
+
+@dataclass(frozen=True)
+class Observation:
+    """Everything a path observed, in comparable form.
+
+    Attributes:
+        num_slots: slot count of the final (post-edit) schedule.
+        slots: per verification round, the slot of every window sensor.
+        collisions: per stage — the pristine schedule, then one stage
+            per edit step (for drifting specs: one stage per round) —
+            the collision list over the stage's window.
+        metrics: the full :class:`~repro.net.metrics.SimulationMetrics`
+            field tuple, or ``None`` when the spec skips simulation.
+        roundtrip_slots: slots of the save/load round-tripped final
+            schedule over the base window (must equal ``slots[0]`` for
+            static specs — serialization must not change assignments).
+    """
+
+    num_slots: int
+    slots: tuple[tuple[int, ...], ...]
+    collisions: tuple[tuple[tuple[tuple[int, ...], tuple[int, ...]], ...],
+                      ...]
+    metrics: tuple | None
+    roundtrip_slots: tuple[int, ...]
+
+
+def _freeze_collisions(collisions) -> tuple:
+    return tuple((tuple(x), tuple(y)) for x, y in collisions)
+
+
+# ----------------------------------------------------------------------
+# Facade paths: everything through repro.api.Session
+# ----------------------------------------------------------------------
+def _run_facade(spec: ScenarioSpec, path: EnginePath) -> Observation:
+    config = path.config()
+    incremental = path.mode == "incremental"
+    session = spec.base_session(config=config)
+    rounds = spec.rounds()
+    slots = tuple(tuple(int(s) for s in session.assign(window).slots)
+                  for window in rounds)
+
+    stages: list[tuple] = []
+    if spec.edits:
+        working = session.restrict()
+        stages.append(_verify_facade(working, None, incremental))
+        if incremental:
+            for step in spec.edits:
+                working = working.edit(dict(step))
+                stages.append(_verify_facade(working, None, True))
+        else:
+            # The full-rescan lane rebuilds the edited assignment by
+            # hand: no deltas, no warm caches, a fresh session per
+            # stage — the reference the incremental lane must match.
+            window = spec.window_points()
+            assignment = dict(zip(
+                window, (int(s) for s in working.assign(window).slots)))
+            for step in spec.edits:
+                assignment.update({point: slot for point, slot in step})
+                working = Session.for_mapping(
+                    assignment, config=config,
+                    neighborhood_of=session.schedule.neighborhood_of,
+                    window=window)
+                stages.append(_verify_facade(working, None, False))
+        final = working
+    else:
+        for window in rounds:
+            stages.append(_verify_facade(session, window, incremental))
+        final = session
+
+    metrics = _simulate_facade(spec, final) if spec.protocol else None
+
+    text = final.save()
+    reloaded = Session.load(text, config=config)
+    base_window = spec.window_points()
+    roundtrip = tuple(int(s) for s in reloaded.assign(base_window).slots)
+
+    return Observation(num_slots=final.num_slots, slots=slots,
+                       collisions=tuple(stages), metrics=metrics,
+                       roundtrip_slots=roundtrip)
+
+
+def _verify_facade(session: Session, window, incremental: bool) -> tuple:
+    if not incremental:
+        report = session.verify(window, use_cache=False)
+        return _freeze_collisions(report.collisions)
+    first = session.verify(window)
+    second = session.verify(window)  # must answer from the warm cache
+    if second.collisions != first.collisions or second.source != "cache":
+        raise AssertionError(
+            f"cache-served verify diverged from its own scan: "
+            f"{first.source}/{first.collisions} then "
+            f"{second.source}/{second.collisions}")
+    return _freeze_collisions(first.collisions)
+
+
+def _simulate_facade(spec: ScenarioSpec, session: Session) -> tuple:
+    metrics = session.simulate(spec.protocol, spec.sim_slots,
+                               window=spec.window_points(),
+                               seed=spec.sim_seed,
+                               **dict(spec.protocol_params))
+    return astuple(metrics)
+
+
+# ----------------------------------------------------------------------
+# Legacy paths: free functions, hand-built schedules and caches
+# ----------------------------------------------------------------------
+def _legacy_schedule(spec: ScenarioSpec):
+    if spec.construction == "prototile":
+        return schedule_from_prototile(GALLERY[spec.prototile])
+    if spec.construction == "chebyshev":
+        return schedule_from_prototile(chebyshev_ball(spec.radius,
+                                                      spec.dimension))
+    return schedule_from_multi_tiling(
+        alternating_column_tiling(spec.pattern))
+
+
+def _run_legacy(spec: ScenarioSpec, path: EnginePath) -> Observation:
+    config = path.config()
+    incremental = path.mode == "incremental"
+    with config.apply():
+        schedule = _legacy_schedule(spec)
+        neighborhood = schedule.neighborhood_of
+        rounds = spec.rounds()
+        slots = tuple(tuple(int(s) for s in schedule.slots_of(window))
+                      for window in rounds)
+
+        stages: list[tuple] = []
+        if spec.edits:
+            window = spec.window_points()
+            current = MappingSchedule(dict(zip(
+                window, (int(s) for s in schedule.slots_of(window)))))
+            cache = (VerificationCache(current, window, neighborhood)
+                     if incremental else None)
+            stages.append(_freeze_collisions(
+                find_collisions(current, window, neighborhood, cache=cache)))
+            for step in spec.edits:
+                if incremental:
+                    delta = current.with_updates(dict(step))
+                    cache.apply(delta)
+                    current = delta.schedule
+                    stages.append(_freeze_collisions(
+                        find_collisions(current, window, neighborhood,
+                                        cache=cache)))
+                else:
+                    current = current.with_updates(dict(step)).schedule
+                    stages.append(_freeze_collisions(
+                        find_collisions(current, window, neighborhood)))
+            final = current
+        else:
+            for window in rounds:
+                if incremental:
+                    cache = VerificationCache(schedule, window, neighborhood)
+                    first = cache.collisions()
+                    again = find_collisions(schedule, window, neighborhood,
+                                            cache=cache)
+                    if again != first:
+                        raise AssertionError(
+                            f"warm cache changed its answer: {first} then "
+                            f"{again}")
+                    stages.append(_freeze_collisions(first))
+                else:
+                    stages.append(_freeze_collisions(
+                        find_collisions(schedule, window, neighborhood)))
+            final = schedule
+
+        metrics = None
+        if spec.protocol:
+            metrics = _simulate_legacy(spec, final, neighborhood, config)
+
+        text = schedule_to_json(final)
+        reloaded = schedule_from_json(text)
+        base_window = spec.window_points()
+        roundtrip = tuple(int(s) for s in reloaded.slots_of(base_window))
+
+    return Observation(num_slots=final.num_slots, slots=slots,
+                       collisions=tuple(stages), metrics=metrics,
+                       roundtrip_slots=roundtrip)
+
+
+def _simulate_legacy(spec: ScenarioSpec, final, neighborhood,
+                     config: EngineConfig) -> tuple:
+    window = spec.window_points()
+    # Mirror Session.network's construction branch for the *final*
+    # schedule: Theorem 1/2 schedules derive interference from their
+    # structure, mapping schedules use the interference model carried
+    # over from the base construction.
+    if isinstance(final, TilingSchedule):
+        network = Network.homogeneous(window, final.prototile)
+    elif isinstance(final, MultiTilingSchedule):
+        network = Network.from_multi_tiling(window, final.multi)
+    else:
+        network = Network(SensorNode(p, neighborhood(p)) for p in window)
+    protocol = make_protocol(spec.protocol, positions=network.positions,
+                             schedule=final, **dict(spec.protocol_params))
+    metrics = net_simulate(network, protocol, spec.sim_slots,
+                           packet_interval=final.num_slots,
+                           seed=spec.sim_seed, config=config)
+    return astuple(metrics)
+
+
+# ----------------------------------------------------------------------
+# The oracle
+# ----------------------------------------------------------------------
+def run_path(spec: ScenarioSpec, path: EnginePath) -> Observation:
+    """One spec through one engine path."""
+    if path.surface == "facade":
+        return _run_facade(spec, path)
+    return _run_legacy(spec, path)
+
+
+@dataclass
+class OracleReport:
+    """Outcome of one spec across the matrix."""
+
+    spec: ScenarioSpec
+    paths: tuple[EnginePath, ...]
+    violations: list[str] = field(default_factory=list)
+    reference: Observation | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else "FAIL"
+        lines = [f"[{status}] {self.spec.label()} "
+                 f"({len(self.paths)} paths)"]
+        lines.extend(f"  violation: {v}" for v in self.violations)
+        if not self.ok:
+            lines.append(f"  reproduce: {self.spec.cli_command()}")
+        return "\n".join(lines)
+
+    def to_row(self) -> dict:
+        return {
+            "family": self.spec.family,
+            "seed": self.spec.seed,
+            "index": self.spec.index,
+            "paths": len(self.paths),
+            "ok": self.ok,
+            "violations": len(self.violations),
+        }
+
+
+def _check_invariants(spec: ScenarioSpec, obs: Observation,
+                      violations: list[str]) -> None:
+    """Paper-level invariants on the reference observation."""
+    for round_index, round_slots in enumerate(obs.slots):
+        bad = [s for s in round_slots if not 0 <= s < obs.num_slots]
+        if bad and not spec.edits:
+            violations.append(
+                f"round {round_index}: slots {bad[:3]} outside "
+                f"[0, {obs.num_slots})")
+    final = obs.collisions[-1]
+    if not spec.edits:
+        # Theorems 1/2: the pristine schedule is collision-free over
+        # every window (drifted rounds included — translation moves the
+        # window, never the schedule's guarantee).
+        for stage_index, stage in enumerate(obs.collisions):
+            if stage:
+                violations.append(
+                    f"theorem violation: stage {stage_index} has "
+                    f"{len(stage)} collisions on an unedited "
+                    f"{spec.construction} schedule (first: {stage[0]})")
+        expected = _optimal_slots(spec)
+        if obs.num_slots != expected:
+            violations.append(
+                f"slot count {obs.num_slots} != theorem optimum {expected}")
+    if spec.expect_collision_free is True and final:
+        violations.append(
+            f"expected a collision-free final state, found {len(final)} "
+            f"collisions (first: {final[0]})")
+    if spec.expect_collision_free is False and not final:
+        violations.append(
+            "expected final collisions, found a clean schedule")
+    for pair in spec.forced_collisions:
+        if pair not in final:
+            violations.append(
+                f"forced collision {pair} missing from the final "
+                f"collision list")
+    if not spec.edits and not spec.drift \
+            and obs.roundtrip_slots != obs.slots[0]:
+        violations.append(
+            "serialization round-trip changed the slot assignment")
+
+
+def _optimal_slots(spec: ScenarioSpec) -> int:
+    if spec.construction == "prototile":
+        return optimal_slot_count(GALLERY[spec.prototile])
+    if spec.construction == "chebyshev":
+        return optimal_slot_count(chebyshev_ball(spec.radius,
+                                                 spec.dimension))
+    return theorem2_slot_count(alternating_column_tiling(spec.pattern))
+
+
+def run_oracle(spec: ScenarioSpec,
+               paths: tuple[EnginePath, ...] | None = None) -> OracleReport:
+    """One spec across the engine matrix, cross-checked and invariant-checked.
+
+    The first path's observation is the reference; every other path must
+    reproduce it bit for bit, and the reference must satisfy the paper
+    invariants.  ``verify_collision_free`` is additionally cross-checked
+    against the reference collision list on the final schedule.
+    """
+    if paths is None:
+        paths = full_matrix()
+    report = OracleReport(spec=spec, paths=tuple(paths))
+    reference: Observation | None = None
+    reference_path: EnginePath | None = None
+    for path in paths:
+        try:
+            observation = run_path(spec, path)
+        except Exception as error:  # noqa: BLE001 - the report is the point
+            report.violations.append(
+                f"{path.label()}: raised {type(error).__name__}: {error}")
+            continue
+        if reference is None:
+            reference, reference_path = observation, path
+            continue
+        if observation != reference:
+            report.violations.append(_diff(reference_path, path, reference,
+                                           observation))
+    if reference is not None:
+        report.reference = reference
+        _check_invariants(spec, reference, report.violations)
+        clean = _final_verify_collision_free(spec)
+        if clean != (not reference.collisions[-1]):
+            report.violations.append(
+                f"verify_collision_free says {clean} but the final "
+                f"collision list has {len(reference.collisions[-1])} "
+                f"entries")
+    return report
+
+
+def _final_verify_collision_free(spec: ScenarioSpec) -> bool:
+    """The boolean surface on the spec's final schedule and window.
+
+    Rebuilds the final state the cheap way — one schedule construction
+    and a plain dict merge of the edit script, no caches, no sessions —
+    over the *last* verification round's window, which is where the
+    reference observation's final collision list came from.
+    """
+    schedule = _legacy_schedule(spec)
+    neighborhood = schedule.neighborhood_of
+    window = spec.rounds()[-1]
+    final = schedule
+    if spec.edits:
+        assignment = dict(zip(
+            window, (int(s) for s in schedule.slots_of(window))))
+        for step in spec.edits:
+            assignment.update({point: slot for point, slot in step})
+        final = MappingSchedule(assignment)
+    return verify_collision_free(final, window, neighborhood)
+
+
+def _diff(reference_path: EnginePath, path: EnginePath,
+          reference: Observation, observation: Observation) -> str:
+    for name in ("num_slots", "slots", "collisions", "metrics",
+                 "roundtrip_slots"):
+        a, b = getattr(reference, name), getattr(observation, name)
+        if a != b:
+            return (f"{path.label()} diverges from {reference_path.label()} "
+                    f"on {name}: {_clip(b)} != {_clip(a)}")
+    return f"{path.label()} diverges from {reference_path.label()}"
+
+
+def _clip(value, limit: int = 160) -> str:
+    text = repr(value)
+    return text if len(text) <= limit else text[:limit] + "..."
+
+
+def run_corpus(specs, paths: tuple[EnginePath, ...] | None = None,
+               ) -> list[OracleReport]:
+    """The oracle over a spec corpus (used by the CLI and the CI tier)."""
+    return [run_oracle(spec, paths=paths) for spec in specs]

@@ -1,0 +1,289 @@
+"""The frozen :class:`ScenarioSpec`: one end-to-end workload, as data.
+
+A scenario names everything needed to run the library end to end —
+which tiling construction builds the schedule, which finite deployment
+window it serves, which sensors have failed, how the fleet drifts
+between verification rounds, which edit script churns the slots, and
+which MAC protocol the simulator runs — as a plain frozen value.  Specs
+are produced by the generator families in
+:mod:`repro.scenarios.generators` as pure functions of
+``(family, seed, index)``, round-trip through JSON, and materialize
+into :class:`repro.api.Session` objects; the differential oracle in
+:mod:`repro.scenarios.oracle` then replays one spec over every engine
+path and demands bit-identical answers.
+
+The vocabulary deliberately reuses the library's own building blocks:
+
+* ``construction="prototile"`` — the Theorem 1 schedule of a named
+  :data:`repro.tiles.shapes.GALLERY` prototile;
+* ``construction="chebyshev"`` — the Theorem 1 schedule of a Chebyshev
+  ball of the spec's ``radius`` in ``Z^dimension`` (the one family that
+  leaves two dimensions, covering the 1-D and 3-D engine kernels);
+* ``construction="multi"`` — the Theorem 2 schedule of an
+  S/Z column :func:`~repro.tiling.construct.alternating_column_tiling`
+  (the paper's Figure 5 family), named by its column ``pattern``;
+* failures remove sensors from the window (sensor death);
+* ``drift`` translates the whole window between verification rounds
+  (a fleet moving at lattice granularity);
+* ``edits`` is a script of slot-reassignment steps applied through
+  :meth:`repro.api.Session.edit` after restricting to the window.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from repro.api import EngineConfig, Session
+from repro.tiles.shapes import GALLERY, chebyshev_ball
+from repro.tiling.construct import alternating_column_tiling
+from repro.utils.vectors import IntVec, as_intvec, box_points, vadd
+
+__all__ = ["ScenarioSpec", "EditStep", "spec_from_dict", "spec_from_json"]
+
+#: One edit step: ``((point, slot), ...)`` applied as a single
+#: ``Session.edit`` call (so incremental verification sees one delta).
+EditStep = tuple[tuple[IntVec, int], ...]
+
+_CONSTRUCTIONS = ("prototile", "chebyshev", "multi")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One deterministic end-to-end scenario (frozen, JSON round-trip).
+
+    Attributes:
+        family: generator family that produced the spec.
+        seed: family seed — root of every random choice in the spec.
+        index: position within the family's stream.
+        construction: ``"prototile"`` (Theorem 1 over a gallery tile),
+            ``"chebyshev"`` (Theorem 1 over a Chebyshev ball in
+            ``Z^dimension``) or ``"multi"`` (Theorem 2 over an S/Z
+            column tiling).
+        prototile: gallery name for ``construction="prototile"``.
+        radius / dimension: ball parameters for ``"chebyshev"``.
+        pattern: S/Z column pattern for ``construction="multi"``.
+        window_lo / window_hi: closed corners of the deployment box.
+        failures: sensors removed from the window (failed nodes).
+        drift: per-round translations of the whole window; round 0 is
+            the base window, round ``k`` adds ``drift[:k]`` cumulatively.
+        edits: slot-reassignment script; non-empty scripts restrict the
+            schedule to the window first (edits need a mapping form).
+        forced_collisions: sensor pairs the edit script deliberately
+            drove into conflict — the oracle asserts each pair shows up
+            in the final collision list (adversarial scenarios).
+        expect_collision_free: the generator's prediction for the final
+            state — ``True`` (must be clean, e.g. a reverted edit
+            script), ``False`` (must collide) or ``None`` (no
+            prediction; cross-path identity is still enforced).  Specs
+            without edits are always predicted clean by Theorems 1/2,
+            independent of this field.
+        protocol: registered MAC name for the simulation phase, or
+            ``None`` to skip simulation.
+        protocol_params: frozen ``(name, value)`` parameter pairs for
+            the protocol factory (e.g. ``(("p", 0.2),)``).
+        sim_slots: slots to simulate (ignored without a protocol).
+        sim_seed: simulator seed.
+    """
+
+    family: str
+    seed: int
+    index: int
+    construction: str
+    prototile: str | None = None
+    radius: int = 1
+    dimension: int = 2
+    pattern: str | None = None
+    window_lo: IntVec = (0, 0)
+    window_hi: IntVec = (3, 3)
+    failures: tuple[IntVec, ...] = ()
+    drift: tuple[IntVec, ...] = ()
+    edits: tuple[EditStep, ...] = ()
+    forced_collisions: tuple[tuple[IntVec, IntVec], ...] = ()
+    expect_collision_free: bool | None = None
+    protocol: str | None = None
+    protocol_params: tuple[tuple[str, Any], ...] = ()
+    sim_slots: int = 0
+    sim_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.construction not in _CONSTRUCTIONS:
+            raise ValueError(
+                f"unknown construction {self.construction!r}; expected one "
+                f"of {_CONSTRUCTIONS}")
+        if self.construction == "prototile":
+            if self.prototile not in GALLERY:
+                raise ValueError(
+                    f"unknown gallery prototile {self.prototile!r}; known: "
+                    f"{', '.join(sorted(GALLERY))}")
+        elif self.construction == "chebyshev":
+            if self.radius < 0 or self.dimension < 1:
+                raise ValueError(
+                    f"chebyshev needs radius >= 0 and dimension >= 1, got "
+                    f"radius={self.radius}, dimension={self.dimension}")
+        elif not self.pattern or set(self.pattern) - {"S", "Z"}:
+            raise ValueError(
+                f"construction 'multi' needs a nonempty S/Z pattern, got "
+                f"{self.pattern!r}")
+        lo, hi = as_intvec(self.window_lo), as_intvec(self.window_hi)
+        if len(lo) != len(hi) or any(l > h for l, h in zip(lo, hi)):
+            raise ValueError(
+                f"window corners must satisfy lo <= hi, got {lo}..{hi}")
+        expected_dim = (self.dimension if self.construction == "chebyshev"
+                        else 2)
+        if len(lo) != expected_dim:
+            raise ValueError(
+                f"window is {len(lo)}-dimensional but the construction "
+                f"lives in Z^{expected_dim}")
+        if not self.window_points():
+            raise ValueError("every window sensor failed; nothing to verify")
+        if self.edits and self.drift:
+            raise ValueError(
+                "edit scripts and drift do not compose: edits restrict to "
+                "the base window, which a drifted round would leave")
+        if self.forced_collisions and self.expect_collision_free:
+            raise ValueError(
+                "a spec cannot both force collisions and expect a "
+                "collision-free final state")
+
+    # -- the deployment ------------------------------------------------
+    def window_points(self) -> list[IntVec]:
+        """The base window: the box minus the failed sensors."""
+        failed = frozenset(as_intvec(p) for p in self.failures)
+        return [p for p in box_points(as_intvec(self.window_lo),
+                                      as_intvec(self.window_hi))
+                if p not in failed]
+
+    def rounds(self) -> list[list[IntVec]]:
+        """Window per verification round: base, then cumulative drift."""
+        base = self.window_points()
+        windows = [base]
+        offset = (0,) * len(base[0])
+        for step in self.drift:
+            offset = vadd(offset, as_intvec(step))
+            windows.append([vadd(p, offset) for p in base])
+        return windows
+
+    # -- materialization -----------------------------------------------
+    def base_session(self, config: EngineConfig | None = None) -> Session:
+        """The schedule session, before restriction/edits (round 0 window)."""
+        window = self.window_points()
+        if self.construction == "prototile":
+            return Session.for_prototile(GALLERY[self.prototile],
+                                         config=config, window=window)
+        if self.construction == "chebyshev":
+            return Session.for_prototile(
+                chebyshev_ball(self.radius, self.dimension),
+                config=config, window=window)
+        multi = alternating_column_tiling(self.pattern)
+        return Session.for_multi_tiling(multi, config=config, window=window)
+
+    def materialize(self, config: EngineConfig | None = None) -> Session:
+        """Build the spec's session end-to-end, edits applied.
+
+        A spec without edits returns the Theorem 1/2 session itself; a
+        spec with an edit script restricts to the window first
+        (:meth:`repro.api.Session.restrict`) and plays each step through
+        :meth:`repro.api.Session.edit`, so the returned session carries
+        the incrementally re-verified caches of the whole script.
+        """
+        session = self.base_session(config=config)
+        if self.edits:
+            session = session.restrict()
+            for step in self.edits:
+                session = session.edit(dict(step))
+        return session
+
+    # -- identity / reproduction ---------------------------------------
+    def cli_command(self) -> str:
+        """The ``repro.scenarios`` CLI line that re-runs exactly this spec."""
+        return (f"python -m repro.scenarios run {self.family} "
+                f"--seed {self.seed} --index {self.index}")
+
+    def label(self) -> str:
+        return f"{self.family}[seed={self.seed}, index={self.index}]"
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> dict:
+        """A JSON-able description (round-trips via :func:`spec_from_dict`)."""
+        data: dict[str, Any] = {
+            "family": self.family,
+            "seed": self.seed,
+            "index": self.index,
+            "construction": self.construction,
+            "window_lo": list(self.window_lo),
+            "window_hi": list(self.window_hi),
+        }
+        if self.prototile is not None:
+            data["prototile"] = self.prototile
+        if (self.radius, self.dimension) != (1, 2):
+            data["radius"] = self.radius
+            data["dimension"] = self.dimension
+        if self.pattern is not None:
+            data["pattern"] = self.pattern
+        if self.failures:
+            data["failures"] = [list(p) for p in self.failures]
+        if self.drift:
+            data["drift"] = [list(p) for p in self.drift]
+        if self.edits:
+            data["edits"] = [[[list(point), slot] for point, slot in step]
+                             for step in self.edits]
+        if self.forced_collisions:
+            data["forced_collisions"] = [[list(x), list(y)]
+                                         for x, y in self.forced_collisions]
+        if self.expect_collision_free is not None:
+            data["expect_collision_free"] = self.expect_collision_free
+        if self.protocol is not None:
+            data["protocol"] = self.protocol
+        # Emitted independently of the protocol: a spec may carry any
+        # non-default field combination, and the round-trip contract is
+        # unconditional.
+        if self.protocol_params:
+            data["protocol_params"] = [[name, value] for name, value
+                                       in self.protocol_params]
+        if self.sim_slots:
+            data["sim_slots"] = self.sim_slots
+        if self.sim_seed:
+            data["sim_seed"] = self.sim_seed
+        return data
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+
+def spec_from_dict(data: dict) -> ScenarioSpec:
+    """Rebuild a :class:`ScenarioSpec` from :meth:`ScenarioSpec.to_dict`.
+
+    All spec invariants re-validate through ``__post_init__``, so a
+    corrupted description is rejected rather than silently rerouted.
+    """
+    return ScenarioSpec(
+        family=data["family"],
+        seed=data["seed"],
+        index=data["index"],
+        construction=data["construction"],
+        prototile=data.get("prototile"),
+        radius=data.get("radius", 1),
+        dimension=data.get("dimension", 2),
+        pattern=data.get("pattern"),
+        window_lo=tuple(data["window_lo"]),
+        window_hi=tuple(data["window_hi"]),
+        failures=tuple(tuple(p) for p in data.get("failures", ())),
+        drift=tuple(tuple(p) for p in data.get("drift", ())),
+        edits=tuple(tuple((tuple(point), slot) for point, slot in step)
+                    for step in data.get("edits", ())),
+        forced_collisions=tuple((tuple(x), tuple(y)) for x, y
+                                in data.get("forced_collisions", ())),
+        expect_collision_free=data.get("expect_collision_free"),
+        protocol=data.get("protocol"),
+        protocol_params=tuple((name, value) for name, value
+                              in data.get("protocol_params", ())),
+        sim_slots=data.get("sim_slots", 0),
+        sim_seed=data.get("sim_seed", 0),
+    )
+
+
+def spec_from_json(text: str) -> ScenarioSpec:
+    """Rebuild a :class:`ScenarioSpec` from :meth:`ScenarioSpec.to_json`."""
+    return spec_from_dict(json.loads(text))

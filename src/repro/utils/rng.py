@@ -22,8 +22,10 @@ from __future__ import annotations
 
 import hashlib
 import random
+from collections.abc import Sequence
 
-__all__ = ["make_rng", "spawn_rng", "stream_root", "StreamRNG", "StreamDraw"]
+__all__ = ["make_rng", "spawn_rng", "stream_root", "label_stream",
+           "StreamRNG", "StreamDraw"]
 
 _DEFAULT_SEED = 0x5EED
 
@@ -96,6 +98,20 @@ def stream_root(seed: int | random.Random | None = None) -> int:
     return _mix64(seed)
 
 
+def label_stream(label: str) -> int:
+    """A stable 64-bit stream id for a string label.
+
+    :class:`StreamRNG` keys its streams by integer; callers whose
+    streams are naturally *named* (the scenario generators key draws by
+    field name, e.g. ``"churn:window"``) hash the name once and use the
+    digest as the stream coordinate.  SHA-256-based, so ids are stable
+    across processes and Python versions — anything derived from them
+    is reproducible from the label alone.
+    """
+    digest = hashlib.sha256(label.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
 class StreamRNG:
     """Counter-based RNG: values are pure functions of their coordinates.
 
@@ -129,6 +145,26 @@ class StreamRNG:
     def uniform(self, stream: int, slot: int, draw: int = 0) -> float:
         """A uniform float in ``[0, 1)`` at the given coordinates."""
         return (self.state(stream, slot, draw) >> 11) * _INV_2_53
+
+    def randrange(self, stream: int, slot: int, n: int, draw: int = 0) -> int:
+        """A uniform integer in ``[0, n)`` at the given coordinates.
+
+        Derived from :meth:`uniform` by scaling, so like every counter
+        value it is a pure function of ``(root, stream, slot, draw)``.
+        The modulo-free construction keeps the tiny bias of ``state % n``
+        out (53 bits against any practical ``n``).
+
+        Raises:
+            ValueError: when ``n`` is not positive.
+        """
+        if n <= 0:
+            raise ValueError(f"randrange needs a positive bound, got {n}")
+        return int(self.uniform(stream, slot, draw) * n)
+
+    def choice(self, stream: int, slot: int, options: Sequence,
+               draw: int = 0):
+        """A uniform element of ``options`` at the given coordinates."""
+        return options[self.randrange(stream, slot, len(options), draw)]
 
     def draw(self, stream: int, slot: int) -> StreamDraw:
         """A ``random.Random``-like view of one ``(stream, slot)`` cell."""

@@ -5,7 +5,7 @@ import pytest
 from repro.experiments.registry import EXPERIMENTS, run_all, run_experiment
 
 FAST = ["fig1", "fig2", "fig4", "finite", "exactness", "dimensions",
-        "randmac"]
+        "randmac", "scenarios"]
 SLOW = ["fig3", "fig5", "thm1", "thm2", "collisions", "scaling", "mobile",
         "heuristics"]
 

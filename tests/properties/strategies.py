@@ -5,8 +5,11 @@ from __future__ import annotations
 from hypothesis import strategies as st
 
 from repro.lattice.sublattice import Sublattice
+from repro.scenarios.generators import EXACT_TILES
+from repro.scenarios.spec import ScenarioSpec
 from repro.tiles.prototile import Prototile
-from repro.utils.vectors import vadd
+from repro.tiles.shapes import GALLERY
+from repro.utils.vectors import box_points, vadd
 
 
 @st.composite
@@ -62,6 +65,90 @@ def transversal_prototiles(draw, max_index=10, scatter=2):
             tuple(shift[1] * b for b in basis[1]))
         cells.append(vadd(representative, offset))
     return Prototile(cells, name="transversal"), sublattice
+
+
+@st.composite
+def scenario_windows(draw, dimension=2, min_side=3, max_side=5, spread=4):
+    """A small closed window box ``(lo, hi)`` in ``Z^dimension``."""
+    lo = tuple(draw(st.integers(-spread, spread)) for _ in range(dimension))
+    sides = tuple(draw(st.integers(min_side, max_side))
+                  for _ in range(dimension))
+    return lo, tuple(c + side - 1 for c, side in zip(lo, sides))
+
+
+@st.composite
+def scenario_constructions(draw):
+    """Construction fields: (construction, prototile, radius, dimension,
+    pattern, slot count)."""
+    kind = draw(st.sampled_from(["prototile", "chebyshev", "multi"]))
+    if kind == "prototile":
+        name = draw(st.sampled_from(EXACT_TILES))
+        return kind, name, 1, 2, None, GALLERY[name].size
+    if kind == "chebyshev":
+        radius, dimension = draw(st.sampled_from(
+            [(1, 1), (2, 1), (1, 2), (1, 3)]))
+        return kind, None, radius, dimension, None, (2 * radius + 1) ** dimension
+    pattern = "".join(draw(st.lists(st.sampled_from("SZ"), min_size=1,
+                                    max_size=3)))
+    slots = 6 if len(set(pattern)) == 2 else 4
+    return kind, None, 1, 2, pattern, slots
+
+
+@st.composite
+def scenario_edit_scripts(draw, window, num_slots, max_steps=3):
+    """A random slot-reassignment script over the window points."""
+    points = st.sampled_from(window)
+    steps = []
+    for _ in range(draw(st.integers(1, max_steps))):
+        pairs = draw(st.dictionaries(points, st.integers(0, num_slots - 1),
+                                     min_size=1, max_size=3))
+        steps.append(tuple(sorted(pairs.items())))
+    return tuple(steps)
+
+
+@st.composite
+def scenario_specs(draw, allow_edits=True, allow_drift=True,
+                   allow_simulation=True):
+    """Random valid :class:`repro.scenarios.spec.ScenarioSpec` values.
+
+    Covers the full field space the generator families draw from —
+    every construction kind, failed sensors, drift rounds, edit scripts
+    and MAC choices — under the spec's own composition rules (edits and
+    drift exclude each other; edits only on 2-D constructions, mirroring
+    the families).
+    """
+    kind, prototile, radius, dimension, pattern, num_slots = \
+        draw(scenario_constructions())
+    lo, hi = draw(scenario_windows(dimension=dimension))
+    box = list(box_points(lo, hi))
+    failures = tuple(sorted(draw(st.sets(st.sampled_from(box),
+                                         max_size=min(3, len(box) - 1)))))
+    window = [p for p in box if p not in set(failures)]
+    edits = ()
+    drift = ()
+    if allow_edits and dimension == 2 and draw(st.booleans()):
+        edits = draw(scenario_edit_scripts(window, num_slots))
+    elif allow_drift and draw(st.booleans()):
+        move = st.tuples(*([st.integers(-2, 2)] * dimension)) \
+            .filter(lambda v: any(v))
+        drift = tuple(draw(st.lists(move, min_size=1, max_size=3)))
+    protocol = None
+    params = ()
+    sim_slots = sim_seed = 0
+    if allow_simulation and not edits and draw(st.booleans()):
+        protocol = draw(st.sampled_from(["schedule", "aloha", "csma",
+                                         "tdma"]))
+        if protocol in ("aloha", "csma"):
+            params = (("p", draw(st.sampled_from([0.1, 0.2, 0.3]))),)
+        sim_slots = draw(st.integers(8, 24))
+        sim_seed = draw(st.integers(0, 2 ** 31))
+    return ScenarioSpec(
+        family="hypothesis", seed=0, index=0,
+        construction=kind, prototile=prototile, radius=radius,
+        dimension=dimension, pattern=pattern,
+        window_lo=lo, window_hi=hi, failures=failures,
+        edits=edits, drift=drift, protocol=protocol,
+        protocol_params=params, sim_slots=sim_slots, sim_seed=sim_seed)
 
 
 @st.composite

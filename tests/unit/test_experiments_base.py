@@ -37,7 +37,7 @@ class TestRegistry:
     def test_registry_contains_all_paper_artifacts(self):
         expected = {"fig1", "fig2", "fig3", "fig4", "fig5", "thm1", "thm2",
                     "finite", "collisions", "randmac", "scaling", "mobile",
-                    "exactness", "heuristics", "dimensions"}
+                    "exactness", "heuristics", "dimensions", "scenarios"}
         assert set(EXPERIMENTS) == expected
 
     def test_unknown_experiment_raises(self):

@@ -1,0 +1,147 @@
+"""Session.save()/load() round-trips with warm caches and post-load edits.
+
+PR 4 pinned ``save``/``load`` on pristine sessions only; these tests
+close the gap: a session whose :class:`VerificationCache` instances are
+warm (including caches transferred through an ``edit()`` chain) must
+serialize to exactly its schedule, the reload must start with *cold*
+session state (caches are session state, not schedule state), and a
+reloaded session must support further ``edit()`` calls whose incremental
+re-verification matches a from-scratch full rescan.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.api import Box, Session
+from repro.core.schedule import find_collisions
+from repro.tiles.shapes import chebyshev_ball
+
+WINDOW = Box((0, 0), (4, 4))
+
+
+def _mapping_session() -> Session:
+    base = Session.for_chebyshev(1, window=WINDOW)
+    return base.restrict()
+
+
+class TestSaveWithWarmCaches:
+    def test_save_is_schedule_state_only(self):
+        session = _mapping_session()
+        cold = session.save()
+        session.verify()
+        session.verify()  # warm cache + a hit
+        assert session.cache_stats == (1, 1)
+        assert session.save() == cold
+
+    def test_save_after_edit_chain_serializes_the_edited_schedule(self):
+        session = _mapping_session()
+        session.verify()
+        edited = session.edit({(0, 0): 3, (2, 2): 7})
+        edited.verify()
+        reloaded = Session.load(edited.save(),
+                                neighborhood_of=edited.neighborhood_of)
+        assert reloaded.assign([(0, 0), (2, 2)]).slots \
+            == edited.assign([(0, 0), (2, 2)]).slots
+
+    def test_path_round_trip(self, tmp_path):
+        session = Session.for_chebyshev(1, window=WINDOW)
+        session.verify()
+        target = tmp_path / "schedule.json"
+        text = session.save(target)
+        assert target.read_text() == text
+        reloaded = Session.load(Path(target), window=WINDOW)
+        assert reloaded.verify().collision_free
+
+
+class TestLoadStartsCold:
+    def test_loaded_session_has_no_warm_caches(self):
+        session = _mapping_session()
+        session.verify()
+        session.verify()
+        reloaded = Session.load(session.save(),
+                                neighborhood_of=session.neighborhood_of)
+        assert reloaded.cache_stats == (0, 0)
+        report = reloaded.verify()
+        assert report.source == "scan"
+        assert report.checked_points == report.window_size
+
+    def test_loaded_collisions_match_the_original(self):
+        session = _mapping_session().edit({(1, 1): 0, (3, 3): 0})
+        original = session.verify()
+        reloaded = Session.load(
+            session.save(),
+            neighborhood_of=session.neighborhood_of)
+        assert reloaded.verify().collisions == original.collisions
+
+    def test_tiling_reload_rederives_its_own_interference(self):
+        session = Session.for_chebyshev(1, window=WINDOW)
+        reloaded = Session.load(session.save(), window=WINDOW)
+        # No neighborhood_of passed: the TilingSchedule carries its own.
+        assert reloaded.verify().collision_free
+
+
+class TestPostLoadEdits:
+    def test_edit_after_load_matches_a_full_rescan(self):
+        session = _mapping_session()
+        reloaded = Session.load(
+            session.save(),
+            neighborhood_of=session.neighborhood_of)
+        reloaded.verify()  # warm the cache so the edit goes incremental
+        edited = reloaded.edit({(0, 0): 5, (4, 4): 5, (0, 1): 5})
+        report = edited.verify()
+        assert report.source == "delta"
+        expected = find_collisions(edited.schedule,
+                                   edited.schedule.points,
+                                   session.neighborhood_of)
+        assert list(report.collisions) == expected
+
+    def test_edit_after_load_can_add_points(self):
+        session = _mapping_session()
+        reloaded = Session.load(
+            session.save(),
+            neighborhood_of=session.neighborhood_of)
+        grown = reloaded.edit({(9, 9): 2})
+        assert grown.verify().window_size == 26
+        # The lazily re-derived default window covers the added point.
+        assert (9, 9) in grown.window
+
+    def test_save_load_edit_save_load_chain(self):
+        first = _mapping_session()
+        second = Session.load(
+            first.save(), neighborhood_of=first.neighborhood_of)
+        third = second.edit({(2, 1): 8})
+        fourth = Session.load(
+            third.save(), neighborhood_of=first.neighborhood_of)
+        window = first.window
+        assert fourth.assign(window).slots == third.assign(window).slots
+        assert fourth.verify().collisions == third.verify().collisions
+
+    def test_loaded_tiling_session_still_rejects_edits(self):
+        reloaded = Session.load(
+            Session.for_chebyshev(1, window=WINDOW).save(), window=WINDOW)
+        with pytest.raises(TypeError, match="immutable"):
+            reloaded.edit({(0, 0): 1})
+        assert reloaded.restrict().edit({(0, 0): 1}) \
+            .assign([(0, 0)]).slots == [1]
+
+
+class TestRestrict:
+    """Session.restrict — the tiling -> editable-mapping bridge."""
+
+    def test_restriction_preserves_assignments_and_verdict(self):
+        base = Session.for_chebyshev(1, window=WINDOW)
+        restricted = base.restrict()
+        window = base.window
+        assert restricted.assign(window).slots == base.assign(window).slots
+        assert restricted.verify().collision_free
+
+    def test_restriction_requires_a_window(self):
+        with pytest.raises(ValueError, match="no default window"):
+            Session.for_chebyshev(1).restrict()
+
+    def test_restriction_accepts_an_explicit_box(self):
+        restricted = Session.for_prototile(chebyshev_ball(1)) \
+            .restrict(Box((0, 0), (2, 2)))
+        assert len(restricted.window) == 9
+        assert restricted.verify().collision_free
