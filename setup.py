@@ -1,11 +1,23 @@
-"""Setuptools shim for legacy tooling.
+"""Setuptools entry point for the repro package.
 
-All metadata lives in ``pyproject.toml``; builds go through the offline-
-friendly PEP 517 backend in ``_build_backend/offline_backend.py`` (see
-the comment in ``pyproject.toml``).  This file only keeps
-``python setup.py develop`` working as a fallback installation path.
+Keeps ``pip install -e .`` / ``python setup.py develop`` working without
+network access (the ``_build_backend/offline_backend.py`` shim covers
+PEP 517 front ends).  The ``py.typed`` marker ships with the package so
+type checkers apply the inline annotations of the typed core
+(``repro.api``, ``repro.engine.config``, ``repro.scenarios.spec``) per
+PEP 561.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-lattice-scheduling",
+    version="0.6.0",
+    description=("Reproduction of 'Scheduling sensors by tiling lattices' "
+                 "(PODC 2008): lattice tilings, schedules, verification, "
+                 "and a dual-backend simulation engine"),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    package_data={"repro": ["py.typed"]},
+    python_requires=">=3.10",
+)

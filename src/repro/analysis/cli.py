@@ -1,0 +1,172 @@
+"""``python -m repro.analysis`` — the invariant linter's command line.
+
+Subcommands:
+
+* ``check [--strict] [--format text|json] [--rule ID ...]
+  [--baseline FILE] PATH...`` — run the rules; exit 0 when clean, 1 on
+  findings (``--strict`` also fails on advice-severity findings), 2 on
+  usage errors.
+* ``explain RULE`` — print a rule's long-form documentation: the
+  invariant, why it holds, how to comply, how to pragma.
+* ``baseline -o FILE PATH...`` — accept the current findings so later
+  ``check --baseline FILE`` runs fail only on *new* violations
+  (incremental adoption).
+* ``typecheck`` — the strict-typing gate over the typed core
+  (``mypy --strict`` when installed, the annotation-completeness
+  fallback otherwise).
+* ``rules`` — list every registered rule with its one-line summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.analysis.core import (
+    check_paths,
+    get_rule,
+    all_rules,
+    iter_python_files,
+    load_baseline,
+    rule_ids,
+    save_baseline,
+)
+from repro.analysis.report import render_json, render_text
+from repro.analysis.typing_gate import TYPED_CORE, run_typing_gate
+
+__all__ = ["main", "build_parser"]
+
+EXIT_OK = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static invariant linter for the repro codebase")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    check = subparsers.add_parser(
+        "check", help="run the invariant rules over files/directories")
+    check.add_argument("paths", nargs="+", metavar="PATH",
+                       help="files or directories to check")
+    check.add_argument("--strict", action="store_true",
+                       help="fail on advice-severity findings too")
+    check.add_argument("--format", choices=("text", "json"),
+                       default="text", help="report format")
+    check.add_argument("--rule", action="append", dest="rules",
+                       metavar="ID", help="run only this rule "
+                       "(repeatable; default: all rules)")
+    check.add_argument("--baseline", metavar="FILE",
+                       help="suppress findings recorded by 'baseline'")
+
+    explain = subparsers.add_parser(
+        "explain", help="print one rule's documentation")
+    explain.add_argument("rule", metavar="RULE",
+                         help="rule id (see 'rules')")
+
+    baseline = subparsers.add_parser(
+        "baseline", help="record current findings as accepted")
+    baseline.add_argument("paths", nargs="+", metavar="PATH")
+    baseline.add_argument("-o", "--output", required=True, metavar="FILE",
+                          help="baseline file to write")
+
+    typecheck = subparsers.add_parser(
+        "typecheck", help="strict-typing gate over the typed core")
+    typecheck.add_argument("--root", default=".", metavar="DIR",
+                           help="repository root (default: cwd)")
+
+    subparsers.add_parser("rules", help="list registered rules")
+    return parser
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    baseline = None
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError) as error:
+            print(f"error: cannot read baseline {args.baseline}: {error}",
+                  file=sys.stderr)
+            return EXIT_USAGE
+    try:
+        if args.rules:
+            for rule_id in args.rules:
+                get_rule(rule_id)  # validate before checking anything
+        checked = sum(1 for _ in iter_python_files(args.paths))
+        active, suppressed = check_paths(args.paths, rules=args.rules,
+                                         baseline=baseline)
+    except (FileNotFoundError, KeyError) as error:
+        message = error.args[0] if error.args else error
+        print(f"error: {message}", file=sys.stderr)
+        return EXIT_USAGE
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(active, suppressed, checked_files=checked,
+                   strict=args.strict))
+    failing = active if args.strict \
+        else [v for v in active if v.severity == "error"]
+    return EXIT_FINDINGS if failing else EXIT_OK
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    try:
+        rule = get_rule(args.rule)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return EXIT_USAGE
+    print(f"{rule.id} — {rule.summary}")
+    print()
+    print(rule.explain.rstrip())
+    print()
+    print(f"Suppress (with a written reason, sparingly):")
+    print(f"    # repro: allow[{rule.id}] -- <why this line is exempt>")
+    return EXIT_OK
+
+
+def _cmd_baseline(args: argparse.Namespace) -> int:
+    try:
+        active, _ = check_paths(args.paths)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    count = save_baseline(args.output, active)
+    print(f"accepted {count} finding(s) into {args.output}")
+    return EXIT_OK
+
+
+def _cmd_typecheck(args: argparse.Namespace) -> int:
+    ok, mode, output = run_typing_gate(root=Path(args.root))
+    if output:
+        print(output)
+    print(f"typing gate ({mode}) over {len(TYPED_CORE)} typed-core "
+          f"file(s): {'OK' if ok else 'FAIL'}")
+    return EXIT_OK if ok else EXIT_FINDINGS
+
+
+def _cmd_rules() -> int:
+    for rule in all_rules():
+        print(f"{rule.id:24} {rule.summary}")
+    print(f"\n{len(rule_ids())} rule(s); "
+          f"'explain <rule>' prints the full contract")
+    return EXIT_OK
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as error:
+        # argparse exits 2 on usage errors already; normalize the type.
+        return int(error.code or 0)
+    if args.command == "check":
+        return _cmd_check(args)
+    if args.command == "explain":
+        return _cmd_explain(args)
+    if args.command == "baseline":
+        return _cmd_baseline(args)
+    if args.command == "typecheck":
+        return _cmd_typecheck(args)
+    return _cmd_rules()

@@ -1,0 +1,50 @@
+"""Rendering of linter findings: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+
+from repro.analysis.core import Violation
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(active: Sequence[Violation],
+                suppressed: Sequence[Violation], *,
+                checked_files: int, strict: bool) -> str:
+    """The human report: one line per finding plus a summary line."""
+    lines = [finding.format() for finding in active]
+    errors = sum(1 for v in active if v.severity == "error")
+    advice = len(active) - errors
+    failing = len(active) if strict else errors
+    summary = (f"{checked_files} file(s) checked: "
+               f"{errors} error(s), {advice} advice, "
+               f"{len(suppressed)} suppressed")
+    if failing:
+        summary += " — FAIL"
+        if strict and advice and not errors:
+            summary += " (advice fails under --strict)"
+    else:
+        summary += " — OK"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(active: Sequence[Violation],
+                suppressed: Sequence[Violation], *,
+                checked_files: int, strict: bool) -> str:
+    """The machine report: stable keys, findings in report order."""
+    errors = sum(1 for v in active if v.severity == "error")
+    payload = {
+        "checked_files": checked_files,
+        "strict": strict,
+        "ok": not (active if strict else
+                   [v for v in active if v.severity == "error"]),
+        "errors": errors,
+        "advice": len(active) - errors,
+        "suppressed": len(suppressed),
+        "violations": [v.to_dict() for v in active],
+        "suppressed_violations": [v.to_dict() for v in suppressed],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

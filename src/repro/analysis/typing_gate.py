@@ -1,0 +1,147 @@
+"""The strict-typing gate over the typed core of the library.
+
+``repro.api``, ``repro.engine.config`` and ``repro.scenarios.spec`` are
+the service-grade surface: they ship a ``py.typed`` marker and are held
+to ``mypy --strict``.  CI runs mypy directly; this module wraps that
+invocation *and* provides a dependency-free fallback so the gate also
+runs where mypy is not installed (the offline reproduction container):
+an AST pass asserting every function and method in the typed core is
+fully annotated — parameters and return — which is the part of strict
+mode that regresses most often.
+
+The fallback is deliberately a subset of mypy (it proves annotation
+*presence*, not *consistency*); when mypy is importable the real
+checker runs and the fallback result is ignored.
+"""
+
+from __future__ import annotations
+
+import ast
+import subprocess
+import sys
+from collections.abc import Iterator, Sequence
+from pathlib import Path
+
+from repro.analysis.core import ModuleInfo, Violation, parse_module
+
+__all__ = [
+    "TYPED_CORE",
+    "mypy_available",
+    "run_mypy",
+    "annotation_gaps",
+    "run_typing_gate",
+]
+
+#: Modules held to ``mypy --strict``, as paths relative to the repo root.
+TYPED_CORE = (
+    "src/repro/api.py",
+    "src/repro/engine/config.py",
+    "src/repro/scenarios/spec.py",
+)
+
+
+def mypy_available() -> bool:
+    """True when mypy is importable in this interpreter."""
+    try:
+        import mypy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def run_mypy(paths: Sequence[str | Path],
+             root: Path | None = None) -> tuple[int, str]:
+    """Run ``mypy --strict`` over the given files; (returncode, output).
+
+    ``--follow-imports=silent`` keeps strictness scoped to the named
+    typed-core files — their imports are followed for types but not
+    themselves held to strict mode, so the gate can be adopted module
+    by module.
+    """
+    command = [
+        sys.executable, "-m", "mypy", "--strict",
+        "--follow-imports=silent", "--no-error-summary",
+        *map(str, paths),
+    ]
+    result = subprocess.run(
+        command, capture_output=True, text=True, cwd=root,
+        env=_mypy_env(root))
+    return result.returncode, (result.stdout + result.stderr).strip()
+
+
+def _mypy_env(root: Path | None) -> dict[str, str]:
+    import os
+    env = dict(os.environ)
+    src = str(((root or Path.cwd()) / "src").resolve())
+    existing = env.get("MYPYPATH")
+    env["MYPYPATH"] = f"{src}:{existing}" if existing else src
+    return env
+
+
+def annotation_gaps(paths: Sequence[str | Path],
+                    root: Path | None = None) -> list[Violation]:
+    """AST fallback: every def in the typed core is fully annotated.
+
+    Flags parameters (beyond ``self``/``cls``) without annotations and
+    functions without a return annotation.  ``*args``/``**kwargs`` are
+    included — strict mode requires them typed too.
+    """
+    findings: list[Violation] = []
+    for path in paths:
+        info = parse_module(Path(path), root=root)
+        findings.extend(_module_gaps(info))
+    return findings
+
+
+def _module_gaps(info: ModuleInfo) -> Iterator[Violation]:
+    for node in ast.walk(info.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        args = node.args
+        params = list(args.posonlyargs) + list(args.args)
+        if params and params[0].arg in ("self", "cls"):
+            params = params[1:]
+        params += list(args.kwonlyargs)
+        if args.vararg is not None:
+            params.append(args.vararg)
+        if args.kwarg is not None:
+            params.append(args.kwarg)
+        for param in params:
+            if param.annotation is None:
+                yield Violation(
+                    rule="typing-gate", path=info.relpath,
+                    line=node.lineno,
+                    message=(f"parameter {param.arg!r} of "
+                             f"'{node.name}' lacks a type annotation "
+                             f"(typed core is held to mypy --strict)"))
+        if node.returns is None:
+            yield Violation(
+                rule="typing-gate", path=info.relpath, line=node.lineno,
+                message=(f"'{node.name}' lacks a return annotation "
+                         f"(typed core is held to mypy --strict)"))
+
+
+def run_typing_gate(root: Path | None = None,
+                    paths: Sequence[str] | None = None,
+                    ) -> tuple[bool, str, str]:
+    """Run the gate: mypy when available, the AST fallback otherwise.
+
+    Returns:
+        ``(ok, mode, output)`` where ``mode`` is ``"mypy"`` or
+        ``"annotations"``.
+    """
+    base = root or Path.cwd()
+    targets = [base / p for p in (paths or TYPED_CORE)]
+    missing = [str(t) for t in targets if not t.exists()]
+    if missing:
+        return False, "annotations", \
+            "typed-core file(s) missing: " + ", ".join(missing)
+    if mypy_available():
+        returncode, output = run_mypy(targets, root=base)
+        return returncode == 0, "mypy", output
+    gaps = annotation_gaps(targets, root=base)
+    output = "\n".join(v.format() for v in gaps)
+    if not gaps:
+        output = (f"mypy not installed; annotation-completeness fallback "
+                  f"passed on {len(targets)} typed-core file(s)")
+    return not gaps, "annotations", output

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import os
 from collections.abc import Iterable, Iterator, Mapping, Sequence
-from contextlib import nullcontext
+from contextlib import AbstractContextManager, nullcontext
 from dataclasses import dataclass
 from typing import Any, Callable, NamedTuple
 
@@ -269,7 +269,7 @@ class Session:
                  config: EngineConfig | None = None,
                  window: WindowLike | None = None,
                  neighborhood_of: NeighborhoodFn | None = None,
-                 offsets: Iterable[IntVec] | None = None):
+                 offsets: Iterable[IntVec] | None = None) -> None:
         require(hasattr(schedule, "slot_of"),
                 "a Session needs a schedule-like object (slot_of)")
         if config is not None and not isinstance(config, EngineConfig):
@@ -402,7 +402,7 @@ class Session:
                 f"slots={self._schedule.num_slots}, window={window})")
 
     # -- internals -----------------------------------------------------
-    def _applied(self):
+    def _applied(self) -> AbstractContextManager[None]:
         """Context installing this session's explicit config fields."""
         config = self._config
         if config is None or (config.backend is None
@@ -632,7 +632,7 @@ class Session:
                  seed: int | None = None,
                  energy_model: EnergyModel = UNIT_TX_MODEL,
                  bulk_decisions: bool | None = None,
-                 **protocol_params) -> SimulationMetrics:
+                 **protocol_params: Any) -> SimulationMetrics:
         """Run the slotted broadcast simulator over this session's window.
 
         ``protocol`` is a constructed :class:`MACProtocol` or a

@@ -32,7 +32,7 @@ from __future__ import annotations
 import dataclasses
 from contextlib import ExitStack, contextmanager
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Any, Iterator
 
 __all__ = [
     "EngineConfig",
@@ -114,7 +114,7 @@ class EngineConfig:
             return shard_workers()
         return min(self.workers, _MAX_WORKERS)
 
-    def replace(self, **changes) -> EngineConfig:
+    def replace(self, **changes: Any) -> EngineConfig:
         """A copy with some fields changed (the dataclass ``replace``)."""
         return dataclasses.replace(self, **changes)
 

@@ -126,11 +126,15 @@ class CosetTable:
                     and (array.size == 0
                          or int(np.abs(array).max()) < _MAX_COORD)):
                 return self._lookup_numpy(np, array)
+        return self._lookup_python(points)
+
+    def _lookup_python(self, points: Sequence[Sequence[int]]) -> list[int]:
         canonical = self._sublattice.canonical_representative
         values = self._values
         return [values[canonical(p)] for p in points]
 
     # ------------------------------------------------------------------
+    # repro: allow[backend-parity] -- numpy-branch-private constant cache, not a dispatched kernel; the python path reads _basis/_table directly
     def _numpy_constants(self, np):
         if self._numpy_cache is None:
             columns = [np.asarray(column, dtype=np.int64)

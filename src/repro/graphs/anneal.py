@@ -23,7 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graphs.coloring import dsatur_coloring, is_proper_coloring
-from repro.utils.rng import make_rng
+from repro.utils.rng import make_np_rng, make_rng
 from repro.utils.validation import require_positive
 
 __all__ = ["mean_field_coloring", "anneal_minimum_slots"]
@@ -46,7 +46,7 @@ def mean_field_coloring(graph: dict, num_slots: int,
     index = {node: i for i, node in enumerate(nodes)}
     n = len(nodes)
     rng = make_rng(seed)
-    rng_np = np.random.default_rng(rng.getrandbits(32))
+    rng_np = make_np_rng(rng.getrandbits(32))
 
     # Soft assignments, initialized near-uniform with symmetry-breaking noise.
     v = np.full((n, num_slots), 1.0 / num_slots)

@@ -18,8 +18,12 @@ neither; a transmitting sensor cannot receive.
 from __future__ import annotations
 
 import math
-import random
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    # Annotations only — runtime randomness flows through make_rng.
+    import random
 
 from repro.core.mobile import MobileScheduler
 from repro.net.metrics import SimulationMetrics

@@ -33,9 +33,13 @@ p=0.2)`` request-style instead of requiring constructed objects.
 from __future__ import annotations
 
 import abc
-import random
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    # Annotations only — runtime draws arrive via the rng parameter.
+    import random
 
 from repro.core.schedule import Schedule
 from repro.engine.randmac import bernoulli_block, masked_bernoulli_block

@@ -24,8 +24,8 @@ import hashlib
 import random
 from collections.abc import Sequence
 
-__all__ = ["make_rng", "spawn_rng", "stream_root", "label_stream",
-           "StreamRNG", "StreamDraw"]
+__all__ = ["make_rng", "spawn_rng", "make_np_rng", "stream_root",
+           "label_stream", "StreamRNG", "StreamDraw"]
 
 _DEFAULT_SEED = 0x5EED
 
@@ -71,6 +71,32 @@ def spawn_rng(parent: random.Random, stream: int) -> random.Random:
     material = repr((parent.getstate(), int(stream))).encode()
     return random.Random(int.from_bytes(hashlib.sha256(material).digest(),
                                         "big"))
+
+
+def make_np_rng(seed: int | random.Random | None = None):
+    """A seeded ``numpy.random.Generator`` from any accepted seed form.
+
+    This is the *only* sanctioned route to numpy randomness — the
+    static determinism rule (``repro.analysis``) forbids
+    ``numpy.random`` everywhere outside this module, so every numpy
+    generator in the library is reproducible from a seed that flows
+    through here.  An integer seeds ``default_rng`` directly (so
+    callers migrating from ``np.random.default_rng(n)`` keep their
+    exact streams); ``None`` uses the library-wide default seed; a
+    ``random.Random`` is digested from its state via
+    :func:`stream_root` without advancing it.
+
+    Raises:
+        ImportError: when numpy is not installed — numpy randomness is
+            only for code paths that already require numpy.
+    """
+    import numpy
+
+    if isinstance(seed, random.Random):
+        return numpy.random.default_rng(stream_root(seed))
+    if seed is None:
+        seed = _DEFAULT_SEED
+    return numpy.random.default_rng(seed)
 
 
 def _mix64(x: int) -> int:
