@@ -10,7 +10,7 @@ import time
 
 import pytest
 
-from repro.api import EngineConfig, Session
+from repro.api import Box, EngineConfig, Session
 from repro.core.schedule import find_collisions
 from repro.engine import cpu_budget, numpy_available
 from repro.experiments.base import format_rows
@@ -243,6 +243,85 @@ def test_randmac_simulator_speedup(report, record_scaling, benchmark):
            f"{bulk_time * 1e3:.1f} ms ({speedup:.1f}x), metrics "
            f"identical on numpy / python / scalar paths")
     assert speedup >= 10
+
+
+def test_certificate_reverification_speedup(report, record_scaling):
+    """Certificate-served congruent windows vs a full scan (ROADMAP item).
+
+    A Theorem 1 schedule certifies once (a fundamental-domain scan, a
+    hundred-odd points) and then answers *any* congruent window in O(1).
+    The gate: re-verifying a translated 10^5-sensor window through the
+    certificate must beat the full scan by >= 50x and return the same
+    (empty) collision list.
+    """
+    side = _BULK_SIDE
+    session = Session(_SCHEDULE)
+
+    t0 = time.perf_counter()
+    full = session.verify(Box((0, 0), (side - 1, side - 1)),
+                          use_cache=False)
+    full_time = time.perf_counter() - t0
+    assert full.collision_free
+
+    session.verify(Box((0, 0), (side - 1, side - 1)))  # certify + serve
+    certificate_time = float("inf")
+    for step in range(1, 6):
+        translated = Box((7 * step, 11 * step),
+                         (7 * step + side - 1, 11 * step + side - 1))
+        t0 = time.perf_counter()
+        served = session.verify(translated)
+        certificate_time = min(certificate_time,
+                               time.perf_counter() - t0)
+        assert served.source == "certificate"
+        assert served.checked_points == 0
+        assert served.collisions == full.collisions == ()
+
+    speedup = full_time / certificate_time
+    record_scaling("certificate-verification/full-scan",
+                   seconds=full_time, sensors=side * side)
+    record_scaling("certificate-verification/congruent-window",
+                   seconds=certificate_time, speedup=speedup,
+                   sensors=side * side)
+    report("Engine — certificate verification",
+           f"{side * side} sensors: full scan {full_time * 1e3:.0f} ms, "
+           f"certificate-served congruent window "
+           f"{certificate_time * 1e6:.0f} us ({speedup:.0f}x), verdicts "
+           f"identical")
+    assert speedup >= 50
+
+
+def test_streamed_window_bounded_memory(report, record_scaling):
+    """A 10^7-point window verified out-of-core under a hard memory cap.
+
+    ``stream_box_collisions`` materializes one axis-0 slab at a time, so
+    peak allocation must track the 2x10^5-point chunk, never the 10^7
+    window — a generous 256 MiB ceiling that a materialized window (a
+    GiB-scale list of tuples) would blow past.
+    """
+    import tracemalloc
+
+    from repro.core.certify import stream_box_collisions
+
+    side = 3163  # 3163^2 = 10,004,569 points
+    tracemalloc.start()
+    try:
+        t0 = time.perf_counter()
+        collisions = stream_box_collisions(
+            _SCHEDULE, (0, 0), (side - 1, side - 1),
+            _SCHEDULE.neighborhood_of, chunk_points=200_000)
+        seconds = time.perf_counter() - t0
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    assert collisions == []
+    record_scaling("streamed-verification/out-of-core", seconds=seconds,
+                   sensors=side * side, chunk_points=200_000,
+                   peak_mib=round(peak / 2**20, 1))
+    report("Engine — streamed out-of-core verification",
+           f"{side * side} sensors in 200k-point slabs: "
+           f"{seconds:.1f} s end to end, {peak / 2**20:.0f} MiB peak "
+           f"traced allocation (window itself never materialized)")
+    assert peak < 256 * 2**20
 
 
 def _interleaved_min(direct, facade, rounds):

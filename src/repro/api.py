@@ -37,6 +37,11 @@ from contextlib import AbstractContextManager, nullcontext
 from dataclasses import dataclass
 from typing import Any, Callable, NamedTuple
 
+from repro.core.certify import (
+    PeriodicCertificate,
+    certify_schedule,
+    stream_box_collisions,
+)
 from repro.core.schedule import (
     Collision,
     MappingSchedule,
@@ -105,6 +110,14 @@ class Box(NamedTuple):
     lo: tuple[int, ...]
     hi: tuple[int, ...]
 
+    def _corners(self) -> tuple[IntVec, IntVec]:
+        lo, hi = as_intvec(self.lo), as_intvec(self.hi)
+        if len(lo) != len(hi) or any(l > h for l, h in zip(lo, hi)):
+            raise ValueError(
+                f"Box corners must satisfy lo <= hi per dimension; got "
+                f"lo={lo}, hi={hi}")
+        return lo, hi
+
     def points(self) -> list[IntVec]:
         """Every lattice point of the box, in box_points order.
 
@@ -113,12 +126,21 @@ class Box(NamedTuple):
                 are swapped (``lo > hi`` on some axis) — an empty box
                 is always a caller mistake, never a window.
         """
-        lo, hi = as_intvec(self.lo), as_intvec(self.hi)
-        if len(lo) != len(hi) or any(l > h for l, h in zip(lo, hi)):
-            raise ValueError(
-                f"Box corners must satisfy lo <= hi per dimension; got "
-                f"lo={lo}, hi={hi}")
+        lo, hi = self._corners()
         return list(box_points(lo, hi))
+
+    def volume(self) -> int:
+        """Lattice-point count of the box, without materializing it.
+
+        The certificate and streaming verification paths report window
+        sizes for boxes far too large to expand; same corner
+        validation as :meth:`points`.
+        """
+        lo, hi = self._corners()
+        volume = 1
+        for low, high in zip(lo, hi):
+            volume *= high - low + 1
+        return volume
 
 
 #: Window specifications accepted by Session: an iterable of points
@@ -207,13 +229,20 @@ class VerificationReport:
         window_size: sensors in the verified window.
         source: how the answer was produced — ``"scan"`` (full window
             scan), ``"delta"`` (incremental dirty-region re-verification
-            after an :meth:`Session.edit`), or ``"cache"`` (returned from
-            the warm cache without rescanning).
+            after an :meth:`Session.edit`), ``"cache"`` (returned from
+            the warm cache without rescanning), or ``"certificate"``
+            (answered from the schedule's
+            :class:`~repro.core.certify.PeriodicCertificate` — one
+            fundamental-domain scan covers every congruent window).
         checked_points: sensors actually (re)scanned for this answer:
             the window for a scan, the changed points that fall inside
-            this window for a delta, 0 for a cache hit.
-        cache_hits: session-lifetime count of cache-served verifies.
-        cache_misses: session-lifetime count of full scans.
+            this window for a delta, 0 for a cache hit; the first
+            certificate-served verify reports the fundamental-domain
+            points the certifying scan covered, later ones 0.
+        cache_hits: session-lifetime count of cache- or
+            certificate-served verifies.
+        cache_misses: session-lifetime count of full scans (the
+            certifying fundamental-domain scan included).
         backend: engine backend in effect for the request.
         workers: shard worker count in effect for the request.
     """
@@ -292,6 +321,13 @@ class Session:
         self._networks: dict[tuple[IntVec, ...], Network] = {}
         self._cache_hits = 0
         self._cache_misses = 0
+        #: Lazily-built PeriodicCertificate for lattice-periodic
+        #: schedules (None after a failed attempt); ``_served`` flips
+        #: after the first certificate answer so the certifying scan's
+        #: cost is reported exactly once.
+        self._certificate_value: PeriodicCertificate | None = None
+        self._certificate_tried = False
+        self._certificate_served = False
         #: Per-cache-key count of the edited points inside that window
         #: (keys the edit never touched are absent); the first
         #: cache-served verify of such a window reports the count as
@@ -442,6 +478,54 @@ class Session:
                 "the Session with neighborhood_of=")
         return self._neighborhood_of
 
+    def _certificate(self) -> PeriodicCertificate | None:
+        """The schedule's periodicity certificate, built at most once.
+
+        Only a session whose interference model is the schedule's *own*
+        bound ``neighborhood_of`` method is eligible — a caller-supplied
+        neighborhood function is not what the certifying scan covers.
+        Schedules without lattice structure (or with overridden
+        neighborhoods) yield ``None`` and the attempt is not repeated.
+        """
+        if not self._certificate_tried:
+            self._certificate_tried = True
+            bound_to = getattr(self._neighborhood_of, "__self__", None)
+            if bound_to is self._schedule:
+                with self._applied():
+                    self._certificate_value = certify_schedule(
+                        self._schedule)
+        return self._certificate_value
+
+    def _verify_from_certificate(
+            self, certificate: PeriodicCertificate,
+            window: WindowLike | None) -> VerificationReport:
+        """Answer a verify from a collision-free certificate, O(1).
+
+        A ``Box`` window is sized arithmetically — never expanded — so
+        astronomically large windows stay O(1).  The certifying scan's
+        cost (``certificate.checked_points``) is charged to the first
+        served verify as a cache miss; every later serve is a free hit.
+        """
+        if isinstance(window, Box):
+            window_size = window.volume()
+        else:
+            window_size = len(self._window_list(window))
+        if not self._certificate_served:
+            self._certificate_served = True
+            self._cache_misses += 1
+            checked = certificate.checked_points
+        else:
+            self._cache_hits += 1
+            checked = 0
+        with self._applied():
+            backend, workers = active_backend(), shard_workers()
+        return VerificationReport(
+            collisions=(), window_size=window_size,
+            source="certificate", checked_points=checked,
+            cache_hits=self._cache_hits,
+            cache_misses=self._cache_misses,
+            backend=backend, workers=workers)
+
     # -- lifecycle: assign ---------------------------------------------
     def assign(self, points: Iterable[Sequence[int]]) -> SlotAssignment:
         """Slots for a batch of sensors, served by the bulk engine.
@@ -467,7 +551,8 @@ class Session:
     # -- lifecycle: verify ---------------------------------------------
     def verify(self, window: WindowLike | None = None, *,
                offsets: Iterable[IntVec] | None = None,
-               use_cache: bool = True) -> VerificationReport:
+               use_cache: bool = True,
+               stream_chunk: int | None = None) -> VerificationReport:
         """Collision report over a window (cached, incremental-aware).
 
         The first verify of a window runs the full bulk scan and warms a
@@ -477,10 +562,49 @@ class Session:
         (reporting the dirty-set size it cost).  ``use_cache=False``
         bypasses the cache layer entirely and scans fresh — the exact
         :func:`~repro.core.schedule.find_collisions` call.
+
+        Lattice-periodic schedules verified with their own interference
+        model short-circuit through a
+        :class:`~repro.core.certify.PeriodicCertificate`: once the coset
+        fundamental domain certifies collision-free, every congruent
+        window — including a :class:`Box` too large to enumerate — is
+        answered in O(1) with ``source="certificate"``.  Explicit
+        ``offsets`` (here or on the constructor), ``use_cache=False``,
+        and ``stream_chunk`` all bypass the certificate.
+
+        ``stream_chunk`` requires a :class:`Box` window and scans it in
+        axis-0 slabs of about that many points via
+        :func:`~repro.core.certify.stream_box_collisions`, bounding
+        memory for out-of-core windows; the result is bit-identical to
+        the one-shot scan but is never cached.
         """
+        offset_list = self._offsets if offsets is None else list(offsets)
+        if stream_chunk is not None:
+            if not isinstance(window, Box):
+                raise ValueError(
+                    "stream_chunk= requires a Box window; point iterables "
+                    "are already materialized, so stream a Box(lo, hi) "
+                    "instead")
+            neighborhood = self._require_neighborhood()
+            lo, hi = window._corners()
+            volume = window.volume()
+            with self._applied():
+                collisions = stream_box_collisions(
+                    self._schedule, lo, hi, neighborhood,
+                    offsets=offset_list, chunk_points=stream_chunk)
+                backend, workers = active_backend(), shard_workers()
+            return VerificationReport(
+                collisions=tuple(collisions), window_size=volume,
+                source="scan", checked_points=volume,
+                cache_hits=self._cache_hits,
+                cache_misses=self._cache_misses,
+                backend=backend, workers=workers)
+        if use_cache and offset_list is None:
+            certificate = self._certificate()
+            if certificate is not None and certificate.collision_free:
+                return self._verify_from_certificate(certificate, window)
         window_list = self._window_list(window)
         neighborhood = self._require_neighborhood()
-        offset_list = self._offsets if offsets is None else list(offsets)
         if not use_cache:
             with self._applied():
                 collisions = find_collisions(self._schedule, window_list,

@@ -1,0 +1,462 @@
+"""Certificate verification: O(fundamental domain) instead of O(window).
+
+The paper's Theorem 1/2 schedules are lattice-periodic: the slot (and
+the interference shape) of a sensor repeats under the tiling's period
+sublattice ``P``, so for any pair ``(x, x + delta)`` and the canonical
+representative ``r`` of ``x + P``,
+
+    ``(x, x + delta)`` collides  iff  ``(r, r + delta)`` collides.
+
+Scanning the ``[Z^d : P]`` coset representatives against the
+conflict-radius boundary therefore decides collision-freeness of the
+*infinite* schedule — every window of every size — in one pass over the
+fundamental domain.  :func:`certify_schedule` runs that scan and emits a
+:class:`PeriodicCertificate`:
+
+* **collision-free** certificates answer any congruent window in O(1)
+  (``verify_points`` / ``verify_box`` return ``[]`` without touching the
+  window);
+* a **colliding** certificate stores the colliding ``(representative,
+  offset)`` classes, from which the concrete colliding pairs of any
+  window are enumerated — still without rescanning slots;
+* certificates serialize (:meth:`PeriodicCertificate.to_json`) and
+  re-attach to a reloaded schedule by content digest
+  (:meth:`PeriodicCertificate.covers`).
+
+Aperiodic :class:`~repro.core.schedule.MappingSchedule` regions have no
+period to exploit; :func:`certify_schedule` returns ``None`` and callers
+fall back to the full scan.
+
+For windows too large to materialize (10^8+ points),
+:func:`stream_box_collisions` scans a box window in bounded memory:
+axis-0 slabs plus a conflict-radius halo, each chunk verified by the
+ordinary bulk engine, results concatenated in canonical order — bit
+identical to a one-shot :func:`~repro.core.schedule.find_collisions`
+over the whole box, on both backends.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Sequence
+
+from repro.core.schedule import (
+    Collision,
+    MultiTilingSchedule,
+    NeighborhoodFn,
+    Schedule,
+    TilingSchedule,
+    _bulk_slots,
+    _default_offsets,
+    _origin_shapes,
+    conflict_offsets,
+    find_collisions,
+)
+from repro.core.serialize import schedule_digest
+from repro.lattice.sublattice import Sublattice
+from repro.utils.vectors import IntVec, as_intvec, box_points, vadd, vsub
+
+__all__ = [
+    "PeriodicCertificate",
+    "certify_periodic",
+    "certify_schedule",
+    "certificate_from_dict",
+    "certificate_from_json",
+    "stream_box_collisions",
+]
+
+#: Default chunk size (points per axis-0 slab) for streamed box scans.
+DEFAULT_CHUNK_POINTS = 200_000
+
+
+def _validated_box(lo: Sequence[int],
+                   hi: Sequence[int]) -> tuple[IntVec, IntVec]:
+    lo_vec, hi_vec = as_intvec(lo), as_intvec(hi)
+    if len(lo_vec) != len(hi_vec) \
+            or any(l > h for l, h in zip(lo_vec, hi_vec)):
+        raise ValueError(
+            f"box corners must satisfy lo <= hi per dimension; got "
+            f"lo={lo_vec}, hi={hi_vec}")
+    return lo_vec, hi_vec
+
+
+def _coset_points_in_box(period: Sublattice, representative: IntVec,
+                         lo: IntVec, hi: IntVec) -> list[IntVec]:
+    """All points of ``representative + period`` inside ``[lo, hi]``.
+
+    The HNF basis is lower triangular (coefficient of basis vector
+    ``j`` only affects coordinates ``>= j``), so coefficients are
+    enumerated one axis at a time against the remaining coordinate
+    slack — O(d) per emitted point, no scan over the box.
+    """
+    basis = period.basis
+    dimension = period.dimension
+    points: list[IntVec] = []
+
+    def descend(axis: int, partial: list[int]) -> None:
+        if axis == dimension:
+            points.append(tuple(partial))
+            return
+        diagonal = basis[axis][axis]
+        low = lo[axis] - partial[axis]
+        high = hi[axis] - partial[axis]
+        first = -((-low) // diagonal)    # ceil(low / diagonal)
+        last = high // diagonal          # floor(high / diagonal)
+        column = basis[axis]
+        for coefficient in range(first, last + 1):
+            extended = list(partial)
+            for i in range(axis, dimension):
+                extended[i] += coefficient * column[i]
+            descend(axis + 1, extended)
+
+    descend(0, list(representative))
+    return points
+
+
+class PeriodicCertificate:
+    """Proof object for a lattice-periodic schedule's collision status.
+
+    Produced by :func:`certify_schedule` / :func:`certify_periodic`;
+    records the verdict of one fundamental-domain scan.  A certificate
+    with no ``colliding_classes`` proves the schedule collision-free
+    over *every* window; otherwise ``colliding_classes`` holds the
+    ``(representative, offset)`` pairs from which the colliding pairs
+    of any concrete window are enumerated.
+
+    Attributes:
+        period: the period sublattice the scan quotiented by.
+        num_slots: slot count of the certified schedule.
+        offsets: the lexicographically positive conflict offsets probed
+            from each representative (the certificate's geometry; fixed
+            at certification).
+        colliding_classes: sorted ``(representative, offset)`` pairs
+            whose whole coset collides; empty means collision-free.
+        checked_points: lattice points the certifying scan actually
+            looked at — the representatives plus one boundary probe per
+            (representative, offset).
+        schedule_digest: content digest of the certified schedule's
+            serial form (``None`` when the schedule has none); lets a
+            deserialized certificate re-attach via :meth:`covers`.
+    """
+
+    def __init__(self, *, period: Sublattice, num_slots: int,
+                 offsets: tuple[IntVec, ...],
+                 colliding_classes: tuple[tuple[IntVec, IntVec], ...],
+                 checked_points: int,
+                 schedule_digest: str | None = None,
+                 schedule: Schedule | None = None) -> None:
+        self.period = period
+        self.num_slots = num_slots
+        self.offsets = offsets
+        self.colliding_classes = colliding_classes
+        self.checked_points = checked_points
+        self.schedule_digest = schedule_digest
+        self._schedule = schedule
+        self._deltas_cache: dict[IntVec, tuple[IntVec, ...]] | None = None
+
+    # -- verdicts ------------------------------------------------------
+    @property
+    def collision_free(self) -> bool:
+        """True when the certified schedule never collides, anywhere."""
+        return not self.colliding_classes
+
+    def covers(self, schedule: Schedule) -> bool:
+        """True when this certificate speaks for ``schedule``.
+
+        The schedule it was built from is covered by identity; any
+        other schedule must match by serialized content digest (so a
+        save/load round-trip keeps its certificate).  Schedules without
+        a serial form only ever match by identity.
+        """
+        if self._schedule is not None and schedule is self._schedule:
+            return True
+        if self.schedule_digest is None:
+            return False
+        try:
+            return schedule_digest(schedule) == self.schedule_digest
+        except TypeError:
+            return False
+
+    def _deltas_by_representative(self) -> dict[IntVec, tuple[IntVec, ...]]:
+        if self._deltas_cache is None:
+            grouped: dict[IntVec, list[IntVec]] = {}
+            for representative, delta in self.colliding_classes:
+                grouped.setdefault(representative, []).append(delta)
+            self._deltas_cache = {r: tuple(ds) for r, ds in grouped.items()}
+        return self._deltas_cache
+
+    def verify_points(self,
+                      points: Iterable[Sequence[int]]) -> list[Collision]:
+        """The certified schedule's colliding pairs among ``points``.
+
+        Bit-identical to :func:`~repro.core.schedule.find_collisions`
+        over the same window (same pair order, same duplicate-window
+        semantics) — O(1) when the certificate is collision-free,
+        O(|window|) class enumeration otherwise, never a slot rescan.
+        """
+        if self.collision_free:
+            return []
+        point_list = [as_intvec(p) for p in points]
+        if not point_list:
+            return []
+        window = set(point_list)
+        canonical = self.period.canonical_representative
+        deltas = self._deltas_by_representative()
+        collisions: list[Collision] = []
+        for x in point_list:
+            for delta in deltas.get(canonical(x), ()):
+                y = vadd(x, delta)
+                if y in window:
+                    collisions.append((x, y))
+        collisions.sort()
+        return collisions
+
+    def verify_box(self, lo: Sequence[int],
+                   hi: Sequence[int]) -> list[Collision]:
+        """Colliding pairs inside the closed box ``[lo, hi]``.
+
+        Never materializes the box: the colliding cosets are enumerated
+        directly from the period basis, so a clean certificate answers
+        a 10^8-point box in O(1) and a colliding one in O(|output|).
+        """
+        lo_vec, hi_vec = _validated_box(lo, hi)
+        if self.collision_free:
+            return []
+        collisions: list[Collision] = []
+        for representative, delta in self.colliding_classes:
+            for x in _coset_points_in_box(self.period, representative,
+                                          lo_vec, hi_vec):
+                y = vadd(x, delta)
+                if all(l <= c <= h for c, l, h in zip(y, lo_vec, hi_vec)):
+                    collisions.append((x, y))
+        collisions.sort()
+        return collisions
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> dict:
+        """A JSON-able description (round-trips via
+        :func:`certificate_from_dict`)."""
+        return {
+            "kind": "periodic-certificate",
+            "period_basis": [list(v) for v in self.period.basis],
+            "num_slots": self.num_slots,
+            "offsets": [list(d) for d in self.offsets],
+            "colliding_classes": [[list(r), list(d)]
+                                  for r, d in self.colliding_classes],
+            "checked_points": self.checked_points,
+            "schedule_digest": self.schedule_digest,
+        }
+
+    def to_json(self) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    def __repr__(self) -> str:
+        verdict = ("collision-free" if self.collision_free
+                   else f"{len(self.colliding_classes)} colliding classes")
+        return (f"PeriodicCertificate({verdict}, "
+                f"period_index={self.period.index}, "
+                f"checked_points={self.checked_points})")
+
+
+def certificate_from_dict(data: dict) -> PeriodicCertificate:
+    """Rebuild a certificate from :meth:`PeriodicCertificate.to_dict`."""
+    if data.get("kind") != "periodic-certificate":
+        raise ValueError(f"unknown certificate kind: {data.get('kind')!r}")
+    period = Sublattice([tuple(v) for v in data["period_basis"]])
+    return PeriodicCertificate(
+        period=period,
+        num_slots=int(data["num_slots"]),
+        offsets=tuple(tuple(d) for d in data["offsets"]),
+        colliding_classes=tuple(
+            (tuple(r), tuple(d)) for r, d in data["colliding_classes"]),
+        checked_points=int(data["checked_points"]),
+        schedule_digest=data.get("schedule_digest"),
+    )
+
+
+def certificate_from_json(text: str) -> PeriodicCertificate:
+    """Rebuild a certificate from :meth:`PeriodicCertificate.to_json`."""
+    return certificate_from_dict(json.loads(text))
+
+
+def certify_periodic(schedule: Schedule, period: Sublattice,
+                     neighborhood_of: NeighborhoodFn,
+                     offsets: Iterable[IntVec] | None = None,
+                     ) -> PeriodicCertificate:
+    """Certify any schedule that is periodic under ``period``.
+
+    The caller asserts the periodicity contract: for every ``p`` in the
+    period, ``slot(x + p) == slot(x)`` *and* the interference shape of
+    ``x + p`` equals that of ``x``.  (Theorem 1/2 schedules satisfy it
+    by construction; :func:`certify_schedule` is the safe front door
+    that checks the structure itself.)  Under that contract a pair
+    collides iff its representative class does, so the scan covers one
+    canonical representative per coset plus the conflict-radius
+    boundary around each.
+
+    Args:
+        schedule: the slot assignment (duck-typed; ``slots_of`` /
+            ``slot_of`` is all that is required).
+        period: the period sublattice.
+        neighborhood_of: interference map (pass the schedule's own
+            ``neighborhood_of`` for Theorem 1/2 schedules).
+        offsets: candidate conflict offsets; derived from the domain's
+            interference shapes when omitted.  As with
+            :func:`~repro.core.schedule.find_collisions`, an explicit
+            narrower set narrows the verdict's scope.
+    """
+    representatives = sorted(period.coset_representatives())
+    dimension = period.dimension
+    zero = (0,) * dimension
+    if offsets is None:
+        shapes, _ = _origin_shapes(representatives, neighborhood_of)
+        offset_list = _default_offsets(representatives, shapes)
+    else:
+        offset_list = [as_intvec(d) for d in offsets]
+    positive = sorted(d for d in set(offset_list) if d > zero)
+    probes = [vadd(r, d) for r in representatives for d in positive]
+    domain = representatives + probes
+    shapes, shape_ids = _origin_shapes(domain, neighborhood_of)
+    slots = _bulk_slots(schedule, domain)
+    differences: dict[tuple[int, int], frozenset[IntVec]] = {}
+    colliding: list[tuple[IntVec, IntVec]] = []
+    probe_index = len(representatives)
+    for i, representative in enumerate(representatives):
+        slot = slots[i]
+        a = shape_ids[i]
+        for delta in positive:
+            if slots[probe_index] == slot:
+                b = shape_ids[probe_index]
+                row = differences.get((a, b))
+                if row is None:
+                    row = frozenset(vsub(p, q)
+                                    for p in shapes[a] for q in shapes[b])
+                    differences[(a, b)] = row
+                if delta in row:
+                    colliding.append((representative, delta))
+            probe_index += 1
+    try:
+        digest = schedule_digest(schedule)
+    except TypeError:
+        digest = None
+    return PeriodicCertificate(
+        period=period, num_slots=schedule.num_slots,
+        offsets=tuple(positive), colliding_classes=tuple(sorted(colliding)),
+        checked_points=len(domain), schedule_digest=digest,
+        schedule=schedule)
+
+
+def _uses_own_neighborhood(schedule: Schedule) -> bool:
+    """True when the schedule's interference map is the stock one.
+
+    A subclass overriding ``neighborhood_of`` voids the periodicity
+    guarantee the certificate rests on, so such schedules are not
+    auto-certified.
+    """
+    if isinstance(schedule, TilingSchedule):
+        return type(schedule).neighborhood_of \
+            is TilingSchedule.neighborhood_of
+    if isinstance(schedule, MultiTilingSchedule):
+        return type(schedule).neighborhood_of \
+            is MultiTilingSchedule.neighborhood_of
+    return False
+
+
+def certify_schedule(schedule: Schedule,
+                     offsets: Iterable[IntVec] | None = None,
+                     ) -> PeriodicCertificate | None:
+    """Certificate for a schedule with known periodic structure.
+
+    Returns ``None`` for schedules the certificate layer cannot prove
+    periodic — aperiodic :class:`~repro.core.schedule.MappingSchedule`
+    regions, tilings without ``coset_structure()``, and subclasses that
+    override ``neighborhood_of`` — callers then fall back to the full
+    window scan.
+    """
+    if not _uses_own_neighborhood(schedule):
+        return None
+    if isinstance(schedule, TilingSchedule):
+        structure = schedule.tiling.coset_structure()
+        if structure is None:
+            return None
+        period = structure[0]
+    elif isinstance(schedule, MultiTilingSchedule):
+        period = schedule.multi.coset_structure()[0]
+    else:
+        return None
+    return certify_periodic(schedule, period, schedule.neighborhood_of,
+                            offsets=offsets)
+
+
+def _schedule_offsets(schedule: Schedule) -> list[IntVec]:
+    """Global conflict offsets derivable from a schedule's structure."""
+    if isinstance(schedule, TilingSchedule):
+        return sorted(conflict_offsets([schedule.prototile]))
+    if isinstance(schedule, MultiTilingSchedule):
+        return sorted(conflict_offsets(schedule.multi.prototiles))
+    raise ValueError(
+        f"cannot derive conflict offsets for "
+        f"{type(schedule).__name__}; pass offsets= explicitly to stream "
+        f"a box window")
+
+
+def stream_box_collisions(schedule: Schedule,
+                          lo: Sequence[int], hi: Sequence[int],
+                          neighborhood_of: NeighborhoodFn,
+                          offsets: Iterable[IntVec] | None = None,
+                          chunk_points: int = DEFAULT_CHUNK_POINTS,
+                          ) -> list[Collision]:
+    """Out-of-core scan of the box window ``[lo, hi]``, chunk by chunk.
+
+    Equivalent — bit for bit, on both backends — to
+    ``find_collisions(schedule, box_points(lo, hi), neighborhood_of)``,
+    but only ever materializes one axis-0 slab of about
+    ``chunk_points`` points (plus a conflict-radius halo), so 10^8+
+    point windows verify in bounded memory.
+
+    Chunking is sound because a lexicographically positive conflict
+    offset never decreases coordinate 0: every pair's left endpoint
+    falls in exactly one slab and its right endpoint within ``halo``
+    rows above it, so scanning each slab extended by the halo and
+    keeping pairs whose left endpoint lies in the slab partitions the
+    full result; slabs ascend along axis 0, so plain concatenation is
+    already the canonical sorted order.
+
+    Args:
+        schedule: slot assignment to check.
+        lo, hi: closed box corners (``lo <= hi`` per dimension).
+        neighborhood_of: interference map (the schedule's own for
+            Theorem 1/2 schedules).
+        offsets: conflict offsets valid over the whole box; derived
+            from the schedule's prototile structure when omitted
+            (schedules without one need them passed explicitly —
+            per-chunk shape derivation could miss cross-chunk offsets).
+        chunk_points: target points per slab (>= 1); the actual bound
+            is one slab of rows plus the halo.
+    """
+    lo_vec, hi_vec = _validated_box(lo, hi)
+    if chunk_points < 1:
+        raise ValueError("chunk_points must be >= 1")
+    offset_list = (_schedule_offsets(schedule) if offsets is None
+                   else [as_intvec(d) for d in offsets])
+    zero = (0,) * len(lo_vec)
+    positive = [d for d in offset_list if d > zero]
+    if not positive:
+        return []
+    halo = max(d[0] for d in positive)
+    slab = 1
+    for low, high in zip(lo_vec[1:], hi_vec[1:]):
+        slab *= high - low + 1
+    rows_per_chunk = max(1, chunk_points // slab)
+    collisions: list[Collision] = []
+    for first_row in range(lo_vec[0], hi_vec[0] + 1, rows_per_chunk):
+        last_row = min(first_row + rows_per_chunk - 1, hi_vec[0])
+        top_row = min(last_row + halo, hi_vec[0])
+        chunk = list(box_points((first_row,) + lo_vec[1:],
+                                (top_row,) + hi_vec[1:]))
+        found = find_collisions(schedule, chunk, neighborhood_of,
+                                offsets=offset_list)
+        collisions.extend(pair for pair in found
+                          if pair[0][0] <= last_row)
+    return collisions

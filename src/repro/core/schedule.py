@@ -12,21 +12,29 @@ iff ``y - x`` lies in the difference set ``N_x - N_y``, so verification
 over a window costs ``O(|window| * |offsets|)`` instead of comparing all
 pairs.
 
-Verification comes in two speeds.  :func:`find_collisions` /
+Verification comes in three speeds.  :func:`find_collisions` /
 :func:`verify_collision_free` rescan a whole window (on the bulk
 engine, sharded across worker processes when enabled).  Under *churn* —
 repeated small edits to a schedule — a :class:`VerificationCache`
 tracks one window and, given the :class:`ScheduleDelta` describing an
 edit (:meth:`MappingSchedule.with_updates`), re-verifies only the dirty
-region: the edited points dilated by the conflict-offset radius.  Both
-speeds produce identical collision lists.
+region: the edited points dilated by the conflict-offset radius.  And
+for lattice-periodic schedules, a
+:class:`~repro.core.certify.PeriodicCertificate` (the ``certificate=``
+hook) answers from one fundamental-domain scan — O(1) per window once
+certified.  All speeds produce identical collision lists.
 """
 
 from __future__ import annotations
 
+import hashlib
 from bisect import insort
 from collections.abc import Callable, Iterable, Mapping, Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.core.certify import PeriodicCertificate
 
 from repro.engine.collisions import scan_collisions, scan_collisions_touching
 from repro.engine.encode import BoxEncoder
@@ -438,29 +446,40 @@ def _scan_window(point_list: list[IntVec],
                  slots: list[int],
                  shapes: list[frozenset[IntVec]],
                  shape_ids: list[int],
-                 offset_list: list[IntVec],
-                 neighborhood_of: NeighborhoodFn) -> list[Collision]:
+                 offset_list: list[IntVec]) -> list[Collision]:
     """Full-window scan shared by find_collisions and the cache."""
     if len(shapes) <= _MAX_SHAPE_CLASSES:
         return scan_collisions(point_list, slots, shape_ids, shapes,
                                offset_list)
-    # Degenerate windows with very many distinct shapes: test ranges
-    # directly instead of materializing pairwise difference sets.
+    # Degenerate windows with very many distinct shapes: same probing
+    # structure as the bulk path — first-occurrence index, per-occurrence
+    # slot/shape tables, emitted pairs ``(x, points[j])`` — but with
+    # difference rows built lazily per touched shape pair instead of the
+    # full |shapes|^2 table up front.  Keeping the two paths structurally
+    # aligned (rather than re-deriving ranges through ``neighborhood_of``)
+    # pins their duplicate-point and occurrence semantics together.
+    zero = (0,) * len(point_list[0])
+    positive = [delta for delta in offset_list if delta > zero]
     point_index: dict[IntVec, int] = {}
     for i, point in enumerate(point_list):
         point_index.setdefault(point, i)
+    differences: dict[tuple[int, int], frozenset[IntVec]] = {}
     collisions: list[Collision] = []
     for i, x in enumerate(point_list):
-        range_x = neighborhood_of(x)
-        for delta in offset_list:
-            y = vadd(x, delta)
-            if y <= x:
+        slot = slots[i]
+        a = shape_ids[i]
+        for delta in positive:
+            j = point_index.get(vadd(x, delta))
+            if j is None or slots[j] != slot:
                 continue
-            j = point_index.get(y)
-            if j is None or slots[j] != slots[i]:
-                continue
-            if range_x & neighborhood_of(y):
-                collisions.append((x, y))
+            b = shape_ids[j]
+            row = differences.get((a, b))
+            if row is None:
+                row = frozenset(vsub(p, q)
+                                for p in shapes[a] for q in shapes[b])
+                differences[(a, b)] = row
+            if delta in row:
+                collisions.append((x, point_list[j]))
     collisions.sort()
     return collisions
 
@@ -470,6 +489,7 @@ def find_collisions(schedule: Schedule,
                     neighborhood_of: NeighborhoodFn,
                     offsets: Iterable[IntVec] | None = None,
                     cache: VerificationCache | None = None,
+                    certificate: PeriodicCertificate | None = None,
                     ) -> list[Collision]:
     """All colliding sensor pairs among ``points`` under the schedule.
 
@@ -494,11 +514,33 @@ def find_collisions(schedule: Schedule,
             via :meth:`VerificationCache.apply`) the cached collision
             list is returned without rescanning; an unknown schedule
             rescans in full and rebinds the cache to it.
+        certificate: optional
+            :class:`~repro.core.certify.PeriodicCertificate` covering
+            the schedule; the window is then answered from the
+            certificate's fundamental-domain verdict — O(1) when
+            collision-free — instead of scanning.  ``neighborhood_of``
+            and ``offsets`` are not consulted on this path (the
+            certificate's geometry was fixed at certification).
+            Mutually exclusive with ``cache``.
 
     Returns:
         The colliding pairs, each ordered ``x < y`` and the list sorted —
         a canonical order independent of backend and input ordering.
+
+    Raises:
+        ValueError: when both ``cache`` and ``certificate`` are given,
+            or when ``certificate`` does not cover ``schedule``.
     """
+    if certificate is not None:
+        if cache is not None:
+            raise ValueError(
+                "pass either cache= or certificate=, not both")
+        if not certificate.covers(schedule):
+            raise ValueError(
+                "certificate mismatch: this certificate was issued for a "
+                "different schedule — re-certify with "
+                "repro.core.certify.certify_schedule")
+        return certificate.verify_points(points)
     if cache is not None:
         return cache.collisions_for(schedule, points, neighborhood_of,
                                     offsets)
@@ -510,18 +552,31 @@ def find_collisions(schedule: Schedule,
     if offset_list is None:
         offset_list = _default_offsets(point_list, shapes)
     slots = _bulk_slots(schedule, point_list)
-    return _scan_window(point_list, slots, shapes, shape_ids, offset_list,
-                        neighborhood_of)
+    return _scan_window(point_list, slots, shapes, shape_ids, offset_list)
 
 
 def verify_collision_free(schedule: Schedule,
                           points: Iterable[Sequence[int]],
                           neighborhood_of: NeighborhoodFn,
                           offsets: Iterable[IntVec] | None = None,
-                          cache: VerificationCache | None = None) -> bool:
+                          cache: VerificationCache | None = None,
+                          certificate: PeriodicCertificate | None = None,
+                          ) -> bool:
     """True when no pair of sensors in ``points`` collides."""
     return not find_collisions(schedule, points, neighborhood_of, offsets,
-                               cache=cache)
+                               cache=cache, certificate=certificate)
+
+
+def _window_digest(sorted_points: list[IntVec]) -> str:
+    """Order-insensitive content digest of a window's point multiset.
+
+    Fed the *sorted* point list, so any permutation of the same window
+    digests identically while any substitution changes it.
+    """
+    digest = hashlib.blake2b(digest_size=8)
+    for point in sorted_points:
+        digest.update(repr(point).encode("ascii"))
+    return digest.hexdigest()
 
 
 class VerificationCache:
@@ -562,11 +617,15 @@ class VerificationCache:
         for i, point in enumerate(point_list):
             self._index_of.setdefault(point, i)
             self._occurrences.setdefault(point, []).append(i)
+        self._sorted_points = sorted(point_list)
         encoder = BoxEncoder(point_list)
-        #: Identity of the verified window: bounding box + size.  Two
-        #: caches with equal keys cover the same boxed region, which is
-        #: what callers maintaining a cache-per-window registry key on.
-        self.window_key = (encoder.lo, encoder.hi, len(point_list))
+        #: Identity of the verified window: bounding box, size, and a
+        #: content digest of the point multiset.  Two caches with equal
+        #: keys verify the same sensors (up to ordering) — the digest
+        #: keeps different point sets sharing a bounding box and count
+        #: from aliasing in a cache-per-window registry.
+        self.window_key = (encoder.lo, encoder.hi, len(point_list),
+                           _window_digest(self._sorted_points))
         self._schedule = schedule
         self._slots: list[int] | None = None
         self._collisions: list[Collision] | None = None
@@ -600,7 +659,7 @@ class VerificationCache:
             self._slots = _bulk_slots(self._schedule, self._points)
             self._collisions = _scan_window(
                 self._points, self._slots, self._shapes, self._shape_ids,
-                self._offsets, self._neighborhood_of)
+                self._offsets)
         return list(self._collisions)
 
     def is_collision_free(self) -> bool:
@@ -658,9 +717,13 @@ class VerificationCache:
         ``schedule.neighborhood_of`` again is fine; a freshly created
         but equivalent lambda is rejected because equivalence of
         arbitrary callables is undecidable — reuse the original.)
+        ``points`` is compared as a multiset: sharded or streamed
+        callers may hand the window back in any order, since the
+        collision list is canonically sorted and independent of window
+        ordering anyway.
         """
-        if points is not None and [as_intvec(p) for p in points] \
-                != self._points:
+        if points is not None and sorted(
+                as_intvec(p) for p in points) != self._sorted_points:
             raise ValueError(
                 "window mismatch: this cache verifies a different window "
                 f"(key {self.window_key})")

@@ -18,6 +18,7 @@ no global state, matching the paper's distributed setting.
 
 from __future__ import annotations
 
+import hashlib
 import json
 
 from repro.core.schedule import (
@@ -32,7 +33,7 @@ from repro.tiling.lattice_tiling import LatticeTiling
 from repro.tiling.multi import MultiTiling
 
 __all__ = ["schedule_to_dict", "schedule_from_dict",
-           "schedule_to_json", "schedule_from_json"]
+           "schedule_to_json", "schedule_from_json", "schedule_digest"]
 
 
 def schedule_to_dict(schedule: Schedule) -> dict:
@@ -115,3 +116,18 @@ def schedule_to_json(schedule: Schedule) -> str:
 def schedule_from_json(text: str) -> Schedule:
     """Rebuild a schedule from :func:`schedule_to_json` output."""
     return schedule_from_dict(json.loads(text))
+
+
+def schedule_digest(schedule: Schedule) -> str:
+    """Content digest (hex) of a schedule's canonical serial form.
+
+    Two schedules digest equal iff :func:`schedule_to_dict` describes
+    them identically — the identity a
+    :class:`~repro.core.certify.PeriodicCertificate` uses to re-attach
+    to a save/load round-tripped schedule.
+
+    Raises:
+        TypeError: for schedule types without a serial form.
+    """
+    return hashlib.sha256(
+        schedule_to_json(schedule).encode("ascii")).hexdigest()

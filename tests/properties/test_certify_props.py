@@ -1,0 +1,104 @@
+"""Property-based tests for certificate verification.
+
+The certificate layer's one theorem: for a schedule periodic under
+``P``, the verdict of the fundamental-domain scan equals the verdict of
+a full window scan — on *every* window, translated arbitrarily.  The
+strategies draw random transversal tilings (so random periods and slot
+counts), randomly remap their slots to manufacture collisions while
+preserving periodicity, and randomly translate the verification window.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import Box, Session
+from repro.core.certify import (
+    certificate_from_json,
+    certify_periodic,
+    certify_schedule,
+)
+from repro.core.schedule import find_collisions
+from repro.core.theorem1 import schedule_from_tiling
+from repro.tiling.lattice_tiling import LatticeTiling
+from repro.utils.vectors import box_points
+from tests.properties.strategies import transversal_prototiles
+
+SETTINGS = dict(max_examples=25, deadline=None)
+
+
+class _Remapped:
+    """A periodic schedule with slots merged by a random table.
+
+    Composing a Theorem 1 schedule with any function of its slot value
+    preserves periodicity (the slot still depends only on the coset),
+    but merging slot values manufactures collisions — the interesting
+    half of the certificate's case split.
+    """
+
+    def __init__(self, base, table):
+        self._base = base
+        self._table = table
+        self.num_slots = base.num_slots
+
+    def slot_of(self, point):
+        return self._table[self._base.slot_of(point)]
+
+    def slots_of(self, points):
+        return [self._table[int(s)] for s in self._base.slots_of(points)]
+
+
+class TestCertificateEqualsFullScan:
+    @given(transversal_prototiles(max_index=8),
+           st.integers(-30, 30), st.integers(-30, 30),
+           st.integers(0, 2**32))
+    @settings(**SETTINGS)
+    def test_remapped_schedules(self, pair, dx, dy, table_seed):
+        prototile, sublattice = pair
+        base = schedule_from_tiling(LatticeTiling(prototile, sublattice))
+        rng = random.Random(table_seed)
+        table = [rng.randrange(base.num_slots)
+                 for _ in range(base.num_slots)]
+        schedule = _Remapped(base, table)
+        certificate = certify_periodic(schedule, sublattice,
+                                       base.neighborhood_of)
+        lo, hi = (dx, dy), (dx + 6, dy + 6)
+        window = list(box_points(lo, hi))
+        want = find_collisions(schedule, window, base.neighborhood_of)
+        assert certificate.verify_points(window) == want
+        assert certificate.verify_box(lo, hi) == want
+        rebuilt = certificate_from_json(certificate.to_json())
+        assert rebuilt.verify_points(window) == want
+
+    @given(transversal_prototiles(max_index=8),
+           st.integers(-50, 50), st.integers(-50, 50))
+    @settings(**SETTINGS)
+    def test_clean_schedules_and_congruent_translates(self, pair, dx, dy):
+        prototile, sublattice = pair
+        schedule = schedule_from_tiling(
+            LatticeTiling(prototile, sublattice))
+        certificate = certify_schedule(schedule)
+        assert certificate is not None and certificate.collision_free
+        lo, hi = (dx, dy), (dx + 5, dy + 5)
+        window = list(box_points(lo, hi))
+        assert find_collisions(schedule, window,
+                               schedule.neighborhood_of) == []
+        assert certificate.verify_points(window) == []
+        assert certificate.verify_box(lo, hi) == []
+
+    @given(transversal_prototiles(max_index=6),
+           st.integers(-40, 40), st.integers(-40, 40))
+    @settings(max_examples=15, deadline=None)
+    def test_session_serves_translates_from_the_certificate(self, pair,
+                                                            dx, dy):
+        prototile, sublattice = pair
+        session = Session.for_tiling(
+            LatticeTiling(prototile, sublattice))
+        report = session.verify(Box((dx, dy), (dx + 4, dy + 4)))
+        assert report.source == "certificate"
+        assert report.collision_free
+        scan = session.verify(Box((dx, dy), (dx + 4, dy + 4)),
+                              use_cache=False)
+        assert scan.source == "scan"
+        assert scan.collisions == report.collisions == ()

@@ -259,14 +259,48 @@ class TestSessionBasics:
     def test_verify_report_and_cache(self):
         session = Session.for_chebyshev(1, window=WINDOW)
         first = session.verify()
-        assert first.collision_free and first.source == "scan"
-        assert first.checked_points == first.window_size == 169
+        # A Theorem 1 schedule verified with its own interference model
+        # answers from its periodicity certificate: the first serve
+        # charges the fundamental-domain scan, repeats are free.
+        assert first.collision_free and first.source == "certificate"
+        assert first.window_size == 169
+        assert 0 < first.checked_points < first.window_size
         second = session.verify()
-        assert second.source == "cache" and second.checked_points == 0
+        assert second.source == "certificate"
+        assert second.checked_points == 0
         assert session.cache_stats == (1, 1)
         fresh = session.verify(use_cache=False)
         assert fresh.source == "scan"
+        assert fresh.checked_points == fresh.window_size == 169
         assert fresh.collisions == first.collisions
+
+    def test_certificate_sizes_huge_boxes_arithmetically(self):
+        session = Session.for_chebyshev(1)
+        report = session.verify(Box((0, 0), (10**6 - 1, 10**6 - 1)))
+        assert report.source == "certificate"
+        assert report.collision_free
+        assert report.window_size == 10**12
+
+    def test_mapping_sessions_never_certify(self):
+        points = list(box_points((0, 0), (5, 5)))
+        base = Session.for_chebyshev(1)
+        session = Session.for_mapping(
+            base.assign(points).as_dict(),
+            neighborhood_of=lambda p: chebyshev_ball(1).translate(p),
+            window=points)
+        assert session.verify().source == "scan"
+        assert session.verify().source == "cache"
+
+    def test_stream_chunk_matches_one_shot_scan(self):
+        session = Session.for_chebyshev(1)
+        box = Box((-4, -4), (14, 14))
+        streamed = session.verify(box, stream_chunk=40)
+        assert streamed.source == "scan"
+        assert streamed.checked_points == streamed.window_size == 19 * 19
+        one_shot = session.verify(box, use_cache=False)
+        assert streamed.collisions == one_shot.collisions
+        with pytest.raises(ValueError, match="Box"):
+            session.verify([(0, 0)], stream_chunk=10)
 
     def test_verify_needs_a_window(self):
         with pytest.raises(ValueError, match="window"):
@@ -278,9 +312,9 @@ class TestSessionBasics:
         default = session.verify()
         offsets = sorted(conflict_offsets([chebyshev_ball(1)]))
         explicit = session.verify(offsets=offsets)
-        assert explicit.source == "scan"  # its own cache entry
+        assert explicit.source == "scan"  # offsets bypass the certificate
         assert session.verify(offsets=offsets).source == "cache"
-        assert session.verify().source == "cache"
+        assert session.verify().source == "certificate"
         assert explicit.collisions == default.collisions
 
     def test_window_box_expansion_matches_box_points(self):

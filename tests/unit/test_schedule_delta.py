@@ -260,3 +260,66 @@ class TestSlotBuckets:
         delta = schedule.with_updates({(99, 99): 1})
         assert delta.schedule._domain_bucket_cache is None
         assert (99, 99) in delta.schedule.senders_at(1)
+
+
+class TestWindowIdentity:
+    """The cache's window-identity fixes: multiset compare + digest key."""
+
+    def test_collisions_for_accepts_a_permuted_window(self):
+        # Sharded/streamed callers hand the window back reordered; the
+        # collision list is canonically sorted, so order must not matter.
+        points, schedule = _tiled_mapping(6)
+        cache = VerificationCache(schedule, points, _neighborhood)
+        want = cache.collisions()
+        shuffled = list(points)
+        random.Random(7).shuffle(shuffled)
+        assert cache.collisions_for(schedule, points=shuffled) == want
+
+    def test_collisions_for_still_rejects_a_different_window(self):
+        points, schedule = _tiled_mapping(6)
+        cache = VerificationCache(schedule, points, _neighborhood)
+        with pytest.raises(ValueError, match="window mismatch"):
+            cache.collisions_for(schedule,
+                                 points=points[:-1] + [(99, 99)])
+        # same multiset size, same bounding box, different content
+        swapped = points[:-1] + [points[-2]]
+        with pytest.raises(ValueError, match="window mismatch"):
+            cache.collisions_for(schedule, points=swapped)
+
+    def test_window_key_is_a_content_digest(self):
+        # Two windows with the same bounding box and size must not alias
+        # as "equal windows" in a cache registry.
+        points, schedule = _tiled_mapping(6)
+        same_box_same_size = points[:-2] + [points[0], points[-1]]
+        a = VerificationCache(schedule, points, _neighborhood)
+        b = VerificationCache(schedule, same_box_same_size, _neighborhood)
+        assert a.window_key[:3] == b.window_key[:3]  # box + count agree
+        assert a.window_key != b.window_key          # digest disagrees
+
+    def test_window_key_ignores_point_order(self):
+        points, schedule = _tiled_mapping(6)
+        shuffled = list(points)
+        random.Random(13).shuffle(shuffled)
+        a = VerificationCache(schedule, points, _neighborhood)
+        b = VerificationCache(schedule, shuffled, _neighborhood)
+        assert a.window_key == b.window_key
+
+
+class TestDegenerateScanParity:
+    """The many-shape fallback must mirror the bulk path exactly."""
+
+    @pytest.mark.parametrize("backend", ["numpy", "python"])
+    def test_duplicate_points_match_bulk_path(self, backend, monkeypatch):
+        import repro.core.schedule as schedule_module
+        points, schedule = _tiled_mapping(5)
+        # duplicated points, plus a forced collision to make the lists
+        # non-trivial
+        window = points + points[:9] + points[:3]
+        edited = schedule.with_updates(
+            {(1, 1): schedule.slot_of((1, 2))}).schedule
+        with use_backend(backend):
+            bulk = find_collisions(edited, window, _neighborhood)
+            monkeypatch.setattr(schedule_module, "_MAX_SHAPE_CLASSES", -1)
+            degenerate = find_collisions(edited, window, _neighborhood)
+        assert degenerate == bulk
+        assert bulk  # the differential saw real collisions
