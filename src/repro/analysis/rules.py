@@ -16,6 +16,9 @@ only catch dynamically:
   non-``StreamRNG`` randomness.
 * ``export-integrity`` — every ``repro.*`` package ``__all__`` is a
   literal that names only defined symbols and covers the public facade.
+* ``fault-hygiene`` — no bare ``except:`` and no silently swallowed
+  ``except Exception:`` inside ``repro.engine`` / ``repro.faults``; the
+  resilience lanes must observe every failure they handle.
 
 Rules are registered on import (see
 :func:`repro.analysis.core.register_rule`); the driver and the CLI pick
@@ -37,6 +40,7 @@ __all__ = [
     "ConfigHygieneRule",
     "GeneratorPurityRule",
     "ExportIntegrityRule",
+    "FaultHygieneRule",
 ]
 
 
@@ -645,6 +649,88 @@ Violates: _CACHE[key] = spec; make_rng(seed).random()
                     node, f"generator '{fn.name}' touches "
                     f"{node.value.id}.random; draw through the counter-"
                     f"based StreamRNG instead")
+
+
+# ----------------------------------------------------------------------
+# Rule: fault-hygiene
+# ----------------------------------------------------------------------
+@register_rule
+class FaultHygieneRule(Rule):
+    id = "fault-hygiene"
+    summary = ("no bare 'except:' and no swallowed 'except Exception:' "
+               "inside repro.engine / repro.faults")
+    explain = """\
+The resilience lanes must observe every failure they handle.
+
+repro.engine's retry/serial-fallback/degrade paths and the repro.faults
+injection layer exist to turn failures into *structured* outcomes —
+a retry, a typed ShardFailure, an EngineDegradedWarning, a chaos
+verdict.  A bare `except:` (which also eats KeyboardInterrupt and the
+injected-fault exceptions the chaos oracle steers by) or an
+`except Exception: pass` (which makes a failure invisible to callers,
+warnings and tests alike) silently deletes exactly the signal this
+fault model is built on.
+
+Two shapes are flagged inside repro.engine and repro.faults:
+
+1. a handler with no exception type (`except:`);
+2. a broad handler (`except Exception:` / `except BaseException:`)
+   whose body does nothing but `pass`/`...` — caught and discarded.
+
+Broad handlers that *do* something (degrade with a warning, chain into
+a typed error, fall back to a reference lane) comply.  A deliberate
+swallow needs a reasoned pragma:
+
+Complies: except Exception as error: warnings.warn(EngineDegradedWarning(...))
+Complies: except OverflowError: return None  # narrow, typed
+Violates: except: pass
+Violates: except Exception:
+              pass
+"""
+
+    SCOPES = ("repro.engine", "repro.faults")
+    BROAD = frozenset({"Exception", "BaseException"})
+
+    def _in_scope(self, module: str) -> bool:
+        if module.rpartition(".")[2] == "__main__":
+            return False
+        return any(module == scope or module.startswith(scope + ".")
+                   for scope in self.SCOPES)
+
+    def _is_broad(self, handler: ast.ExceptHandler) -> bool:
+        node = handler.type
+        name = node.id if isinstance(node, ast.Name) else \
+            node.attr if isinstance(node, ast.Attribute) else None
+        return name in self.BROAD
+
+    def _swallows(self, handler: ast.ExceptHandler) -> bool:
+        for stmt in handler.body:
+            if isinstance(stmt, ast.Pass):
+                continue
+            if isinstance(stmt, ast.Expr) and isinstance(
+                    stmt.value, ast.Constant) and stmt.value.value is ...:
+                continue
+            return False
+        return True
+
+    def check(self, info: ModuleInfo) -> Iterator[Violation]:
+        if not self._in_scope(info.module):
+            return
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.violation(info,
+                    node, "bare 'except:' in a fault-handling scope: it "
+                    "eats KeyboardInterrupt and the injected-fault "
+                    "exceptions the chaos oracle steers by; catch a "
+                    "typed exception and surface a structured outcome")
+            elif self._is_broad(node) and self._swallows(node):
+                yield self.violation(info,
+                    node, "'except Exception: pass' swallows the failure "
+                    "signal the resilience lanes are built on; degrade "
+                    "with a warning, chain into a typed error, or "
+                    "narrow the handler")
 
 
 def _subscript_base(target: ast.expr) -> str | None:

@@ -52,7 +52,11 @@ from repro.core.schedule import (
     VerificationCache,
     find_collisions,
 )
-from repro.core.serialize import schedule_from_json, schedule_to_json
+from repro.core.serialize import (
+    CorruptSessionError,
+    schedule_from_json,
+    schedule_to_json,
+)
 from repro.core.theorem1 import schedule_from_prototile, schedule_from_tiling
 from repro.core.theorem2 import schedule_from_multi_tiling
 from repro.engine.backend import active_backend
@@ -82,7 +86,9 @@ from repro.utils.vectors import IntVec, as_intvec, box_points
 
 __all__ = [
     "Box",
+    "CorruptSessionError",
     "EngineConfig",
+    "RepairReport",
     "Session",
     "SlotAssignment",
     "VerificationReport",
@@ -260,6 +266,35 @@ class VerificationReport:
     def collision_free(self) -> bool:
         """True when no pair of sensors in the window collides."""
         return not self.collisions
+
+
+@dataclass(frozen=True)
+class RepairReport:
+    """Response of :meth:`Session.repair`: what was broken and fixed.
+
+    Attributes:
+        session: the repaired session (``self`` when nothing needed
+            repairing — a clean schedule round-trips untouched).
+        faults_found: colliding pairs detected before repair started.
+        points_rescheduled: sensors moved to a new slot, summed over
+            all repair rounds.
+        rounds: repair rounds run (an edit followed by an incremental
+            re-verification each).
+        verification_source: ``source`` of the final verification —
+            ``"delta"`` when the dirty-region cache path confirmed the
+            repair, ``"scan"``/``"cache"``/``"certificate"`` otherwise.
+        repaired: True when the final verification found no collisions.
+        collisions: colliding pairs still present after the last round
+            (empty when ``repaired``).
+    """
+
+    session: Session
+    faults_found: int
+    points_rescheduled: int
+    rounds: int
+    verification_source: str
+    repaired: bool
+    collisions: tuple[Collision, ...]
 
 
 # ----------------------------------------------------------------------
@@ -442,7 +477,8 @@ class Session:
         """Context installing this session's explicit config fields."""
         config = self._config
         if config is None or (config.backend is None
-                              and config.workers is None):
+                              and config.workers is None
+                              and config.on_kernel_failure is None):
             return nullcontext()
         return config.apply()
 
@@ -705,6 +741,283 @@ class Session:
                     session._pending_delta.get(key, 0) + inside
         return session
 
+    # -- lifecycle: repair ---------------------------------------------
+    def repair(self, window: WindowLike | None = None, *,
+               max_rounds: int | None = None) -> RepairReport:
+        """Detect and repair collisions by locally rescheduling sensors.
+
+        The self-healing half of the fault model: after byzantine slot
+        reports (or any external corruption) break a schedule, ``repair``
+        finds the colliding pairs, greedily moves one endpoint of each
+        to a slot free within its interference closure, re-verifies
+        incrementally through the :class:`VerificationCache`
+        dirty-region path, and repeats for up to ``max_rounds`` rounds
+        (default ``max(4, num_slots)``).  Each round is an ordinary
+        :meth:`edit`, so the warm caches transfer to the repaired
+        session and the re-verification cost is the dirty set, not the
+        window.
+
+        Only mapping-backed schedules support edits; :meth:`restrict`
+        an immutable session to a window first.  The greedy recoloring
+        is deterministic (collisions are processed in sorted order, the
+        smallest free slot wins), so the repaired schedule is a pure
+        function of the corrupted one.
+
+        Raises:
+            TypeError: when the schedule type does not support edits.
+        """
+        if getattr(self._schedule, "with_updates", None) is None:
+            raise TypeError(
+                f"{type(self._schedule).__name__} is immutable; repair() "
+                f"needs an editable mapping-backed schedule — restrict() "
+                f"the session to a window first")
+        report = self.verify(window)
+        faults_found = len(report.collisions)
+        session = self
+        rounds = 0
+        rescheduled = 0
+        limit = max(4, self.num_slots) if max_rounds is None else max_rounds
+        while report.collisions and rounds < limit:
+            updates = session._repair_updates(report.collisions, window)
+            if not updates:
+                # Greedy recoloring stalled: every slot around the
+                # remaining collisions is taken.  Solve the stuck
+                # clusters exactly (bounded backtracking, expanding a
+                # cluster to pull in wrongly-slotted but locally
+                # consistent neighbors when needed).
+                updates = session._repair_exact(report.collisions, window)
+            if not updates:
+                break
+            session = session.edit(updates)
+            rescheduled += len(updates)
+            rounds += 1
+            report = session.verify(window)
+        return RepairReport(
+            session=session, faults_found=faults_found,
+            points_rescheduled=rescheduled, rounds=rounds,
+            verification_source=report.source,
+            repaired=report.collision_free,
+            collisions=report.collisions)
+
+    def _repair_updates(self, collisions: Sequence[Collision],
+                        window: WindowLike | None) -> dict[IntVec, int]:
+        """One greedy recoloring round: victim -> free slot, deterministic.
+
+        For every colliding pair (sorted order) the later endpoint is
+        moved to the smallest slot not used inside its interference
+        closure — the window points whose ranges intersect the
+        victim's, found through a cover index built once per round.  An
+        endpoint already moved this round is not moved again, and a
+        victim with no free slot falls back to the other endpoint (or
+        is left for the next round).
+        """
+        window_list = self._window_list(window)
+        neighborhood = self._require_neighborhood()
+        slot_of: dict[IntVec, int] = {
+            point: int(slot)
+            for point, slot in zip(window_list,
+                                   self.assign(window_list).slots)}
+        cover: dict[IntVec, list[IntVec]] = {}
+        for point in slot_of:
+            for cell in neighborhood(point):
+                cover.setdefault(cell, []).append(point)
+        num_slots = self.num_slots
+        updates: dict[IntVec, int] = {}
+
+        def conflicts_by_slot(victim: IntVec) -> dict[int, list[IntVec]]:
+            """Interference-closure members of ``victim``, keyed by slot."""
+            partners: set[IntVec] = set()
+            for cell in neighborhood(victim):
+                partners.update(cover.get(cell, ()))
+            partners.discard(victim)
+            by_slot: dict[int, list[IntVec]] = {}
+            for other in sorted(partners):
+                by_slot.setdefault(slot_of[other], []).append(other)
+            return by_slot
+
+        def move(victim: IntVec, slot: int) -> None:
+            updates[victim] = slot
+            slot_of[victim] = slot
+
+        for x, y in sorted(collisions):
+            if slot_of.get(x) != slot_of.get(y):
+                continue  # an earlier move this round already split them
+            moved = False
+            # First choice: a slot entirely free within the closure.
+            for victim in (y, x):
+                if victim in updates or victim not in slot_of:
+                    continue
+                by_slot = conflicts_by_slot(victim)
+                free = next((s for s in range(num_slots)
+                             if s not in by_slot), None)
+                if free is not None:
+                    move(victim, free)
+                    moved = True
+                    break
+            if moved:
+                continue
+            # Fallback: a length-2 chain — the victim takes a slot held
+            # by exactly one closure member that can itself move to a
+            # slot free in *its* closure.  Resolves the deadlock where
+            # every slot around a collision is taken exactly once.
+            for victim in (y, x):
+                if moved or victim in updates or victim not in slot_of:
+                    continue
+                by_slot = conflicts_by_slot(victim)
+                previous = slot_of[victim]
+                for slot in range(num_slots):
+                    occupants = by_slot.get(slot, [])
+                    if slot == previous or len(occupants) != 1:
+                        continue
+                    blocker = occupants[0]
+                    if blocker in updates:
+                        continue
+                    move(victim, slot)
+                    blocker_slots = conflicts_by_slot(blocker)
+                    free = next((s for s in range(num_slots)
+                                 if s not in blocker_slots), None)
+                    if free is None:
+                        slot_of[victim] = previous
+                        del updates[victim]
+                        continue
+                    move(blocker, free)
+                    moved = True
+                    break
+        return updates
+
+    #: Cluster-size / search-node bounds for the exact repair fallback.
+    _REPAIR_MAX_CLUSTER = 96
+    _REPAIR_MAX_NODES = 200_000
+
+    def _repair_exact(self, collisions: Sequence[Collision],
+                      window: WindowLike | None) -> dict[IntVec, int]:
+        """Exact repair of stuck collision clusters, deterministic.
+
+        Groups the colliding endpoints into clusters (closure-adjacent
+        components) and solves each as a small constraint problem: find
+        slots for the cluster members that conflict neither with the
+        fixed points outside the cluster nor with each other, preferring
+        each member's current slot so the repair stays minimal.  When a
+        cluster is infeasible as-is — the classic byzantine signature is
+        a victim whose true slot is squatted by a wrongly-slotted but
+        locally consistent neighbor — the cluster is expanded by one
+        closure ring and re-solved, up to a bounded size.
+        """
+        window_list = self._window_list(window)
+        neighborhood = self._require_neighborhood()
+        slot_of: dict[IntVec, int] = {
+            point: int(slot)
+            for point, slot in zip(window_list,
+                                   self.assign(window_list).slots)}
+        cover: dict[IntVec, list[IntVec]] = {}
+        for point in slot_of:
+            for cell in neighborhood(point):
+                cover.setdefault(cell, []).append(point)
+        num_slots = self.num_slots
+
+        closure_cache: dict[IntVec, list[IntVec]] = {}
+
+        def closure(point: IntVec) -> list[IntVec]:
+            cached = closure_cache.get(point)
+            if cached is None:
+                partners: set[IntVec] = set()
+                for cell in neighborhood(point):
+                    partners.update(cover.get(cell, ()))
+                partners.discard(point)
+                cached = sorted(partners)
+                closure_cache[point] = cached
+            return cached
+
+        endpoints = sorted({p for pair in collisions for p in pair
+                            if p in slot_of})
+        clusters: list[list[IntVec]] = []
+        unassigned = set(endpoints)
+        for start in endpoints:
+            if start not in unassigned:
+                continue
+            cluster = []
+            queue = [start]
+            unassigned.discard(start)
+            while queue:
+                point = queue.pop()
+                cluster.append(point)
+                for other in closure(point):
+                    if other in unassigned:
+                        unassigned.discard(other)
+                        queue.append(other)
+            clusters.append(sorted(cluster))
+
+        updates: dict[IntVec, int] = {}
+        for cluster in clusters:
+            members = list(cluster)
+            solution = None
+            while solution is None:
+                solution = self._solve_cluster(members, slot_of, closure,
+                                               num_slots)
+                if solution is not None:
+                    break
+                ring = sorted({q for p in members for q in closure(p)}
+                              - set(members))
+                if not ring or (len(members) + len(ring)
+                                > self._REPAIR_MAX_CLUSTER):
+                    break
+                members = sorted(set(members) | set(ring))
+            if solution is not None:
+                for point, slot in solution.items():
+                    if slot != slot_of[point]:
+                        updates[point] = slot
+                        slot_of[point] = slot
+        return updates
+
+    def _solve_cluster(self, members: Sequence[IntVec],
+                       slot_of: Mapping[IntVec, int],
+                       closure: Callable[[IntVec], list[IntVec]],
+                       num_slots: int) -> dict[IntVec, int] | None:
+        """Backtracking slot search for one cluster, or ``None``.
+
+        Members are assigned most-constrained-first; candidate slots
+        try each member's current slot before the others, so a feasible
+        cluster keeps as many current slots as possible.  The search is
+        bounded by ``_REPAIR_MAX_NODES`` visited nodes — determinism
+        over completeness.
+        """
+        member_set = set(members)
+        domains: dict[IntVec, list[int]] = {}
+        for point in members:
+            fixed = {slot_of[q] for q in closure(point)
+                     if q not in member_set}
+            current = slot_of[point]
+            candidates = [s for s in range(num_slots) if s not in fixed]
+            candidates.sort(key=lambda s: (s != current, s))
+            if not candidates:
+                return None
+            domains[point] = candidates
+        order = sorted(members, key=lambda p: (len(domains[p]), p))
+        assigned: dict[IntVec, int] = {}
+        nodes = 0
+
+        def backtrack(depth: int) -> bool:
+            nonlocal nodes
+            if depth == len(order):
+                return True
+            point = order[depth]
+            neighbors = [q for q in closure(point) if q in member_set]
+            for slot in domains[point]:
+                nodes += 1
+                if nodes > self._REPAIR_MAX_NODES:
+                    return False
+                if any(assigned.get(q) == slot for q in neighbors):
+                    continue
+                assigned[point] = slot
+                if backtrack(depth + 1):
+                    return True
+                del assigned[point]
+            return False
+
+        if not backtrack(0):
+            return None
+        return dict(assigned)
+
     def restrict(self, window: WindowLike | None = None) -> Session:
         """An editable mapping-backed session over a finite window.
 
@@ -814,11 +1127,20 @@ class Session:
         ``source`` is the JSON text itself, or an :class:`os.PathLike`
         pointing at a file of it (a plain ``str`` is always treated as
         JSON — wrap file names in :class:`pathlib.Path`).
+
+        Raises:
+            CorruptSessionError: on truncated or garbage input — one
+                typed error carrying the file path (for path sources)
+                and the reason, instead of the raw ``JSONDecodeError``
+                / ``KeyError`` the parser would leak.
         """
         if isinstance(source, os.PathLike):
+            path = str(os.fspath(source))
             with open(source, "r", encoding="utf-8") as handle:
                 text = handle.read()
         else:
+            path = None
             text = source
-        return cls(schedule_from_json(text), config=config, window=window,
-                   neighborhood_of=neighborhood_of, offsets=offsets)
+        return cls(schedule_from_json(text, path=path), config=config,
+                   window=window, neighborhood_of=neighborhood_of,
+                   offsets=offsets)

@@ -52,7 +52,7 @@ from repro.core.schedule import (
     conflict_offsets,
     find_collisions,
 )
-from repro.core.serialize import schedule_digest
+from repro.core.serialize import CorruptSessionError, schedule_digest
 from repro.lattice.sublattice import Sublattice
 from repro.utils.vectors import IntVec, as_intvec, box_points, vadd, vsub
 
@@ -259,8 +259,30 @@ class PeriodicCertificate:
                 f"checked_points={self.checked_points})")
 
 
-def certificate_from_dict(data: dict) -> PeriodicCertificate:
-    """Rebuild a certificate from :meth:`PeriodicCertificate.to_dict`."""
+def certificate_from_dict(data: dict, *,
+                          path: str | None = None) -> PeriodicCertificate:
+    """Rebuild a certificate from :meth:`PeriodicCertificate.to_dict`.
+
+    Raises:
+        CorruptSessionError: when the payload is not a well-formed
+            certificate description (missing fields, wrong types, wrong
+            kind), carrying ``path`` when given.
+    """
+    try:
+        return _certificate_from_dict(data)
+    except CorruptSessionError:
+        raise
+    except (KeyError, TypeError, ValueError, AttributeError) as error:
+        reason = (f"missing required field {error.args[0]!r}"
+                  if isinstance(error, KeyError)
+                  else str(error) or type(error).__name__)
+        raise CorruptSessionError(reason, path=path) from error
+
+
+def _certificate_from_dict(data: dict) -> PeriodicCertificate:
+    if not isinstance(data, dict):
+        raise TypeError(
+            f"expected a JSON object, got {type(data).__name__}")
     if data.get("kind") != "periodic-certificate":
         raise ValueError(f"unknown certificate kind: {data.get('kind')!r}")
     period = Sublattice([tuple(v) for v in data["period_basis"]])
@@ -275,9 +297,20 @@ def certificate_from_dict(data: dict) -> PeriodicCertificate:
     )
 
 
-def certificate_from_json(text: str) -> PeriodicCertificate:
-    """Rebuild a certificate from :meth:`PeriodicCertificate.to_json`."""
-    return certificate_from_dict(json.loads(text))
+def certificate_from_json(text: str, *,
+                          path: str | None = None) -> PeriodicCertificate:
+    """Rebuild a certificate from :meth:`PeriodicCertificate.to_json`.
+
+    Raises:
+        CorruptSessionError: on truncated/garbage JSON or a payload
+            missing required fields, carrying ``path`` when given.
+    """
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise CorruptSessionError(
+            f"invalid JSON: {error}", path=path) from error
+    return certificate_from_dict(data, path=path)
 
 
 def certify_periodic(schedule: Schedule, period: Sublattice,

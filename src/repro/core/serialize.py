@@ -32,8 +32,30 @@ from repro.tiles.prototile import Prototile
 from repro.tiling.lattice_tiling import LatticeTiling
 from repro.tiling.multi import MultiTiling
 
-__all__ = ["schedule_to_dict", "schedule_from_dict",
+__all__ = ["CorruptSessionError",
+           "schedule_to_dict", "schedule_from_dict",
            "schedule_to_json", "schedule_from_json", "schedule_digest"]
+
+
+class CorruptSessionError(ValueError):
+    """A session/schedule/certificate file failed to deserialize.
+
+    Raised instead of the raw :class:`json.JSONDecodeError` /
+    :class:`KeyError` / :class:`TypeError` soup when loading truncated
+    or garbage input, so callers can catch one typed error and report
+    *which* file broke and *why*:
+
+    Attributes:
+        path: the file the payload came from (``None`` for in-memory
+            strings/dicts).
+        reason: one human-readable line on what was wrong.
+    """
+
+    def __init__(self, reason: str, *, path: str | None = None) -> None:
+        prefix = f"{path}: " if path is not None else ""
+        super().__init__(f"{prefix}corrupt session data: {reason}")
+        self.path = path
+        self.reason = reason
 
 
 def schedule_to_dict(schedule: Schedule) -> dict:
@@ -79,12 +101,33 @@ def schedule_to_dict(schedule: Schedule) -> dict:
     raise TypeError(f"cannot serialize {type(schedule).__name__}")
 
 
-def schedule_from_dict(data: dict) -> Schedule:
+def schedule_from_dict(data: dict, *, path: str | None = None) -> Schedule:
     """Rebuild a schedule from :func:`schedule_to_dict` output.
 
     All tiling invariants are re-validated during reconstruction, so a
-    corrupted description is rejected rather than silently mis-scheduling.
+    corrupted description is rejected rather than silently
+    mis-scheduling — as a typed :class:`CorruptSessionError` naming the
+    source ``path`` (when given) and the failing field.
     """
+    try:
+        return _schedule_from_dict(data)
+    except CorruptSessionError:
+        raise
+    except (KeyError, TypeError, ValueError, AttributeError) as error:
+        raise CorruptSessionError(
+            _describe_corruption(error), path=path) from error
+
+
+def _describe_corruption(error: BaseException) -> str:
+    if isinstance(error, KeyError):
+        return f"missing required field {error.args[0]!r}"
+    return str(error) or type(error).__name__
+
+
+def _schedule_from_dict(data: dict) -> Schedule:
+    if not isinstance(data, dict):
+        raise TypeError(
+            f"expected a JSON object, got {type(data).__name__}")
     kind = data.get("kind")
     if kind == "tiling":
         prototile = Prototile(tuple(c) for c in data["prototile"])
@@ -113,9 +156,19 @@ def schedule_to_json(schedule: Schedule) -> str:
     return json.dumps(schedule_to_dict(schedule), sort_keys=True)
 
 
-def schedule_from_json(text: str) -> Schedule:
-    """Rebuild a schedule from :func:`schedule_to_json` output."""
-    return schedule_from_dict(json.loads(text))
+def schedule_from_json(text: str, *, path: str | None = None) -> Schedule:
+    """Rebuild a schedule from :func:`schedule_to_json` output.
+
+    Raises:
+        CorruptSessionError: on truncated/garbage JSON or a payload
+            missing required fields, carrying ``path`` when given.
+    """
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise CorruptSessionError(
+            f"invalid JSON: {error}", path=path) from error
+    return schedule_from_dict(data, path=path)
 
 
 def schedule_digest(schedule: Schedule) -> str:

@@ -47,7 +47,11 @@ from repro.engine.backend import (
     set_backend,
     use_backend,
 )
-from repro.engine.collisions import scan_collisions, scan_collisions_touching
+from repro.engine.collisions import (
+    EngineDegradedWarning,
+    scan_collisions,
+    scan_collisions_touching,
+)
 from repro.engine.config import (
     EngineConfig,
     default_config,
@@ -90,6 +94,7 @@ __all__ = [
     "use_workers",
     "plan_shards",
     "run_sharded",
+    "EngineDegradedWarning",
     "scan_collisions",
     "scan_collisions_touching",
     "BoxEncoder",

@@ -32,16 +32,38 @@ Two scaling layers sit on top of the serial scan:
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Collection, Mapping, Sequence
 
 from repro.engine.backend import active_backend, numpy_module
+from repro.engine.config import active_kernel_failure_policy
 from repro.engine.encode import BoxEncoder
 from repro.engine.parallel import plan_shards, run_sharded, shard_workers
+from repro.faults.injection import consume_numpy_failure
 from repro.utils.vectors import IntVec, vadd, vsub
 
-__all__ = ["scan_collisions", "scan_collisions_touching"]
+__all__ = ["EngineDegradedWarning", "scan_collisions",
+           "scan_collisions_touching"]
 
 Collision = tuple[IntVec, IntVec]
+
+
+class EngineDegradedWarning(RuntimeWarning):
+    """The numpy kernel failed mid-call and the engine degraded.
+
+    Emitted by :func:`scan_collisions` when the numpy path raises and
+    the :func:`~repro.engine.config.active_kernel_failure_policy`
+    resolves to ``"degrade"``: the call is answered by the bit-identical
+    pure-Python twin instead of failing.  Structured — ``kernel`` names
+    the failed kernel and ``reason`` carries the original error text —
+    so callers (and the chaos oracle) can assert on the degradation
+    instead of string-matching a message.
+    """
+
+    def __init__(self, message: str, *, kernel: str, reason: str) -> None:
+        super().__init__(message)
+        self.kernel = kernel
+        self.reason = reason
 
 #: (points x offsets) probes below which a scan stays serial even when
 #: workers are enabled — process dispatch costs more than the scan.
@@ -75,8 +97,20 @@ def scan_collisions(points: Sequence[IntVec],
     differences = [[frozenset(vsub(p, q) for p in a for q in b)
                     for b in shapes] for a in shapes]
     if active_backend() == "numpy":
-        collisions = _scan_numpy(points, slots, shape_ids, differences,
-                                 positive)
+        try:
+            consume_numpy_failure()
+            collisions = _scan_numpy(points, slots, shape_ids, differences,
+                                     positive)
+        except Exception as error:
+            if active_kernel_failure_policy() == "raise":
+                raise
+            warnings.warn(
+                EngineDegradedWarning(
+                    f"numpy collision scan failed ({error}); degrading to "
+                    f"the bit-identical python kernel",
+                    kernel="scan_collisions", reason=str(error)),
+                stacklevel=2)
+            collisions = None
         if collisions is not None:
             collisions.sort()
             return collisions

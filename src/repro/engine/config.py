@@ -36,12 +36,15 @@ from typing import Any, Iterator
 
 __all__ = [
     "EngineConfig",
+    "active_kernel_failure_policy",
     "default_config",
     "set_default_config",
     "use_config",
+    "use_kernel_failure_policy",
 ]
 
 _BACKEND_CHOICES = ("auto", "numpy", "python")
+_KERNEL_FAILURE_CHOICES = ("degrade", "raise")
 
 
 @dataclass(frozen=True)
@@ -62,12 +65,21 @@ class EngineConfig:
             block for non-carrier-sense protocols.  Purely a batching
             knob — the counter-based rng makes results identical for
             every window size.  ``None`` uses the simulator default.
+        on_kernel_failure: degradation policy when a numpy engine
+            kernel fails mid-call — ``"degrade"`` falls back to the
+            bit-identical pure-Python twin with a structured
+            :class:`~repro.engine.collisions.EngineDegradedWarning`,
+            ``"raise"`` propagates the kernel error.  ``None`` falls
+            back to the installed default config and then to
+            ``"degrade"`` (an answered request beats a traceback; the
+            twin is pinned bit-identical by the equivalence suites).
     """
 
     backend: str | None = None
     workers: int | None = None
     bulk_decisions: bool = True
     decision_window: int | None = None
+    on_kernel_failure: str | None = None
 
     def __post_init__(self) -> None:
         if self.backend is not None and self.backend not in _BACKEND_CHOICES:
@@ -90,6 +102,13 @@ class EngineConfig:
             raise ValueError(
                 f"decision_window must be a positive int or None, "
                 f"got {self.decision_window!r}")
+        if self.on_kernel_failure is not None \
+                and self.on_kernel_failure not in _KERNEL_FAILURE_CHOICES:
+            raise ValueError(
+                f"unknown on_kernel_failure policy "
+                f"{self.on_kernel_failure!r}; expected one of "
+                f"{_KERNEL_FAILURE_CHOICES} (or None for the ambient "
+                f"fallback)")
 
     # ------------------------------------------------------------------
     def resolve_backend(self) -> str:
@@ -113,6 +132,12 @@ class EngineConfig:
         if self.workers is None:
             return shard_workers()
         return min(self.workers, _MAX_WORKERS)
+
+    def resolve_on_kernel_failure(self) -> str:
+        """The degradation policy in effect: ``"degrade"`` or ``"raise"``."""
+        if self.on_kernel_failure is None:
+            return active_kernel_failure_policy()
+        return self.on_kernel_failure
 
     def replace(self, **changes: Any) -> EngineConfig:
         """A copy with some fields changed (the dataclass ``replace``)."""
@@ -157,6 +182,9 @@ class EngineConfig:
                 stack.enter_context(use_backend(backend))
             if self.workers is not None:
                 stack.enter_context(use_workers(self.workers))
+            if self.on_kernel_failure is not None:
+                stack.enter_context(
+                    use_kernel_failure_policy(self.on_kernel_failure))
             yield
 
 
@@ -198,3 +226,42 @@ def use_config(config: EngineConfig | None) -> Iterator[None]:
         yield
     finally:
         _default = previous
+
+
+# ----------------------------------------------------------------------
+# The degradation policy: what the numpy kernel dispatch does when a
+# kernel fails mid-call.  Resolution mirrors backend/workers: explicit
+# context > default config field > the built-in "degrade".
+# ----------------------------------------------------------------------
+_kernel_failure: str | None = None
+
+
+def active_kernel_failure_policy() -> str:
+    """The degradation policy in effect: ``"degrade"`` or ``"raise"``.
+
+    Resolution order: an explicit :func:`use_kernel_failure_policy`
+    block, then the installed default config's ``on_kernel_failure``
+    field, then ``"degrade"`` — the engine answers with the
+    bit-identical pure-Python twin (plus a structured warning) rather
+    than losing the call to a transient kernel failure.
+    """
+    if _kernel_failure is not None:
+        return _kernel_failure
+    default = default_config().on_kernel_failure
+    return default if default is not None else "degrade"
+
+
+@contextmanager
+def use_kernel_failure_policy(policy: str) -> Iterator[None]:
+    """Pin the kernel-failure policy for a block (innermost wins)."""
+    if policy not in _KERNEL_FAILURE_CHOICES:
+        raise ValueError(
+            f"unknown on_kernel_failure policy {policy!r}; expected one "
+            f"of {_KERNEL_FAILURE_CHOICES}")
+    global _kernel_failure
+    previous = _kernel_failure
+    _kernel_failure = policy
+    try:
+        yield
+    finally:
+        _kernel_failure = previous

@@ -39,18 +39,38 @@ offers it, so the (potentially large) shared payload — point windows,
 presorted key arrays, coset tables — reaches the workers through
 copy-on-write pages instead of pickling; platforms without ``fork``
 transparently fall back to pickling the payload once per worker.
+
+**Resilience.**  The pool lane is allowed to fail without failing the
+call: a shard whose worker crashes (or whose result never arrives
+within the per-shard ``timeout``) is retried with exponential backoff
+up to ``retries`` times, and a shard the pool cannot produce at all is
+recomputed *serially in the parent* — the guaranteed fallback lane.
+Because every shard kernel in this library is a pure function of
+``(payload, shard_arg)``, a result produced by the retry or serial
+lane is bit-identical to the one the healthy pool would have returned.
+Only a shard that also fails in the serial lane (a genuine kernel
+error) raises, as a :class:`ShardFailure` carrying the failing shard
+index with the original exception chained.  Worker crash/hang faults
+injected by an armed :class:`repro.faults.FaultPlan` enter through the
+worker-side dispatch wrapper, so the parent's serial lane never
+replays them.
 """
 
 from __future__ import annotations
 
 import os
+import time
 import warnings
 from collections.abc import Callable, Sequence
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor
 from contextlib import contextmanager
 from typing import Any, Iterator
 
+from repro.faults.injection import active_plan as _active_plan
+from repro.faults.plan import InjectedWorkerCrash
+
 __all__ = [
+    "ShardFailure",
     "cpu_budget",
     "shard_workers",
     "set_workers",
@@ -62,6 +82,29 @@ __all__ = [
 #: Upper bound on the resolved worker count; a fleet of hundreds of
 #: processes is never what a caller meant on one machine.
 _MAX_WORKERS = 64
+
+#: Pool-lane retries per shard before the serial fallback lane takes
+#: over, and the base of the exponential backoff between attempts.
+_DEFAULT_RETRIES = 2
+_RETRY_BACKOFF = 0.05
+
+
+class ShardFailure(RuntimeError):
+    """A shard failed in the pool *and* in the serial fallback lane.
+
+    Raised by :func:`run_sharded` only when a shard's kernel fails
+    deterministically (the original exception is chained as the cause);
+    transient pool trouble — worker crashes, timeouts, broken pools,
+    unpicklable payloads — is healed by the retry and serial lanes and
+    never surfaces as this error.
+
+    Attributes:
+        shard_index: position of the failing shard in ``shard_args``.
+    """
+
+    def __init__(self, message: str, shard_index: int):
+        super().__init__(message)
+        self.shard_index = shard_index
 
 
 def cpu_budget() -> int:
@@ -197,7 +240,23 @@ def _worker_init(payload: Any) -> None:
     _in_worker = True
 
 
-def _invoke(kernel: Callable[[Any, Any], Any], shard_arg: Any) -> Any:
+def _invoke(kernel: Callable[[Any, Any], Any], shard: int, attempt: int,
+            shard_arg: Any) -> Any:
+    """Worker-side dispatch: the fault seam, then the kernel itself.
+
+    The armed :class:`~repro.faults.plan.FaultPlan` (inherited at fork
+    time; absent in spawn-started workers) may hang or crash this
+    ``(shard, attempt)`` before the kernel runs — which is exactly what
+    makes injected worker faults invisible to the parent's serial
+    fallback lane: the seam lives here, not in the kernel.
+    """
+    plan = _active_plan()
+    if plan is not None and _in_worker:
+        if plan.hangs_shard(shard, attempt):
+            time.sleep(plan.hang_seconds)
+        if plan.crashes_shard(shard, attempt):
+            raise InjectedWorkerCrash(
+                f"injected crash of shard {shard} (attempt {attempt})")
     return kernel(_payload, shard_arg)
 
 
@@ -210,9 +269,29 @@ def _pool_context():
         return multiprocessing.get_context()
 
 
+def _resolve_timeout(timeout: float | None) -> float | None:
+    """The per-shard timeout in effect for one :func:`run_sharded` call.
+
+    An explicit ``timeout`` wins.  With none given, an armed
+    :class:`~repro.faults.plan.FaultPlan` that hangs workers installs
+    its own ``shard_timeout`` (so a hung-worker injection completes
+    within the timeout + backoff budget without every caller having to
+    thread a timeout through); otherwise there is no timeout — the
+    pre-fault-layer behavior, byte for byte.
+    """
+    if timeout is not None:
+        return timeout
+    plan = _active_plan()
+    if plan is not None and plan.hang_shard is not None:
+        return plan.shard_timeout
+    return None
+
+
 def run_sharded(kernel: Callable[[Any, Any], Any], payload: Any,
                 shard_args: Sequence[Any],
-                workers: int | None = None) -> list[Any]:
+                workers: int | None = None, *,
+                timeout: float | None = None,
+                retries: int | None = None) -> list[Any]:
     """Evaluate ``kernel(payload, arg)`` per shard, possibly in parallel.
 
     Args:
@@ -224,10 +303,26 @@ def run_sharded(kernel: Callable[[Any, Any], Any], payload: Any,
         shard_args: one small argument per shard (e.g. ``(lo, hi)``
             spans from :func:`plan_shards`).
         workers: worker count override; defaults to :func:`shard_workers`.
+        timeout: per-shard seconds before the pool lane gives up on a
+            shard (``None`` — the default — waits forever, unless an
+            armed fault plan hangs workers, in which case the plan's
+            ``shard_timeout`` applies).
+        retries: pool-lane retries per crashed shard before the serial
+            fallback lane recomputes it in the parent (default 2).
+            A timed-out shard goes straight to the serial lane — its
+            worker is still wedged, so resubmitting only queues behind
+            the hang.
 
     Returns:
         The per-shard results, in ``shard_args`` order — identical to
-        ``[kernel(payload, a) for a in shard_args]`` by construction.
+        ``[kernel(payload, a) for a in shard_args]`` by construction,
+        whichever lane (pool, retry, serial fallback) produced each
+        shard.
+
+    Raises:
+        ShardFailure: when a shard fails in the serial lane too (a
+            deterministic kernel error), with the failing shard index
+            attached and the original error chained.
     """
     global _payload, _in_worker
     shard_args = list(shard_args)
@@ -237,7 +332,11 @@ def run_sharded(kernel: Callable[[Any, Any], Any], payload: Any,
         workers = 1
     workers = min(workers, len(shard_args))
     if workers <= 1:
-        return [kernel(payload, arg) for arg in shard_args]
+        return [_serial_shard(kernel, payload, index, arg)
+                for index, arg in enumerate(shard_args)]
+    if retries is None:
+        retries = _DEFAULT_RETRIES
+    timeout = _resolve_timeout(timeout)
     context = _pool_context()
     if context.get_start_method() == "fork":
         # Children snapshot these globals at fork time (copy-on-write);
@@ -248,10 +347,98 @@ def run_sharded(kernel: Callable[[Any, Any], Any], payload: Any,
     else:  # pragma: no cover - fork-less platform
         previous = _payload
         pool_kwargs = {"initializer": _worker_init, "initargs": (payload,)}
+    pool = ProcessPoolExecutor(max_workers=workers, mp_context=context,
+                               **pool_kwargs)
+    #: Flips when a shard timed out: its worker is still wedged on the
+    #: old task, so the teardown must not wait for it — the pool is
+    #: abandoned (shutdown(wait=False)) and reaps itself once the hung
+    #: task finishes, keeping this call inside the timeout + backoff
+    #: budget instead of blocking on a worker that may never return.
+    abandoned = False
     try:
-        with ProcessPoolExecutor(max_workers=workers, mp_context=context,
-                                 **pool_kwargs) as pool:
-            return list(pool.map(_invoke, [kernel] * len(shard_args),
-                                 shard_args))
+        futures: list[Future[Any] | None] = []
+        for index, arg in enumerate(shard_args):
+            futures.append(_submit_shard(pool, kernel, index, 0, arg))
+        results: list[Any] = []
+        for index, arg in enumerate(shard_args):
+            result, timed_out = _collect_shard(
+                pool, kernel, futures[index], index, arg, timeout, retries)
+            abandoned = abandoned or timed_out
+            if result is _SERIAL_LANE:
+                result = _serial_shard(kernel, payload, index, arg)
+            results.append(result)
+        return results
     finally:
+        pool.shutdown(wait=not abandoned, cancel_futures=True)
         _payload, _in_worker = previous, False
+
+
+#: Sentinel: the pool lane gave up on this shard; recompute serially.
+_SERIAL_LANE = object()
+
+
+def _submit_shard(pool: ProcessPoolExecutor,
+                  kernel: Callable[[Any, Any], Any], index: int,
+                  attempt: int, arg: Any) -> Future[Any] | None:
+    """Submit one shard attempt; ``None`` when the pool cannot take it."""
+    try:
+        return pool.submit(_invoke, kernel, index, attempt, arg)
+    except RuntimeError:
+        # Shut-down or broken pool: nothing to wait for, the serial
+        # lane owns this shard.
+        return None
+
+
+def _collect_shard(pool: ProcessPoolExecutor,
+                   kernel: Callable[[Any, Any], Any],
+                   future: Future[Any] | None, index: int, arg: Any,
+                   timeout: float | None,
+                   retries: int) -> tuple[Any, bool]:
+    """One shard's pool-lane result, retrying crashes with backoff.
+
+    Returns ``(result, timed_out)``; ``result`` is :data:`_SERIAL_LANE`
+    when the pool lane failed and the caller must recompute the shard
+    serially.  Crashed attempts (worker raised, worker died, payload or
+    result failed to pickle) are resubmitted up to ``retries`` times;
+    a timeout is terminal for the pool lane — the worker is wedged, so
+    the shard goes straight to the serial lane and the pool is marked
+    for abandonment.
+    """
+    attempt = 0
+    while True:
+        if future is None:
+            return _SERIAL_LANE, False
+        try:
+            return future.result(timeout=timeout), False
+        except TimeoutError:
+            warnings.warn(
+                f"shard {index} timed out after {timeout}s; recomputing "
+                f"serially in the parent", RuntimeWarning, stacklevel=4)
+            return _SERIAL_LANE, True
+        except Exception as error:
+            if attempt >= retries:
+                warnings.warn(
+                    f"shard {index} failed the pool lane "
+                    f"{attempt + 1} time(s) ({type(error).__name__}: "
+                    f"{error}); recomputing serially in the parent",
+                    RuntimeWarning, stacklevel=4)
+                return _SERIAL_LANE, False
+            time.sleep(_RETRY_BACKOFF * (2 ** attempt))
+            attempt += 1
+            future = _submit_shard(pool, kernel, index, attempt, arg)
+
+
+def _serial_shard(kernel: Callable[[Any, Any], Any], payload: Any,
+                  index: int, arg: Any) -> Any:
+    """The serial lane: the kernel in the parent, shard index attached.
+
+    This is both the plain ``workers <= 1`` path and the guaranteed
+    fallback for shards the pool lane lost; a kernel error here is
+    deterministic and raises :class:`ShardFailure` naming the shard.
+    """
+    try:
+        return kernel(payload, arg)
+    except Exception as error:
+        raise ShardFailure(
+            f"shard {index} failed in the serial lane: "
+            f"{type(error).__name__}: {error}", shard_index=index) from error

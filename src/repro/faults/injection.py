@@ -1,0 +1,99 @@
+"""Arming state and the injection seams the engine consults.
+
+One module-global slot holds the armed :class:`~repro.faults.plan.
+FaultPlan` (plus its per-arming counters); the seams in
+:mod:`repro.engine.parallel`, :mod:`repro.engine.collisions` and
+:mod:`repro.net.simulator` read it through :func:`active_plan`.  The
+unarmed fast path is a single module-attribute load against ``None`` —
+no allocation, no draw, no call into the plan — which is what keeps the
+fault layer free when nothing is armed (gated by the
+``fault-injection/overhead-unarmed`` benchmark row).
+
+Worker processes started by ``fork`` inherit the armed state at fork
+time, so a plan armed in the parent injects inside shard workers too;
+the per-arming counters live in the parent only (the numpy-failure
+budget is decremented where the kernel dispatch happens).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.faults.plan import FaultPlan, InjectedKernelFault
+
+__all__ = [
+    "active_plan",
+    "arm_plan",
+    "disarm_plan",
+    "use_plan",
+    "consume_numpy_failure",
+]
+
+#: The armed plan; ``None`` means the whole fault layer is a no-op.
+_plan: FaultPlan | None = None
+
+#: Numpy kernel failures already injected under the current arming.
+_numpy_failures_injected = 0
+
+
+def active_plan() -> FaultPlan | None:
+    """The armed :class:`FaultPlan`, or ``None`` when nothing is armed."""
+    return _plan
+
+
+def arm_plan(plan: FaultPlan) -> None:
+    """Arm a plan (replacing any armed one; counters reset).
+
+    Raises:
+        TypeError: when ``plan`` is not a :class:`FaultPlan`.
+    """
+    global _plan, _numpy_failures_injected
+    if not isinstance(plan, FaultPlan):
+        raise TypeError(
+            f"expected a FaultPlan, got {type(plan).__name__}")
+    _plan = plan
+    _numpy_failures_injected = 0
+
+
+def disarm_plan() -> None:
+    """Disarm; every seam returns to its zero-cost unarmed fast path."""
+    global _plan, _numpy_failures_injected
+    _plan = None
+    _numpy_failures_injected = 0
+
+
+@contextmanager
+def use_plan(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Arm ``plan`` for a block, restoring the previous state after.
+
+    The canonical way tests and the chaos oracle inject: the plan is
+    guaranteed disarmed (or the outer plan restored) on exit, so no
+    fault leaks past the block even when it raises.
+    """
+    global _plan, _numpy_failures_injected
+    previous = (_plan, _numpy_failures_injected)
+    arm_plan(plan)
+    try:
+        yield plan
+    finally:
+        _plan, _numpy_failures_injected = previous
+
+
+def consume_numpy_failure() -> None:
+    """Raise :class:`InjectedKernelFault` while the budget lasts.
+
+    Called by the numpy collision-kernel dispatch when a plan is armed;
+    the first ``plan.numpy_failures`` calls after arming fail, later
+    calls pass through.  The counter is part of the arming (reset by
+    :func:`arm_plan`/:func:`disarm_plan`), so a plan is a pure
+    description and re-arming replays the same failures.
+    """
+    global _numpy_failures_injected
+    plan = _plan
+    if plan is None or _numpy_failures_injected >= plan.numpy_failures:
+        return
+    _numpy_failures_injected += 1
+    raise InjectedKernelFault(
+        f"injected numpy kernel failure "
+        f"{_numpy_failures_injected}/{plan.numpy_failures}")

@@ -49,6 +49,7 @@ from contextlib import nullcontext
 from repro.engine.backend import numpy_module
 from repro.engine.config import EngineConfig, default_config
 from repro.engine.parallel import shard_workers
+from repro.faults.injection import active_plan as _active_plan
 from repro.net.energy import UNIT_TX_MODEL, EnergyModel
 from repro.net.metrics import SimulationMetrics
 from repro.net.model import Network
@@ -144,6 +145,20 @@ class BroadcastSimulator:
         if table is not None and round_length:
             self._slot_table: list[int] | None = list(table)
             self._round_length = round_length
+            # Byzantine injection seam: an armed FaultPlan corrupts the
+            # published slot table (a pure function of the plan seed and
+            # the sorted sensor positions, so both backends corrupt the
+            # same sensors to the same wrong slots).  Unarmed this is a
+            # single None check.
+            plan = _active_plan()
+            if plan is not None and plan.byzantine > 0.0:
+                assignment = dict(zip(self._positions, self._slot_table))
+                corrupted = plan.corrupt_assignment(assignment, round_length)
+                if corrupted:
+                    index_of = {point: i
+                                for i, point in enumerate(self._positions)}
+                    for point, slot in corrupted.items():
+                        self._slot_table[index_of[point]] = slot
         else:
             self._slot_table = None
             self._round_length = None
@@ -199,7 +214,8 @@ class BroadcastSimulator:
         step; an all-default config skips the bookkeeping entirely.
         """
         config = self._config
-        if config.backend is None and config.workers is None:
+        if config.backend is None and config.workers is None \
+                and config.on_kernel_failure is None:
             return nullcontext()
         return config.apply()
 
@@ -244,6 +260,14 @@ class BroadcastSimulator:
             else:
                 transmitters = [i for i in range(n)
                                 if backlogged[i] and row[i]]
+        # Flaky injection seam: an armed FaultPlan silently drops
+        # scheduled transmissions, keyed purely by ``(sensor, slot)`` —
+        # both backends build the same ascending dense-id transmitter
+        # list, so the drops replay identically.  Unarmed this is a
+        # single None check per slot.
+        plan = _active_plan()
+        if plan is not None and plan.flaky > 0.0 and transmitters:
+            transmitters = plan.filter_transmitters(transmitters, time)
         num_transmitters = len(transmitters)
         metrics.transmissions += num_transmitters
         metrics.energy_transmit += \

@@ -1,11 +1,13 @@
-"""CLI: ``python -m repro.scenarios {list | show | run | corpus}``.
+"""CLI: ``python -m repro.scenarios {list | show | run | corpus | chaos}``.
 
 The scenario subsystem's command line — list the generator families,
 print the spec at a ``(family, seed, index)`` coordinate, replay one
-spec through the differential oracle, or sweep a whole corpus and write
-a machine-readable JSON report.  Every oracle failure prints the exact
-``run`` command that reproduces it standalone, which is also what the
-integration suite embeds in its assertion messages.
+spec through the differential oracle, sweep a whole corpus and write a
+machine-readable JSON report, or run the chaos oracle (fault injection
++ self-healing verdicts) over the ``faulty_*`` corpus.  Every oracle
+failure prints the exact ``run`` command that reproduces it standalone,
+which is also what the integration suite embeds in its assertion
+messages.
 """
 
 from __future__ import annotations
@@ -90,6 +92,21 @@ def main(argv: list[str] | None = None) -> int:
                         help="specs per family (indices 0..count-1)")
     _matrix_args(corpus)
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="chaos oracle: every injected fault masked or "
+             "detected-and-repaired")
+    chaos.add_argument("--families",
+                       default="faulty_byzantine,faulty_flaky",
+                       help="comma list (default: the faulty_* families)")
+    chaos.add_argument("--seed", type=int, default=_DEFAULT_SEED)
+    chaos.add_argument("--count", type=int, default=4,
+                       help="specs per family (indices 0..count-1)")
+    chaos.add_argument("--skip-exec-probe", action="store_true",
+                       help="skip the sharded execution-lane probe")
+    chaos.add_argument("--json", metavar="PATH", default=None,
+                       help="also write a JSON report")
+
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -101,6 +118,9 @@ def main(argv: list[str] | None = None) -> int:
         spec = generate(args.family, args.seed, args.index)
         print(json.dumps(spec.to_dict(), indent=2, sort_keys=True))
         return 0
+
+    if args.command == "chaos":
+        return _run_chaos_command(parser, args)
 
     matrix = _matrix_from_args(args)
     if args.command == "run":
@@ -129,6 +149,62 @@ def main(argv: list[str] | None = None) -> int:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(_report_payload(reports, elapsed), handle, indent=2,
                       sort_keys=True)
+        print(f"wrote {args.json}")
+
+    return 1 if failures else 0
+
+
+def _run_chaos_command(parser, args) -> int:
+    from repro.scenarios.chaos import run_chaos_corpus, run_exec_probe
+
+    families = args.families.split(",")
+    unknown = [name for name in families if name not in FAMILIES]
+    if unknown:
+        parser.error(
+            f"unknown families: {', '.join(unknown)}; known: "
+            f"{', '.join(family_names())}")
+    specs = list(iter_corpus(families, args.seed, args.count))
+
+    start = time.perf_counter()
+    reports = run_chaos_corpus(specs)
+    probe_violations: list[str] = []
+    if not args.skip_exec_probe:
+        probe_violations = run_exec_probe()
+    elapsed = time.perf_counter() - start
+
+    for report in reports:
+        print(report.summary())
+    for violation in probe_violations:
+        print(f"[FAIL] exec-probe\n  violation: {violation}")
+    if not args.skip_exec_probe and not probe_violations:
+        print("[OK] exec-probe: retry / serial-fallback / timeout lanes "
+              "all reproduced the serial reference")
+    failures = sum(not r.ok for r in reports) + len(probe_violations)
+    masked = sum(r.ok and r.masked for r in reports)
+    print(f"{len(reports)} spec(s) in {elapsed:.1f}s — {masked} masked, "
+          f"{sum(r.ok and not r.masked for r in reports)} repaired, "
+          f"{failures} failure(s)")
+
+    if args.json:
+        payload = {
+            "ok": not failures,
+            "specs": len(reports),
+            "masked": masked,
+            "repaired": sum(r.ok and not r.masked for r in reports),
+            "exec_probe": ("skipped" if args.skip_exec_probe
+                           else "ok" if not probe_violations else "fail"),
+            "elapsed_s": round(elapsed, 3),
+            "results": [
+                {
+                    **r.to_row(),
+                    "violations_detail": list(r.violations),
+                    "reproduce": r.spec.cli_command(),
+                }
+                for r in reports
+            ],
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
         print(f"wrote {args.json}")
 
     return 1 if failures else 0

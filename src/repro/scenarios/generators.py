@@ -9,7 +9,7 @@ generated before it, in which order, or in which process.  That is what
 makes any corpus member re-runnable standalone from the triple the CLI
 prints.
 
-The five families map the scenario space the ROADMAP asks for:
+The families map the scenario space the ROADMAP asks for:
 
 * ``grid_sweep`` — every exact gallery prototile (plus Chebyshev balls
   in 1-D/2-D/3-D) over varying windows: the bread-and-butter Theorem 1
@@ -24,7 +24,14 @@ The five families map the scenario space the ROADMAP asks for:
   checked paper property);
 * ``adversarial_edits`` — edits chosen *knowing the schedule* to force
   a specific collision pair (or to revert and restore cleanliness), so
-  the oracle can assert exact outcomes, not just agreement.
+  the oracle can assert exact outcomes, not just agreement;
+* ``faulty_byzantine`` / ``faulty_flaky`` — base scenarios carrying
+  *inert* fault fields (byzantine slot-report rates, flaky-transmitter
+  rates, a fault seed).  The differential oracle replays them fault-free
+  like any other spec; the chaos oracle
+  (:mod:`repro.scenarios.chaos`) arms the described
+  :class:`repro.faults.FaultPlan` around them and demands every
+  injected fault be masked or detected-and-repaired.
 """
 
 from __future__ import annotations
@@ -343,6 +350,54 @@ def _adversarial_edits(seed: int, index: int) -> ScenarioSpec:
         construction="prototile", prototile=tile_name,
         window_lo=lo, window_hi=hi, edits=(collide,),
         forced_collisions=(pair,), expect_collision_free=False)
+
+
+@scenario_family(
+    "faulty_byzantine",
+    "byzantine slot reports at a moderate rate — the chaos oracle "
+    "corrupts the schedule, detects the collisions and self-heals via "
+    "Session.repair")
+def _faulty_byzantine(seed: int, index: int) -> ScenarioSpec:
+    draws = _Draws("faulty_byzantine", seed, index)
+    tile_name = draws.choice("tile", _EDIT_TILES)
+    lo, hi = _window_corners(draws, min_side=5, max_side=7)
+    simulate = index % 2 == 0
+    return ScenarioSpec(
+        family="faulty_byzantine", seed=seed, index=index,
+        construction="prototile", prototile=tile_name,
+        window_lo=lo, window_hi=hi,
+        protocol="schedule" if simulate else None,
+        sim_slots=draws.randint("sim-slots", 18, 36) if simulate else 0,
+        sim_seed=draws.randint("sim-seed", 0, 2**31) if simulate else 0,
+        # Moderate rates: enough corruption to force multi-point
+        # repairs, low enough that the window stays repairable (the
+        # chaos oracle asserts repair *succeeds* on every corpus spec).
+        fault_byzantine=draws.randint("byzantine", 5, 12),
+        fault_seed=draws.randint("fault-seed", 0, 2**31))
+
+
+@scenario_family(
+    "faulty_flaky",
+    "flaky transmitters silently dropping scheduled sends — the chaos "
+    "oracle asserts the divergence is detected while the schedule "
+    "itself stays collision-free on every engine path")
+def _faulty_flaky(seed: int, index: int) -> ScenarioSpec:
+    draws = _Draws("faulty_flaky", seed, index)
+    tile_name = draws.choice("tile", _EDIT_TILES)
+    lo, hi = _window_corners(draws, min_side=4, max_side=6)
+    protocol = draws.choice("protocol", ("schedule", "aloha", "csma"))
+    params: tuple[tuple[str, float], ...] = ()
+    if protocol in ("aloha", "csma"):
+        params = (("p", draws.choice("p", (0.1, 0.2, 0.3))),)
+    return ScenarioSpec(
+        family="faulty_flaky", seed=seed, index=index,
+        construction="prototile", prototile=tile_name,
+        window_lo=lo, window_hi=hi,
+        protocol=protocol, protocol_params=params,
+        sim_slots=draws.randint("sim-slots", 18, 36),
+        sim_seed=draws.randint("sim-seed", 0, 2**31),
+        fault_flaky=draws.randint("flaky", 10, 35),
+        fault_seed=draws.randint("fault-seed", 0, 2**31))
 
 
 def iter_corpus(families: Iterable[str], seed: int,

@@ -85,6 +85,16 @@ class ScenarioSpec:
             the protocol factory (e.g. ``(("p", 0.2),)``).
         sim_slots: slots to simulate (ignored without a protocol).
         sim_seed: simulator seed.
+        fault_byzantine: percentage (0..100) of sensors whose slot
+            reports the chaos leg corrupts byzantinely.  Inert for
+            :meth:`materialize` — fault fields describe what the chaos
+            oracle *injects around* the scenario, never the fault-free
+            base state the differential oracle replays.
+        fault_flaky: percentage (0..100) of scheduled transmissions the
+            chaos leg drops per ``(sensor, slot)``.  Inert for
+            :meth:`materialize`.
+        fault_seed: root seed of the chaos leg's
+            :class:`repro.faults.FaultPlan` streams.
     """
 
     family: str
@@ -106,8 +116,16 @@ class ScenarioSpec:
     protocol_params: tuple[tuple[str, Any], ...] = ()
     sim_slots: int = 0
     sim_seed: int = 0
+    fault_byzantine: int = 0
+    fault_flaky: int = 0
+    fault_seed: int = 0
 
     def __post_init__(self) -> None:
+        for name in ("fault_byzantine", "fault_flaky"):
+            rate = getattr(self, name)
+            if not 0 <= rate <= 100:
+                raise ValueError(
+                    f"{name} must be a percentage in [0, 100], got {rate!r}")
         if self.construction not in _CONSTRUCTIONS:
             raise ValueError(
                 f"unknown construction {self.construction!r}; expected one "
@@ -246,6 +264,12 @@ class ScenarioSpec:
             data["sim_slots"] = self.sim_slots
         if self.sim_seed:
             data["sim_seed"] = self.sim_seed
+        if self.fault_byzantine:
+            data["fault_byzantine"] = self.fault_byzantine
+        if self.fault_flaky:
+            data["fault_flaky"] = self.fault_flaky
+        if self.fault_seed:
+            data["fault_seed"] = self.fault_seed
         return data
 
     def to_json(self) -> str:
@@ -281,6 +305,9 @@ def spec_from_dict(data: dict) -> ScenarioSpec:
                               in data.get("protocol_params", ())),
         sim_slots=data.get("sim_slots", 0),
         sim_seed=data.get("sim_seed", 0),
+        fault_byzantine=data.get("fault_byzantine", 0),
+        fault_flaky=data.get("fault_flaky", 0),
+        fault_seed=data.get("fault_seed", 0),
     )
 
 

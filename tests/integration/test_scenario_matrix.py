@@ -1,6 +1,6 @@
 """The pinned-seed scenario corpus through the full differential oracle.
 
-Every CI leg replays this corpus — 20 specs, 4 per generator family,
+Every CI leg replays this corpus — 28 specs, 4 per generator family,
 seed 2008 — across the complete engine matrix ``{numpy, python} x
 {1, 2 workers} x {full, incremental} x {facade, legacy}`` (16 paths per
 spec) and tolerates zero divergences or invariant violations.  The
@@ -28,6 +28,8 @@ SEED = 2008
 CORPUS = [
     *[("adversarial_edits", i) for i in range(4)],
     *[("churn", i) for i in range(4)],
+    *[("faulty_byzantine", i) for i in range(4)],
+    *[("faulty_flaky", i) for i in range(4)],
     ("grid_sweep", 0), ("grid_sweep", 5),
     ("grid_sweep", 14), ("grid_sweep", 15),
     *[("heterogeneous_mix", i) for i in range(4)],

@@ -36,6 +36,7 @@ RULE_IDS = (
     "determinism-random",
     "determinism-wallclock",
     "export-integrity",
+    "fault-hygiene",
     "generator-purity",
 )
 
@@ -56,7 +57,7 @@ def check_snippet(tmp_path: Path, source: str, name: str = "snippet.py",
 
 
 class TestRegistry:
-    def test_all_six_rules_registered(self):
+    def test_core_rules_registered(self):
         assert set(RULE_IDS) <= set(rule_ids())
 
     def test_every_rule_has_summary_and_explain(self):
@@ -466,6 +467,95 @@ class TestExportIntegrity:
         found = run_rule("export-integrity", "def f():\n    return 1\n",
                          "src/repro/net/fixture.py")
         assert found == []
+
+
+class TestFaultHygiene:
+    ENGINE = "src/repro/engine/fixture.py"
+    FAULTS = "src/repro/faults/fixture.py"
+
+    def test_flags_bare_except(self):
+        found = run_rule("fault-hygiene", """\
+            def f():
+                try:
+                    risky()
+                except:
+                    return None
+            """, self.ENGINE)
+        assert [v.rule for v in found] == ["fault-hygiene"]
+        assert "bare 'except:'" in found[0].message
+
+    def test_flags_swallowed_broad_except(self):
+        found = run_rule("fault-hygiene", """\
+            def f():
+                try:
+                    risky()
+                except Exception:
+                    pass
+            """, self.FAULTS)
+        assert len(found) == 1
+        assert "swallows" in found[0].message
+
+    def test_flags_swallowed_base_exception_ellipsis_body(self):
+        found = run_rule("fault-hygiene", """\
+            def f():
+                try:
+                    risky()
+                except BaseException:
+                    ...
+            """, self.ENGINE)
+        assert len(found) == 1
+
+    def test_allows_broad_except_with_real_body(self):
+        found = run_rule("fault-hygiene", """\
+            import warnings
+            def f():
+                try:
+                    risky()
+                except Exception as error:
+                    warnings.warn(f"degraded: {error}")
+                    return fallback()
+            """, self.ENGINE)
+        assert found == []
+
+    def test_allows_narrow_typed_handler(self):
+        found = run_rule("fault-hygiene", """\
+            def f():
+                try:
+                    risky()
+                except OverflowError:
+                    pass
+            """, self.ENGINE)
+        assert found == []
+
+    def test_out_of_scope_module_ignored(self):
+        found = run_rule("fault-hygiene", """\
+            def f():
+                try:
+                    risky()
+                except:
+                    pass
+            """, "src/repro/net/fixture.py")
+        assert found == []
+
+    def test_main_modules_exempt(self):
+        found = run_rule("fault-hygiene", """\
+            try:
+                run()
+            except Exception:
+                pass
+            """, "src/repro/engine/__main__.py")
+        assert found == []
+
+    def test_pragma_with_reason_suppresses(self, tmp_path):
+        active, suppressed = check_snippet(tmp_path, """\
+            def f():
+                try:
+                    risky()
+                except Exception:  # repro: allow[fault-hygiene] -- fixture
+                    pass
+            """, name="src/repro/engine/fixture.py")
+        assert [v.rule for v in active] == []
+        assert [v.rule for v in suppressed] == ["fault-hygiene"]
 
 
 class TestPragmas:

@@ -39,8 +39,8 @@ REPRO_EXPORTS = frozenset({
 })
 
 API_EXPORTS = frozenset({
-    "Box", "EngineConfig", "Session", "SlotAssignment",
-    "VerificationReport",
+    "Box", "CorruptSessionError", "EngineConfig", "RepairReport",
+    "Session", "SlotAssignment", "VerificationReport",
     "default_config", "set_default_config", "use_config",
     "make_protocol", "protocol_names", "register_protocol",
 })

@@ -123,8 +123,9 @@ class TestSpecBehavior:
 
 
 class TestGenerators:
-    def test_five_families_registered(self):
+    def test_seven_families_registered(self):
         assert family_names() == ("adversarial_edits", "churn",
+                                  "faulty_byzantine", "faulty_flaky",
                                   "grid_sweep", "heterogeneous_mix",
                                   "mobile")
 
