@@ -19,6 +19,9 @@ only catch dynamically:
 * ``fault-hygiene`` — no bare ``except:`` and no silently swallowed
   ``except Exception:`` inside ``repro.engine`` / ``repro.faults``; the
   resilience lanes must observe every failure they handle.
+* ``service-hygiene`` — no blocking calls (``time.sleep``, synchronous
+  file IO, ``subprocess``) inside ``repro.service`` coroutine
+  functions; the asyncio front end must never stall the event loop.
 
 Rules are registered on import (see
 :func:`repro.analysis.core.register_rule`); the driver and the CLI pick
@@ -41,6 +44,7 @@ __all__ = [
     "GeneratorPurityRule",
     "ExportIntegrityRule",
     "FaultHygieneRule",
+    "ServiceHygieneRule",
 ]
 
 
@@ -731,6 +735,145 @@ Violates: except Exception:
                     "signal the resilience lanes are built on; degrade "
                     "with a warning, chain into a typed error, or "
                     "narrow the handler")
+
+
+# ----------------------------------------------------------------------
+# Rule: service-hygiene
+# ----------------------------------------------------------------------
+@register_rule
+class ServiceHygieneRule(Rule):
+    id = "service-hygiene"
+    summary = ("no blocking calls (time.sleep, sync file IO, subprocess) "
+               "inside repro.service coroutine functions")
+    explain = """\
+Coroutines in repro.service must never block the event loop.
+
+The service's asyncio front end (AsyncSchedulingService) multiplexes
+thousands of sessions onto one loop thread; a single time.sleep, open()
+read, or subprocess call inside a coroutine stalls *every* session's
+request, not just its own — latency p99s explode while the CPU sits
+idle.  Blocking work belongs on the dispatcher/worker threads (where
+the batcher's retry backoff rightly sleeps); coroutines bridge to it
+via asyncio.wrap_future / run_in_executor and await the result.
+
+Flagged inside `async def` functions of repro.service modules (nested
+synchronous helpers included — they run on the loop when the coroutine
+calls them; nested `async def`s are checked on their own):
+
+1. time.sleep(...) — use `await asyncio.sleep(...)`;
+2. synchronous file IO — open(), io.open(), Path.read_text/read_bytes/
+   write_text/write_bytes — hand the file to a worker thread;
+3. subprocess use (subprocess.*, os.system) — run it in an executor.
+
+A deliberate exception needs a reasoned pragma:
+`# repro: allow[service-hygiene] -- <why this cannot block>`.
+
+Complies: async def verify(...): return await asyncio.wrap_future(f)
+Violates: async def verify(...): time.sleep(0.1); return f.result()
+"""
+
+    SCOPE = "repro.service"
+    FILE_IO_ATTRS = frozenset({
+        "read_text", "read_bytes", "write_text", "write_bytes",
+    })
+    SUBPROCESS_NAMES = frozenset({
+        "run", "call", "check_call", "check_output", "Popen",
+        "getoutput", "getstatusoutput",
+    })
+
+    def _in_scope(self, module: str) -> bool:
+        return module == self.SCOPE or module.startswith(self.SCOPE + ".")
+
+    def check(self, info: ModuleInfo) -> Iterator[Violation]:
+        if not self._in_scope(info.module):
+            return
+        sleep_aliases = set()
+        subprocess_aliases = set()
+        for node in ast.walk(info.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module == "time":
+                    sleep_aliases.update(
+                        item.asname or item.name for item in node.names
+                        if item.name == "sleep")
+                elif node.module == "subprocess":
+                    subprocess_aliases.update(
+                        item.asname or item.name for item in node.names
+                        if item.name in self.SUBPROCESS_NAMES)
+        for coroutine in self._coroutines(info.tree):
+            yield from self._check_coroutine(info, coroutine,
+                                             sleep_aliases,
+                                             subprocess_aliases)
+
+    def _coroutines(self, tree: ast.Module) -> Iterator[ast.AsyncFunctionDef]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield node
+
+    def _coroutine_body(self, fn: ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+        """Walk a coroutine including nested sync defs (they run on the
+        loop when the coroutine calls them), excluding nested ``async
+        def``s — each coroutine is checked on its own."""
+        stack: list[ast.AST] = list(fn.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.AsyncFunctionDef):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _check_coroutine(self, info: ModuleInfo, fn: ast.AsyncFunctionDef,
+                         sleep_aliases: set[str],
+                         subprocess_aliases: set[str],
+                         ) -> Iterator[Violation]:
+        where = f"coroutine '{fn.name}'"
+        for node in self._coroutine_body(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and isinstance(
+                    func.value, ast.Name):
+                base, attr = func.value.id, func.attr
+                if base == "time" and attr == "sleep":
+                    yield self.violation(info,
+                        node, f"time.sleep in {where} blocks the whole "
+                        f"event loop; use 'await asyncio.sleep(...)'")
+                elif base == "io" and attr == "open":
+                    yield self.violation(info,
+                        node, f"synchronous io.open in {where} blocks "
+                        f"the event loop; do file IO on a worker thread")
+                elif base == "subprocess":
+                    yield self.violation(info,
+                        node, f"subprocess.{attr} in {where} blocks the "
+                        f"event loop; run it in an executor")
+                elif base == "os" and attr == "system":
+                    yield self.violation(info,
+                        node, f"os.system in {where} blocks the event "
+                        f"loop; run it in an executor")
+                elif attr in self.FILE_IO_ATTRS:
+                    yield self.violation(info,
+                        node, f"synchronous file IO .{attr}() in {where} "
+                        f"blocks the event loop; do file IO on a worker "
+                        f"thread")
+            elif isinstance(func, ast.Attribute) \
+                    and func.attr in self.FILE_IO_ATTRS:
+                yield self.violation(info,
+                    node, f"synchronous file IO .{func.attr}() in "
+                    f"{where} blocks the event loop; do file IO on a "
+                    f"worker thread")
+            elif isinstance(func, ast.Name):
+                if func.id == "open":
+                    yield self.violation(info,
+                        node, f"synchronous open() in {where} blocks the "
+                        f"event loop; do file IO on a worker thread")
+                elif func.id in sleep_aliases:
+                    yield self.violation(info,
+                        node, f"time.sleep (imported as '{func.id}') in "
+                        f"{where} blocks the event loop; use 'await "
+                        f"asyncio.sleep(...)'")
+                elif func.id in subprocess_aliases:
+                    yield self.violation(info,
+                        node, f"subprocess call '{func.id}' in {where} "
+                        f"blocks the event loop; run it in an executor")
 
 
 def _subscript_base(target: ast.expr) -> str | None:

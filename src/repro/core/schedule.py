@@ -666,6 +666,17 @@ class VerificationCache:
         """True when the tracked schedule has no colliding pair."""
         return not self.collisions()
 
+    def rebase(self, schedule: Schedule) -> None:
+        """Swap the tracked schedule for a content-identical copy.
+
+        The delta chain in :meth:`apply` checks schedule *identity*, so
+        a cache handed across a serialize/deserialize boundary (session
+        snapshot restore) must be re-pointed at the deserialized object
+        before the next edit.  The caller guarantees the replacement
+        assigns the same slots — the cached collision state is kept.
+        """
+        self._schedule = schedule
+
     def apply(self, delta: ScheduleDelta) -> list[Collision]:
         """Track the delta's schedule, re-verifying only the dirty region.
 

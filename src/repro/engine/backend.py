@@ -23,6 +23,7 @@ from __future__ import annotations
 import os
 import warnings
 from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import Any, Iterator
 
 __all__ = [
@@ -86,8 +87,16 @@ def _backend_from_env() -> str:
 
 #: The explicit :func:`set_backend` selection; ``None`` means "not set",
 #: in which case resolution falls through to the default config and then
-#: the env var — lazily, on every call.
+#: the env var — lazily, on every call.  Process-wide on purpose: the
+#: imperative API configures the interpreter for every thread.
 _backend: str | None = None
+
+#: The scoped :func:`use_backend` selection.  Context-local so that two
+#: threads/tasks forcing different backends (equivalence tests, service
+#: requests applying per-call configs) cannot observe each other's pin;
+#: it outranks :func:`set_backend` because a scoped force is innermost.
+_backend_override: ContextVar[str | None] = ContextVar(
+    "repro_engine_backend_override", default=None)
 
 
 def set_backend(name: str) -> None:
@@ -109,15 +118,19 @@ def set_backend(name: str) -> None:
 def requested_backend() -> str:
     """The resolved *request* (``auto``/``numpy``/``python``), pre-degrade.
 
-    Walks the resolution order — explicit :func:`set_backend`, then the
-    default :class:`~repro.engine.config.EngineConfig`, then
-    ``REPRO_ENGINE`` — without collapsing ``auto`` or degrading a
-    ``numpy`` request, which is :func:`active_backend`'s job.
+    Walks the resolution order — a scoped :func:`use_backend` block,
+    then explicit :func:`set_backend`, then the default
+    :class:`~repro.engine.config.EngineConfig`, then ``REPRO_ENGINE`` —
+    without collapsing ``auto`` or degrading a ``numpy`` request, which
+    is :func:`active_backend`'s job.
     """
+    override = _backend_override.get()
+    if override is not None:
+        return override
     if _backend is not None:
         return _backend
     from repro.engine import config as _config
-    default = _config._default
+    default = _config.installed_default()
     if default is not None and default.backend is not None:
         return default.backend
     return _backend_from_env()
@@ -138,11 +151,19 @@ def active_backend() -> str:
 
 @contextmanager
 def use_backend(name: str) -> Iterator[None]:
-    """Temporarily force a backend (used by the equivalence tests)."""
-    global _backend
-    previous = _backend
-    set_backend(name)
+    """Temporarily force a backend (equivalence tests, config.apply).
+
+    Context-local: the force is visible to the current thread/task and
+    anything it forks, never to concurrently running contexts.  Applies
+    the same strict validation as :func:`set_backend`.
+    """
+    if name not in _CHOICES:
+        raise ValueError(
+            f"unknown engine backend {name!r}; expected one of {_CHOICES}")
+    if name == "numpy" and not numpy_available():
+        raise ValueError("numpy backend requested but numpy is not installed")
+    token = _backend_override.set(name)
     try:
         yield
     finally:
-        _backend = previous
+        _backend_override.reset(token)

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import dataclasses
 from contextlib import ExitStack, contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass
 from typing import Any, Iterator
 
@@ -38,6 +39,7 @@ __all__ = [
     "EngineConfig",
     "active_kernel_failure_policy",
     "default_config",
+    "installed_default",
     "set_default_config",
     "use_config",
     "use_kernel_failure_policy",
@@ -190,14 +192,44 @@ class EngineConfig:
 
 # ----------------------------------------------------------------------
 # The session default: one process-wide EngineConfig that the ambient
-# resolution (active_backend / shard_workers) consults before the env.
+# resolution (active_backend / shard_workers) consults before the env,
+# plus a context-local overlay for scoped installs.  Two stores because
+# they answer different questions: set_default_config configures the
+# *process* (visible to every thread — a service's worker threads must
+# see the operator's default), while use_config configures the *calling
+# context* (a thread or asyncio task serving one request must never
+# leak its config into concurrently running requests).
 # ----------------------------------------------------------------------
 _default: EngineConfig | None = None
+
+#: Sentinel distinguishing "no overlay installed" from an explicit
+#: ``use_config(None)`` (which must hide the process default for the
+#: block, exactly as the old global-swap implementation did).
+_UNSET: Any = object()
+
+#: Scoped default installed by :func:`use_config`; context-local so
+#: concurrent threads/tasks with different configs cannot
+#: cross-contaminate each other (regression-pinned by the service
+#: suite's two-thread resolution test).
+_default_override: ContextVar[EngineConfig | None] = ContextVar(
+    "repro_engine_config_default", default=_UNSET)
+
+
+def installed_default() -> EngineConfig | None:
+    """The default config in effect, or ``None`` when none is installed.
+
+    The context-local :func:`use_config` overlay outranks the
+    process-wide :func:`set_default_config` value — the resolution the
+    backend/worker lookups consult.
+    """
+    override = _default_override.get()
+    return _default if override is _UNSET else override
 
 
 def default_config() -> EngineConfig:
     """The installed default config, or an all-``None`` one when unset."""
-    return _default if _default is not None else EngineConfig()
+    installed = installed_default()
+    return installed if installed is not None else EngineConfig()
 
 
 def set_default_config(config: EngineConfig | None) -> None:
@@ -207,7 +239,9 @@ def set_default_config(config: EngineConfig | None) -> None:
     does not pass its own config; ``None`` fields keep falling through
     to the env.  Unlike :func:`repro.engine.backend.set_backend` this
     validates nothing beyond the dataclass itself — a ``numpy`` request
-    still degrades gracefully when numpy is missing.
+    still degrades gracefully when numpy is missing.  The value is
+    process-wide; a scoped :func:`use_config` block outranks it within
+    the installing context only.
     """
     global _default
     if config is not None and not isinstance(config, EngineConfig):
@@ -218,22 +252,33 @@ def set_default_config(config: EngineConfig | None) -> None:
 
 @contextmanager
 def use_config(config: EngineConfig | None) -> Iterator[None]:
-    """Temporarily install a default config (tests, CI legs)."""
-    global _default
-    previous = _default
-    set_default_config(config)
+    """Temporarily install a default config (tests, CI legs, requests).
+
+    Context-local: the install is visible to the current thread/task
+    (and to anything it forks) but never to concurrently running
+    threads or asyncio tasks, so a service can serve two sessions with
+    different configs side by side without a lock.
+    """
+    if config is not None and not isinstance(config, EngineConfig):
+        raise TypeError(
+            f"expected an EngineConfig or None, got {type(config).__name__}")
+    token = _default_override.set(config)
     try:
         yield
     finally:
-        _default = previous
+        _default_override.reset(token)
 
 
 # ----------------------------------------------------------------------
 # The degradation policy: what the numpy kernel dispatch does when a
 # kernel fails mid-call.  Resolution mirrors backend/workers: explicit
-# context > default config field > the built-in "degrade".
+# context > default config field > the built-in "degrade".  The
+# explicit pin is context-local: config.apply() enters it around every
+# facade call, and two service threads applying different configs must
+# not see each other's policy.
 # ----------------------------------------------------------------------
-_kernel_failure: str | None = None
+_kernel_failure: ContextVar[str | None] = ContextVar(
+    "repro_engine_kernel_failure_policy", default=None)
 
 
 def active_kernel_failure_policy() -> str:
@@ -245,8 +290,9 @@ def active_kernel_failure_policy() -> str:
     bit-identical pure-Python twin (plus a structured warning) rather
     than losing the call to a transient kernel failure.
     """
-    if _kernel_failure is not None:
-        return _kernel_failure
+    pinned = _kernel_failure.get()
+    if pinned is not None:
+        return pinned
     default = default_config().on_kernel_failure
     return default if default is not None else "degrade"
 
@@ -258,10 +304,8 @@ def use_kernel_failure_policy(policy: str) -> Iterator[None]:
         raise ValueError(
             f"unknown on_kernel_failure policy {policy!r}; expected one "
             f"of {_KERNEL_FAILURE_CHOICES}")
-    global _kernel_failure
-    previous = _kernel_failure
-    _kernel_failure = policy
+    token = _kernel_failure.set(policy)
     try:
         yield
     finally:
-        _kernel_failure = previous
+        _kernel_failure.reset(token)

@@ -64,6 +64,7 @@ import warnings
 from collections.abc import Callable, Sequence
 from concurrent.futures import Future, ProcessPoolExecutor
 from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import Any, Iterator
 
 from repro.faults.injection import active_plan as _active_plan
@@ -156,8 +157,16 @@ def _workers_from_env(raw: str | None) -> int:
 
 #: The explicit :func:`set_workers` selection; ``None`` means "not set",
 #: in which case resolution falls through to the default config and then
-#: the env var — lazily, on every call.
+#: the env var — lazily, on every call.  Process-wide on purpose: the
+#: imperative API configures the interpreter for every thread.
 _workers: int | None = None
+
+#: The scoped :func:`use_workers` selection.  Context-local so two
+#: threads/tasks forcing different worker counts (equivalence tests,
+#: service requests applying per-call configs) cannot observe each
+#: other's pin; it outranks :func:`set_workers` as the innermost force.
+_workers_override: ContextVar[int | None] = ContextVar(
+    "repro_engine_workers_override", default=None)
 
 #: True inside a shard worker process: nested kernels must stay serial
 #: (pool workers are daemonic and cannot fork grandchildren).
@@ -179,10 +188,13 @@ def shard_workers() -> int:
     """
     if _in_worker:
         return 1
+    override = _workers_override.get()
+    if override is not None:
+        return override
     if _workers is not None:
         return _workers
     from repro.engine import config as _config
-    default = _config._default
+    default = _config.installed_default()
     if default is not None and default.workers is not None:
         return min(default.workers, _MAX_WORKERS)
     return _workers_from_env(os.environ.get("REPRO_ENGINE_WORKERS"))
@@ -202,14 +214,18 @@ def set_workers(count: int) -> None:
 
 @contextmanager
 def use_workers(count: int) -> Iterator[None]:
-    """Temporarily force a worker count (used by tests and benchmarks)."""
-    global _workers
-    previous = _workers
-    set_workers(count)
+    """Temporarily force a worker count (tests, benchmarks, config.apply).
+
+    Context-local: visible to the current thread/task and anything it
+    forks, never to concurrently running contexts.
+    """
+    if not isinstance(count, int) or count < 1:
+        raise ValueError(f"worker count must be a positive int, got {count!r}")
+    token = _workers_override.set(min(count, _MAX_WORKERS))
     try:
         yield
     finally:
-        _workers = previous
+        _workers_override.reset(token)
 
 
 def plan_shards(total: int, shards: int) -> list[tuple[int, int]]:

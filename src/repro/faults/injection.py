@@ -1,23 +1,32 @@
 """Arming state and the injection seams the engine consults.
 
-One module-global slot holds the armed :class:`~repro.faults.plan.
-FaultPlan` (plus its per-arming counters); the seams in
+The armed :class:`~repro.faults.plan.FaultPlan` (plus its per-arming
+counters) lives in an :class:`_Arming` holder; the seams in
 :mod:`repro.engine.parallel`, :mod:`repro.engine.collisions` and
-:mod:`repro.net.simulator` read it through :func:`active_plan`.  The
-unarmed fast path is a single module-attribute load against ``None`` —
-no allocation, no draw, no call into the plan — which is what keeps the
-fault layer free when nothing is armed (gated by the
-``fault-injection/overhead-unarmed`` benchmark row).
+:mod:`repro.net.simulator` read it through :func:`active_plan`.  Two
+stores back it: the imperative :func:`arm_plan`/:func:`disarm_plan`
+API arms the *process* (one global slot, visible to every thread),
+while the scoped :func:`use_plan` arms the *calling context* (a
+:class:`~contextvars.ContextVar` overlay), so concurrent threads or
+asyncio tasks injecting different plans — a chaos probe running next
+to clean service traffic — cannot cross-contaminate each other.
 
-Worker processes started by ``fork`` inherit the armed state at fork
-time, so a plan armed in the parent injects inside shard workers too;
-the per-arming counters live in the parent only (the numpy-failure
-budget is decremented where the kernel dispatch happens).
+The unarmed fast path is one ``ContextVar.get`` plus a module-attribute
+load against ``None`` — no allocation, no draw, no call into the plan —
+which is what keeps the fault layer free when nothing is armed (gated
+by the ``fault-injection/overhead-unarmed`` benchmark row).
+
+Worker processes started by ``fork`` inherit the forking thread's
+context (and the globals) at fork time, so a plan armed in the parent
+injects inside shard workers too; the per-arming counters live in the
+parent only (the numpy-failure budget is decremented where the kernel
+dispatch happens).
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import Iterator
 
 from repro.faults.plan import FaultPlan, InjectedKernelFault
@@ -30,37 +39,58 @@ __all__ = [
     "consume_numpy_failure",
 ]
 
-#: The armed plan; ``None`` means the whole fault layer is a no-op.
-_plan: FaultPlan | None = None
 
-#: Numpy kernel failures already injected under the current arming.
-_numpy_failures_injected = 0
+class _Arming:
+    """One arming: the plan plus its mutable per-arming counters."""
+
+    __slots__ = ("plan", "numpy_failures_injected")
+
+    def __init__(self, plan: FaultPlan):
+        if not isinstance(plan, FaultPlan):
+            raise TypeError(
+                f"expected a FaultPlan, got {type(plan).__name__}")
+        self.plan = plan
+        self.numpy_failures_injected = 0
+
+
+#: The imperatively armed plan; ``None`` means "not armed process-wide".
+_armed: _Arming | None = None
+
+#: The scoped :func:`use_plan` arming; context-local so concurrent
+#: threads/tasks with different plans stay isolated.
+_armed_override: ContextVar[_Arming | None] = ContextVar(
+    "repro_faults_arming", default=None)
+
+
+def _active_arming() -> _Arming | None:
+    override = _armed_override.get()
+    return override if override is not None else _armed
 
 
 def active_plan() -> FaultPlan | None:
     """The armed :class:`FaultPlan`, or ``None`` when nothing is armed."""
-    return _plan
+    arming = _active_arming()
+    return arming.plan if arming is not None else None
 
 
 def arm_plan(plan: FaultPlan) -> None:
-    """Arm a plan (replacing any armed one; counters reset).
+    """Arm a plan process-wide (replacing any armed one; counters reset).
 
     Raises:
         TypeError: when ``plan`` is not a :class:`FaultPlan`.
     """
-    global _plan, _numpy_failures_injected
-    if not isinstance(plan, FaultPlan):
-        raise TypeError(
-            f"expected a FaultPlan, got {type(plan).__name__}")
-    _plan = plan
-    _numpy_failures_injected = 0
+    global _armed
+    _armed = _Arming(plan)
 
 
 def disarm_plan() -> None:
-    """Disarm; every seam returns to its zero-cost unarmed fast path."""
-    global _plan, _numpy_failures_injected
-    _plan = None
-    _numpy_failures_injected = 0
+    """Disarm; every seam returns to its zero-cost unarmed fast path.
+
+    Clears the process-wide arming.  A scoped :func:`use_plan` block is
+    not affected — it disarms itself on exit.
+    """
+    global _armed
+    _armed = None
 
 
 @contextmanager
@@ -69,15 +99,15 @@ def use_plan(plan: FaultPlan) -> Iterator[FaultPlan]:
 
     The canonical way tests and the chaos oracle inject: the plan is
     guaranteed disarmed (or the outer plan restored) on exit, so no
-    fault leaks past the block even when it raises.
+    fault leaks past the block even when it raises.  Context-local —
+    the arming is visible to the current thread/task and to shard
+    workers forked under it, never to concurrently running contexts.
     """
-    global _plan, _numpy_failures_injected
-    previous = (_plan, _numpy_failures_injected)
-    arm_plan(plan)
+    token = _armed_override.set(_Arming(plan))
     try:
         yield plan
     finally:
-        _plan, _numpy_failures_injected = previous
+        _armed_override.reset(token)
 
 
 def consume_numpy_failure() -> None:
@@ -86,14 +116,14 @@ def consume_numpy_failure() -> None:
     Called by the numpy collision-kernel dispatch when a plan is armed;
     the first ``plan.numpy_failures`` calls after arming fail, later
     calls pass through.  The counter is part of the arming (reset by
-    :func:`arm_plan`/:func:`disarm_plan`), so a plan is a pure
-    description and re-arming replays the same failures.
+    :func:`arm_plan`/:func:`use_plan`), so a plan is a pure description
+    and re-arming replays the same failures.
     """
-    global _numpy_failures_injected
-    plan = _plan
-    if plan is None or _numpy_failures_injected >= plan.numpy_failures:
+    arming = _active_arming()
+    if arming is None \
+            or arming.numpy_failures_injected >= arming.plan.numpy_failures:
         return
-    _numpy_failures_injected += 1
+    arming.numpy_failures_injected += 1
     raise InjectedKernelFault(
         f"injected numpy kernel failure "
-        f"{_numpy_failures_injected}/{plan.numpy_failures}")
+        f"{arming.numpy_failures_injected}/{arming.plan.numpy_failures}")

@@ -1,0 +1,66 @@
+"""Scheduling as a service: many sessions, one server, batched dispatch.
+
+The library's :class:`repro.api.Session` answers one caller at a time;
+this package puts a server in front of it:
+
+* :class:`~repro.service.store.SessionStore` — the session table:
+  per-session locks, LRU spill-to-snapshot eviction, transparent
+  restore with warm verification caches.
+* :class:`~repro.service.server.SchedulingService` — bounded-queue
+  admission control, a dispatcher that coalesces concurrent small
+  ``assign`` requests into bulk engine dispatches, per-request
+  deadlines, and a certificate fast path answering eligible verifies
+  O(1) on the submitting thread.
+* :class:`~repro.service.server.AsyncSchedulingService` — the same
+  endpoints as coroutines for asyncio front ends.
+* :mod:`~repro.service.metrics` — typed counters / latency histograms /
+  gauges behind a JSON metrics endpoint.
+* :mod:`~repro.service.loadgen` / ``python -m repro.service bench`` —
+  a seed-deterministic load generator and the batching benchmark.
+* :mod:`~repro.service.differential` — the transparency oracle:
+  scenario corpora replayed through the service must answer
+  bit-identically to direct ``Session`` calls.
+
+Every response is bit-identical to the same call made directly on the
+session — the service changes *when* work runs, never *what* it
+answers.
+"""
+
+from repro.service.errors import (
+    ServiceClosedError,
+    ServiceDeadlineError,
+    ServiceError,
+    ServiceOverloadError,
+    UnknownSessionError,
+)
+from repro.service.metrics import (
+    LatencyHistogram,
+    MetricsRecorder,
+    ServiceMetrics,
+)
+from repro.service.server import (
+    AsyncSchedulingService,
+    EditAck,
+    LoadAck,
+    RestrictAck,
+    SchedulingService,
+)
+from repro.service.store import SessionStore, StoreStats
+
+__all__ = [
+    "AsyncSchedulingService",
+    "EditAck",
+    "LatencyHistogram",
+    "LoadAck",
+    "MetricsRecorder",
+    "RestrictAck",
+    "SchedulingService",
+    "ServiceClosedError",
+    "ServiceDeadlineError",
+    "ServiceError",
+    "ServiceMetrics",
+    "ServiceOverloadError",
+    "SessionStore",
+    "StoreStats",
+    "UnknownSessionError",
+]

@@ -1,0 +1,118 @@
+"""Command-line front end: ``python -m repro.service <command>``.
+
+Commands:
+
+* ``bench`` — run the deterministic load generator in drain mode,
+  batched and unbatched, and report throughput/latency/speedup (the
+  CI smoke leg runs this with ``--check``: non-zero batched dispatches,
+  zero failures, clean shutdown, or exit 1).
+* ``differential`` — replay a scenario corpus through the service and
+  directly, diff every canonical response, exit 1 on any mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any
+
+from repro.service import differential, loadgen
+
+
+def _bench_report(args: argparse.Namespace) -> dict[str, Any]:
+    workload = loadgen.build_workload(
+        args.seed, sessions=args.sessions, requests=args.requests)
+    batched = loadgen.execute(workload, max_batch=args.max_batch,
+                              batch_window=args.batch_window)
+    unbatched = loadgen.execute(workload, max_batch=1)
+    speedup = (batched.throughput_rps / unbatched.throughput_rps
+               if unbatched.throughput_rps > 0 else 0.0)
+    verify_latency = batched.metrics.latencies.get("assign")
+    return {
+        "seed": args.seed,
+        "sessions": args.sessions,
+        "requests": args.requests,
+        "max_batch": args.max_batch,
+        "batched": batched.to_dict(),
+        "unbatched": unbatched.to_dict(),
+        "batching_speedup": speedup,
+        "assign_p50_s": verify_latency.p50 if verify_latency else 0.0,
+        "assign_p99_s": verify_latency.p99 if verify_latency else 0.0,
+    }
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    report = _bench_report(args)
+    print(json.dumps(report, indent=None if args.json else 2,
+                     sort_keys=True))
+    if not args.check:
+        return 0
+    batched = report["batched"]
+    problems = []
+    if batched["batched_dispatches"] <= 0:
+        problems.append("no batched dispatches (coalescing never fired)")
+    if batched["failed"] or report["unbatched"]["failed"]:
+        problems.append(f"failed requests: batched={batched['failed']} "
+                        f"unbatched={report['unbatched']['failed']}")
+    if batched["completed"] != report["requests"]:
+        problems.append(f"only {batched['completed']} of "
+                        f"{report['requests']} requests completed")
+    for problem in problems:
+        print(f"bench check failed: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+def _cmd_differential(args: argparse.Namespace) -> int:
+    report = differential.run_differential(
+        families=tuple(args.families), seed=args.seed, count=args.count,
+        backends=args.backends or None, max_batch=args.max_batch)
+    print(json.dumps(report, indent=None if args.json else 2,
+                     sort_keys=True))
+    if not report["ok"]:
+        print(f"differential: {len(report['mismatches'])} mismatched "
+              f"responses", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Scheduling-service load generator and oracle.")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    bench = commands.add_parser(
+        "bench", help="drain a deterministic workload, batched vs not")
+    bench.add_argument("--seed", type=int, default=2008)
+    bench.add_argument("--sessions", type=int, default=8)
+    bench.add_argument("--requests", type=int, default=512)
+    bench.add_argument("--max-batch", type=int, default=64)
+    bench.add_argument("--batch-window", type=float, default=0.002)
+    bench.add_argument("--json", action="store_true",
+                       help="single-line JSON output")
+    bench.add_argument("--check", action="store_true",
+                       help="exit 1 unless coalescing fired and every "
+                            "request completed")
+    bench.set_defaults(run=_cmd_bench)
+
+    diff = commands.add_parser(
+        "differential",
+        help="service vs direct Session corpus replay (exit 1 on diff)")
+    diff.add_argument("--families", nargs="+",
+                      default=list(differential._DEFAULT_FAMILIES))
+    diff.add_argument("--seed", type=int, default=2008)
+    diff.add_argument("--count", type=int, default=2,
+                      help="specs per family")
+    diff.add_argument("--backends", nargs="*", default=None,
+                      help="engine backends (default: all available)")
+    diff.add_argument("--max-batch", type=int, default=32)
+    diff.add_argument("--json", action="store_true")
+    diff.set_defaults(run=_cmd_differential)
+
+    args = parser.parse_args(argv)
+    return args.run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,226 @@
+"""Differential oracle: the service vs. direct ``Session`` calls.
+
+The service's whole contract is *transparency*: every response must be
+bit-identical to the same call made directly on the underlying
+:class:`repro.api.Session`.  This module replays scenario-corpus specs
+(:mod:`repro.scenarios`) twice —
+
+* the **direct leg** drives a fresh session through the spec's script
+  (restrict → edit steps → one verify per drift round → a bulk assign
+  over the window → save) with plain method calls;
+* the **service leg** opens an identically built session on a
+  :class:`~repro.service.server.SchedulingService` and submits the same
+  script as requests, *all specs interleaved on one service* so the
+  dispatcher actually batches across sessions while each session's own
+  stream stays FIFO —
+
+and compares the canonicalized response streams field by field:
+collision lists, verification ``source`` ("scan"/"delta"/"cache"/
+"certificate"), session-lifetime cache counters, slot arrays, saved
+JSON.  Counters matching means the service didn't just get the right
+answers — it took the *same* cache/certificate/delta paths the direct
+session took.
+
+Responses are canonicalized to plain ints/lists first: numpy slot
+arrays compare ambiguously under ``==``, so both legs are reduced to
+builtin types before the equality check.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.api import Session, SlotAssignment, VerificationReport
+from repro.engine.backend import numpy_available
+from repro.engine.config import EngineConfig
+from repro.scenarios.generators import iter_corpus
+from repro.scenarios.spec import ScenarioSpec
+from repro.service.server import EditAck, RestrictAck, SchedulingService
+from repro.service.store import SessionStore
+
+__all__ = ["replay_direct", "replay_specs", "run_differential",
+           "default_backends"]
+
+_DEFAULT_FAMILIES = ("grid_sweep", "churn", "mobile")
+_DEFAULT_SEED = 2008
+
+
+def default_backends() -> list[str]:
+    """Both engine backends, or just pure python where numpy is absent."""
+    backends = ["python"]
+    if numpy_available():
+        backends.append("numpy")
+    return backends
+
+
+# -- canonical forms ---------------------------------------------------
+def _canonical_points(points: Any) -> list[list[int]]:
+    return [[int(coord) for coord in point] for point in points]
+
+
+def _canonical_verify(report: VerificationReport) -> dict[str, Any]:
+    return {
+        "kind": "verify",
+        "collisions": [[_canonical_points(pair)[0],
+                        _canonical_points(pair)[1]]
+                       for pair in report.collisions],
+        "window_size": int(report.window_size),
+        "source": report.source,
+        "checked_points": int(report.checked_points),
+        "cache_hits": int(report.cache_hits),
+        "cache_misses": int(report.cache_misses),
+        "backend": report.backend,
+        "workers": int(report.workers),
+    }
+
+
+def _canonical_assign(assignment: SlotAssignment) -> dict[str, Any]:
+    return {
+        "kind": "assign",
+        "points": _canonical_points(assignment.points),
+        "slots": [int(slot) for slot in assignment.slots],
+        "num_slots": int(assignment.num_slots),
+        "backend": assignment.backend,
+    }
+
+
+def _canonical_response(response: Any) -> Any:
+    if isinstance(response, VerificationReport):
+        return _canonical_verify(response)
+    if isinstance(response, SlotAssignment):
+        return _canonical_assign(response)
+    if isinstance(response, EditAck):
+        return {"kind": "edit", "points_changed": response.points_changed,
+                "num_slots": response.num_slots}
+    if isinstance(response, RestrictAck):
+        return {"kind": "restrict", "window_size": response.window_size,
+                "num_slots": response.num_slots}
+    if isinstance(response, str):  # save: the schedule JSON itself
+        return {"kind": "save", "text": response}
+    raise TypeError(f"unexpected response {type(response).__name__}")
+
+
+# -- the script both legs play ----------------------------------------
+def _script(spec: ScenarioSpec) -> list[tuple[str, dict[str, Any]]]:
+    """The spec's request script as ``(op, payload)`` pairs."""
+    script: list[tuple[str, dict[str, Any]]] = []
+    if spec.edits:
+        script.append(("restrict", {"window": None}))
+        for step in spec.edits:
+            script.append(("edit", {"updates": dict(step)}))
+    for window in spec.rounds():
+        script.append(("verify", {"window": window}))
+    script.append(("assign", {"points": spec.window_points()}))
+    script.append(("save", {}))
+    return script
+
+
+def replay_direct(spec: ScenarioSpec,
+                  config: EngineConfig | None = None) -> list[Any]:
+    """The spec's script as direct Session calls, canonicalized."""
+    session = spec.base_session(config=config)
+    responses: list[Any] = []
+    for op, payload in _script(spec):
+        if op == "restrict":
+            session = session.restrict(payload["window"])
+            window = session.window
+            responses.append(_canonical_response(RestrictAck(
+                window_size=0 if window is None else len(window),
+                num_slots=session.num_slots)))
+        elif op == "edit":
+            updates = {tuple(point): int(slot)
+                       for point, slot in payload["updates"].items()}
+            session = session.edit(updates)
+            responses.append(_canonical_response(EditAck(
+                points_changed=len(updates),
+                num_slots=session.num_slots)))
+        elif op == "verify":
+            responses.append(_canonical_response(
+                session.verify(payload["window"])))
+        elif op == "assign":
+            responses.append(_canonical_response(
+                session.assign(payload["points"])))
+        else:
+            responses.append(_canonical_response(session.save()))
+    return responses
+
+
+def replay_specs(specs: list[ScenarioSpec],
+                 config: EngineConfig | None = None, *,
+                 max_batch: int = 32,
+                 batch_window: float = 0.002) -> dict[str, list[Any]]:
+    """Every spec's script through ONE shared service, canonicalized.
+
+    All scripts submit before any response is awaited, so requests from
+    different specs interleave in the dispatcher's drains (cross-session
+    batching) while each spec's own session stays strictly ordered.
+    """
+    service = SchedulingService(SessionStore(), max_batch=max_batch,
+                                batch_window=batch_window,
+                                max_queue=max(1024, 64 * len(specs)))
+    try:
+        pending: list[tuple[str, Any]] = []
+        for spec in specs:
+            session_id = spec.label()
+            service.open_session(session_id,
+                                 spec.base_session(config=config))
+            for op, payload in _script(spec):
+                pending.append((session_id,
+                                service.submit(op, session_id, payload)))
+        responses: dict[str, list[Any]] = {}
+        for session_id, future in pending:
+            responses.setdefault(session_id, []).append(
+                _canonical_response(future.result(timeout=120)))
+        batched = service.metrics().counter("batch.batched_dispatches")
+        responses["__batched_dispatches__"] = [batched]
+        return responses
+    finally:
+        service.close()
+
+
+def run_differential(*, families: tuple[str, ...] = _DEFAULT_FAMILIES,
+                     seed: int = _DEFAULT_SEED, count: int = 2,
+                     backends: list[str] | None = None,
+                     max_batch: int = 32) -> dict[str, Any]:
+    """Replay a corpus through both legs on every backend and diff.
+
+    Returns a JSON-able report: per-backend spec counts, the total
+    number of compared responses, any mismatches (each naming the spec,
+    backend, response index and both canonical values), and whether the
+    service actually coalesced dispatches during the run.
+    """
+    backends = default_backends() if backends is None else backends
+    specs = list(iter_corpus(families, seed, count))
+    mismatches: list[dict[str, Any]] = []
+    compared = 0
+    batched_total = 0
+    for backend in backends:
+        config = EngineConfig(backend=backend)
+        service_legs = replay_specs(specs, config, max_batch=max_batch)
+        batched_total += service_legs.pop("__batched_dispatches__")[0]
+        for spec in specs:
+            direct = replay_direct(spec, config)
+            service = service_legs[spec.label()]
+            compared += len(direct)
+            if direct == service:
+                continue
+            for index, (expected, actual) in enumerate(
+                    zip(direct, service)):
+                if expected != actual:
+                    mismatches.append({
+                        "spec": spec.label(), "backend": backend,
+                        "response": index, "direct": expected,
+                        "service": actual})
+            if len(direct) != len(service):
+                mismatches.append({
+                    "spec": spec.label(), "backend": backend,
+                    "response": "length",
+                    "direct": len(direct), "service": len(service)})
+    return {
+        "families": list(families), "seed": seed, "count": count,
+        "backends": backends, "specs": len(specs),
+        "responses_compared": compared,
+        "batched_dispatches": batched_total,
+        "mismatches": mismatches,
+        "ok": not mismatches,
+    }

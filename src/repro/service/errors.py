@@ -1,0 +1,70 @@
+"""Typed errors of the scheduling service.
+
+Every admission-control decision surfaces as one of these — a rejected
+request *always* fails its future with a typed error, never by hanging
+and never by silently dropping the request (pinned by the saturating
+load test in ``tests/unit/test_service.py``).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServiceError",
+    "ServiceClosedError",
+    "ServiceDeadlineError",
+    "ServiceOverloadError",
+    "UnknownSessionError",
+]
+
+
+class ServiceError(RuntimeError):
+    """Base class of every scheduling-service error."""
+
+
+class ServiceOverloadError(ServiceError):
+    """The admission queue is full; the request was rejected up front.
+
+    Attributes:
+        queue_depth: requests queued when admission was refused.
+        max_queue: the service's admission bound.
+    """
+
+    def __init__(self, message: str, *, queue_depth: int, max_queue: int):
+        super().__init__(message)
+        self.queue_depth = queue_depth
+        self.max_queue = max_queue
+
+
+class ServiceDeadlineError(ServiceError):
+    """The request's deadline expired before it could be dispatched.
+
+    Attributes:
+        timeout: the per-request budget, in seconds.
+    """
+
+    def __init__(self, message: str, *, timeout: float):
+        super().__init__(message)
+        self.timeout = timeout
+
+
+class ServiceClosedError(ServiceError):
+    """The service is shut down (or shutting down); nothing is admitted."""
+
+
+class UnknownSessionError(ServiceError, KeyError):
+    """No session with the requested id is open on this service.
+
+    Attributes:
+        session_id: the id that failed to resolve.
+    """
+
+    def __init__(self, session_id: str):
+        # KeyError repr-quotes its lone argument; build the message via
+        # RuntimeError and keep args readable.
+        RuntimeError.__init__(
+            self, f"unknown session {session_id!r}; open it first "
+            f"(SessionStore.put or the service 'load' endpoint)")
+        self.session_id = session_id
+
+    def __str__(self) -> str:  # KeyError would repr the message
+        return self.args[0]

@@ -1,0 +1,187 @@
+"""Observability for the scheduling service: counters, histograms, gauges.
+
+The service records per-endpoint request counters, service-time
+histograms (log-spaced buckets, so p50/p99 stay meaningful from
+microseconds to seconds), and point-in-time gauges (queue depth, open
+sessions, aggregate verification cache hits).  A :class:`ServiceMetrics`
+snapshot freezes all of it into one typed, JSON-able value — the
+service's ``metrics`` endpoint is exactly ``ServiceMetrics.to_json``.
+
+Recording is lock-protected and cheap (one bisect + integer bumps per
+request); nothing here touches wall-clock time itself — callers pass
+measured durations in.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Mapping
+
+__all__ = ["LatencyHistogram", "ServiceMetrics", "MetricsRecorder"]
+
+
+def _log_bounds() -> tuple[float, ...]:
+    """Bucket upper bounds: 1 µs .. ~60 s, four buckets per decade."""
+    bounds = []
+    value = 1e-6
+    while value < 60.0:
+        bounds.append(value)
+        value *= 10 ** 0.25
+    bounds.append(60.0)
+    return tuple(bounds)
+
+
+_BOUNDS = _log_bounds()
+
+
+@dataclass(frozen=True)
+class LatencyHistogram:
+    """A frozen latency distribution over log-spaced buckets.
+
+    Attributes:
+        counts: observations per bucket, aligned with ``bounds``; the
+            final bucket is the overflow (everything above the last
+            bound).
+        bounds: bucket upper bounds in seconds, ascending.
+        total: observation count.
+        sum_seconds: sum of all observed durations.
+    """
+
+    counts: tuple[int, ...]
+    bounds: tuple[float, ...]
+    total: int
+    sum_seconds: float
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile in seconds (0 with no observations).
+
+        Resolved to the upper bound of the bucket holding the rank —
+        a deterministic, conservative estimate (never under-reports a
+        latency by more than one bucket width, ~78% in log space).
+        """
+        if not 0 <= q <= 1:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        if self.total == 0:
+            return 0.0
+        rank = max(1, int(q * self.total + 0.999999))
+        seen = 0
+        for index, count in enumerate(self.counts):
+            seen += count
+            if seen >= rank:
+                return (self.bounds[index] if index < len(self.bounds)
+                        else self.bounds[-1])
+        return self.bounds[-1]
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    @property
+    def mean(self) -> float:
+        return self.sum_seconds / self.total if self.total else 0.0
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """The combined distribution (buckets must be aligned)."""
+        if self.bounds != other.bounds:
+            raise ValueError("cannot merge histograms with different "
+                             "bucket bounds")
+        return LatencyHistogram(
+            counts=tuple(a + b for a, b
+                         in zip(self.counts, other.counts)),
+            bounds=self.bounds,
+            total=self.total + other.total,
+            sum_seconds=self.sum_seconds + other.sum_seconds)
+
+    def to_dict(self) -> dict:
+        return {
+            "total": self.total,
+            "mean_s": self.mean,
+            "p50_s": self.p50,
+            "p99_s": self.p99,
+        }
+
+
+@dataclass(frozen=True)
+class ServiceMetrics:
+    """One point-in-time snapshot of everything the service observes.
+
+    Attributes:
+        counters: monotonically increasing event counts — per-endpoint
+            ``{endpoint}.submitted/completed/failed``, admission
+            rejections (``rejected.overload``, ``rejected.deadline``,
+            ``rejected.closed``), and batcher activity
+            (``batch.dispatches``, ``batch.batched_dispatches``,
+            ``batch.coalesced_requests``,
+            ``batch.certificate_fast_path``).
+        latencies: per-endpoint service-time distributions, measured
+            submit-to-completion.
+        gauges: point-in-time readings — ``queue.depth``,
+            ``sessions.open``, ``sessions.evicted``, and the aggregate
+            verification ``cache.hits`` / ``cache.misses`` over every
+            resident session.
+    """
+
+    counters: Mapping[str, int]
+    latencies: Mapping[str, LatencyHistogram]
+    gauges: Mapping[str, int]
+
+    def counter(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def to_dict(self) -> dict:
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "latencies": {name: histogram.to_dict()
+                          for name, histogram
+                          in sorted(self.latencies.items())},
+            "gauges": dict(sorted(self.gauges.items())),
+        }
+
+    def to_json(self) -> str:
+        """The JSON metrics endpoint payload."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+
+class MetricsRecorder:
+    """Mutable, thread-safe accumulator behind :class:`ServiceMetrics`."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._latency_counts: dict[str, list[int]] = {}
+        self._latency_sums: dict[str, float] = {}
+
+    def bump(self, name: str, by: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + by
+
+    def observe(self, endpoint: str, seconds: float) -> None:
+        """Record one service-time observation for an endpoint."""
+        with self._lock:
+            counts = self._latency_counts.get(endpoint)
+            if counts is None:
+                counts = [0] * (len(_BOUNDS) + 1)
+                self._latency_counts[endpoint] = counts
+                self._latency_sums[endpoint] = 0.0
+            counts[bisect_left(_BOUNDS, seconds)] += 1
+            self._latency_sums[endpoint] += seconds
+
+    def snapshot(self, gauges: Mapping[str, int]) -> ServiceMetrics:
+        """Freeze the accumulated state plus caller-supplied gauges."""
+        with self._lock:
+            counters = dict(self._counters)
+            latencies = {
+                endpoint: LatencyHistogram(
+                    counts=tuple(counts), bounds=_BOUNDS,
+                    total=sum(counts),
+                    sum_seconds=self._latency_sums[endpoint])
+                for endpoint, counts in self._latency_counts.items()}
+        return ServiceMetrics(counters=counters, latencies=latencies,
+                              gauges=dict(gauges))

@@ -1,0 +1,74 @@
+"""Integration: scenario corpus through the service == direct Sessions.
+
+This is the service's acceptance oracle.  Scenario-corpus specs replay
+twice — once as direct ``Session`` method calls, once as requests
+against a shared :class:`~repro.service.server.SchedulingService` with
+cross-session batching enabled — and every canonicalized response
+(collision lists, verification sources, session-lifetime cache
+counters, slot arrays, saved JSON) must match bit for bit, on every
+available engine backend.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.backend import numpy_available
+from repro.engine.config import EngineConfig
+from repro.scenarios.generators import iter_corpus
+from repro.service.differential import (
+    default_backends,
+    replay_direct,
+    replay_specs,
+    run_differential,
+)
+
+FAMILIES = ("grid_sweep", "churn", "mobile")
+SEED = 2008
+COUNT = 2
+
+BACKENDS = ["python"] + (["numpy"] if numpy_available() else [])
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return list(iter_corpus(FAMILIES, SEED, COUNT))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_service_replay_bit_identical_to_direct(corpus, backend):
+    config = EngineConfig(backend=backend)
+    service_legs = replay_specs(corpus, config, max_batch=32)
+    service_legs.pop("__batched_dispatches__")
+    for spec in corpus:
+        direct = replay_direct(spec, config)
+        served = service_legs[spec.label()]
+        assert len(served) == len(direct), spec.label()
+        for index, (expected, actual) in enumerate(zip(direct, served)):
+            assert actual == expected, (
+                f"{spec.label()} response {index} diverged on {backend}")
+
+
+def test_run_differential_report_clean():
+    report = run_differential(families=FAMILIES, seed=SEED, count=1,
+                              backends=BACKENDS)
+    assert report["ok"], report["mismatches"]
+    assert report["specs"] == len(FAMILIES)
+    assert report["responses_compared"] > 0
+    assert report["backends"] == BACKENDS
+
+
+def test_default_backends_match_availability():
+    backends = default_backends()
+    assert backends[0] == "python"
+    assert ("numpy" in backends) == numpy_available()
+
+
+def test_adversarial_edit_specs_also_transparent():
+    """The edit-heavy family exercises restrict/edit/delta paths."""
+    specs = list(iter_corpus(("adversarial_edits",), SEED, 1))
+    config = EngineConfig(backend=BACKENDS[-1])
+    service_legs = replay_specs(specs, config)
+    service_legs.pop("__batched_dispatches__")
+    for spec in specs:
+        assert service_legs[spec.label()] == replay_direct(spec, config)

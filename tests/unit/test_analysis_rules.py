@@ -38,6 +38,7 @@ RULE_IDS = (
     "export-integrity",
     "fault-hygiene",
     "generator-purity",
+    "service-hygiene",
 )
 
 
@@ -556,6 +557,110 @@ class TestFaultHygiene:
             """, name="src/repro/engine/fixture.py")
         assert [v.rule for v in active] == []
         assert [v.rule for v in suppressed] == ["fault-hygiene"]
+
+
+class TestServiceHygiene:
+    SERVICE = "src/repro/service/fixture.py"
+
+    def test_flags_time_sleep_in_coroutine(self):
+        found = run_rule("service-hygiene", """\
+            import time
+            async def handle(request):
+                time.sleep(0.1)
+                return request
+            """, self.SERVICE)
+        assert [v.rule for v in found] == ["service-hygiene"]
+        assert "time.sleep" in found[0].message
+
+    def test_flags_imported_sleep_alias(self):
+        found = run_rule("service-hygiene", """\
+            from time import sleep as snooze
+            async def handle(request):
+                snooze(1)
+            """, self.SERVICE)
+        assert len(found) == 1
+        assert "snooze" in found[0].message
+
+    def test_flags_sync_open_in_coroutine(self):
+        found = run_rule("service-hygiene", """\
+            async def dump(path, payload):
+                with open(path, "w") as handle:
+                    handle.write(payload)
+            """, self.SERVICE)
+        assert len(found) == 1
+        assert "open()" in found[0].message
+
+    def test_flags_path_write_text_in_coroutine(self):
+        found = run_rule("service-hygiene", """\
+            async def dump(path, payload):
+                path.write_text(payload)
+            """, self.SERVICE)
+        assert len(found) == 1
+        assert "write_text" in found[0].message
+
+    def test_flags_subprocess_in_coroutine(self):
+        found = run_rule("service-hygiene", """\
+            import subprocess
+            async def handle(request):
+                subprocess.run(["true"])
+            """, self.SERVICE)
+        assert len(found) == 1
+        assert "subprocess.run" in found[0].message
+
+    def test_flags_blocking_call_in_nested_sync_helper(self):
+        found = run_rule("service-hygiene", """\
+            import time
+            async def handle(request):
+                def backoff():
+                    time.sleep(0.05)
+                backoff()
+            """, self.SERVICE)
+        assert len(found) == 1
+
+    def test_allows_blocking_calls_outside_coroutines(self):
+        found = run_rule("service-hygiene", """\
+            import time
+            def dispatcher_retry():
+                time.sleep(0.05)  # worker thread, not the event loop
+            """, self.SERVICE)
+        assert found == []
+
+    def test_allows_async_sleep_and_wrap_future(self):
+        found = run_rule("service-hygiene", """\
+            import asyncio
+            async def handle(service, request):
+                await asyncio.sleep(0)
+                return await asyncio.wrap_future(service.submit(request))
+            """, self.SERVICE)
+        assert found == []
+
+    def test_nested_async_def_checked_once(self):
+        found = run_rule("service-hygiene", """\
+            import time
+            async def outer():
+                async def inner():
+                    time.sleep(1)
+                return inner
+            """, self.SERVICE)
+        assert len(found) == 1
+
+    def test_out_of_scope_module_ignored(self):
+        found = run_rule("service-hygiene", """\
+            import time
+            async def handle(request):
+                time.sleep(0.1)
+            """, "src/repro/engine/fixture.py")
+        assert found == []
+
+    def test_pragma_with_reason_suppresses(self, tmp_path):
+        active, suppressed = check_snippet(tmp_path, """\
+            import time
+            async def handle(request):
+                # repro: allow[service-hygiene] -- fixture: test ballast
+                time.sleep(0.0)
+            """, name="src/repro/service/fixture.py")
+        assert [v.rule for v in active] == []
+        assert [v.rule for v in suppressed] == ["service-hygiene"]
 
 
 class TestPragmas:

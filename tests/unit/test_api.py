@@ -45,7 +45,10 @@ def clean_engine(monkeypatch):
     monkeypatch.delenv("REPRO_ENGINE_WORKERS", raising=False)
     previous = config_module._default
     set_default_config(None)
-    yield
+    # An explicit use_config(None) overlay also hides any ambient
+    # context-local install (e.g. the --engine-config conftest fixture).
+    with use_config(None):
+        yield
     set_default_config(previous)
 
 
@@ -141,6 +144,103 @@ class TestEngineConfig:
             network, SlottedAloha(0.2), seed=1,
             config=EngineConfig(decision_window=7))
         assert windowed._decision_window == 7
+
+
+# ----------------------------------------------------------------------
+# Concurrent config isolation: the scoped use_* installs are
+# context-local, so threads serving different sessions (the repro.service
+# worker pool) cannot cross-contaminate each other's resolution.
+# ----------------------------------------------------------------------
+class TestConcurrentConfigIsolation:
+    def test_two_threads_resolve_different_backends(self, clean_engine):
+        import threading
+
+        resolved: dict[str, str] = {}
+        workers_seen: dict[str, int] = {}
+        ready = threading.Barrier(2)
+
+        def run(name: str, backend: str, workers: int) -> None:
+            with use_config(EngineConfig(backend=backend, workers=workers)):
+                # Rendezvous *inside* both blocks: each thread resolves
+                # while the other's config is installed in its context.
+                ready.wait(timeout=10)
+                resolved[name] = active_backend()
+                workers_seen[name] = shard_workers()
+                ready.wait(timeout=10)
+
+        threads = [
+            threading.Thread(target=run, args=("a", "python", 1)),
+            threading.Thread(target=run, args=("b", "auto", 2)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert resolved["a"] == "python"
+        assert resolved["b"] in ("numpy", "python")  # auto, not python-pinned
+        assert (workers_seen["a"], workers_seen["b"]) == (1, 2)
+        # Neither install leaked into the main thread.
+        assert config_module.installed_default() is None
+
+    def test_use_config_does_not_leak_to_other_threads(self, clean_engine):
+        import threading
+
+        seen: dict[str, int] = {}
+
+        def probe() -> None:
+            seen["workers"] = shard_workers()
+
+        with use_config(EngineConfig(backend="python", workers=4)):
+            thread = threading.Thread(target=probe)
+            thread.start()
+            thread.join(timeout=30)
+        assert seen["workers"] == 1  # fresh thread, fresh context
+
+    def test_set_default_config_visible_to_new_threads(self, clean_engine):
+        import threading
+
+        seen: dict[str, int] = {}
+
+        def probe() -> None:
+            seen["workers"] = shard_workers()
+
+        set_default_config(EngineConfig(backend="python", workers=3))
+        try:
+            thread = threading.Thread(target=probe)
+            thread.start()
+            thread.join(timeout=30)
+        finally:
+            set_default_config(None)
+        assert seen["workers"] == 3  # process-wide install crosses threads
+
+    def test_use_plan_is_context_local(self):
+        import threading
+
+        from repro.faults import FaultPlan
+        from repro.faults.injection import active_plan, use_plan
+
+        seen: dict[str, object] = {}
+        ready = threading.Barrier(2)
+
+        def armed() -> None:
+            with use_plan(FaultPlan(seed=7, byzantine=0.5)) as plan:
+                ready.wait(timeout=10)
+                seen["armed"] = active_plan() is plan
+                ready.wait(timeout=10)
+
+        def clean() -> None:
+            ready.wait(timeout=10)
+            seen["clean"] = active_plan()
+            ready.wait(timeout=10)
+
+        threads = [threading.Thread(target=armed),
+                   threading.Thread(target=clean)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert seen["armed"] is True
+        assert seen["clean"] is None  # the arming never crossed threads
 
 
 # ----------------------------------------------------------------------
