@@ -35,7 +35,8 @@ from repro.tiling.multi import MultiTiling
 __all__ = ["CorruptSessionError",
            "schedule_to_dict", "schedule_from_dict",
            "schedule_to_json", "schedule_from_json", "schedule_digest",
-           "snapshot_to_json", "snapshot_from_json"]
+           "snapshot_to_json", "snapshot_from_json",
+           "session_wire_to_json", "session_wire_from_json"]
 
 
 class CorruptSessionError(ValueError):
@@ -238,6 +239,136 @@ def snapshot_from_json(text: str, *,
             f"session_id must be a string, got {type(session_id).__name__}",
             path=path)
     return session_id, schedule
+
+
+#: Envelope format version for :func:`session_wire_to_json`.
+_WIRE_VERSION = 1
+
+
+def session_wire_to_json(schedule: Schedule, *, session_id: str,
+                         window: list | None = None,
+                         config: dict | None = None,
+                         offsets: list | None = None,
+                         neighborhood: Schedule | None = None) -> str:
+    """Serialize a session for the wire: schedule + session state.
+
+    The transport layer (:mod:`repro.service.transport`) ships whole
+    sessions between processes through this envelope — opening a
+    session on a remote worker, and moving sessions between workers
+    when the pool rebalances.  It extends the store's snapshot form
+    with the *session* state a remote process cannot reconstruct from
+    the schedule alone:
+
+    * the default verification window (a list of points, or ``None``);
+    * the engine config (an opaque JSON object produced by
+      :meth:`repro.engine.config.EngineConfig.to_dict`, or ``None`` —
+      opaque here so the core stays independent of the engine layer);
+    * explicit interference ``offsets``, if the session carries them;
+    * the ``neighborhood`` owner schedule, when the session's
+      interference model is another schedule's bound method — the
+      restrict path: a mapping-backed session whose model still comes
+      from the tiling it was cut from.  Functions cannot cross the
+      wire; a schedule's canonical description can, and rebinding
+      ``neighborhood_of`` on the content-identical reconstruction
+      yields the same model.
+
+    Same self-checking digest as :func:`snapshot_to_json`: a truncated
+    or edited envelope is rejected at decode time, never silently
+    mis-scheduled.
+    """
+    if window is not None:
+        window = [[int(coord) for coord in point] for point in window]
+    if offsets is not None:
+        offsets = [[int(coord) for coord in point] for point in offsets]
+    if config is not None and not isinstance(config, dict):
+        raise TypeError(
+            f"config must be a JSON-able dict or None, "
+            f"got {type(config).__name__}")
+    return json.dumps({
+        "kind": "session-wire",
+        "version": _WIRE_VERSION,
+        "session_id": session_id,
+        "schedule": schedule_to_dict(schedule),
+        "digest": schedule_digest(schedule),
+        "window": window,
+        "config": config,
+        "offsets": offsets,
+        "neighborhood": (None if neighborhood is None
+                         else schedule_to_dict(neighborhood)),
+    }, sort_keys=True)
+
+
+def session_wire_from_json(
+        text: str, *, path: str | None = None,
+) -> tuple[str, Schedule, list[tuple[int, ...]] | None, dict | None,
+           list[tuple[int, ...]] | None, Schedule | None]:
+    """Rebuild ``(session_id, schedule, window, config, offsets,
+    neighborhood)`` from :func:`session_wire_to_json`.
+
+    ``neighborhood`` comes back as a reconstructed :class:`Schedule`
+    (bind its ``neighborhood_of`` method), or ``None``.
+
+    Raises:
+        CorruptSessionError: on garbage JSON, a wrong envelope kind or
+            version, a digest mismatch, or a malformed window/config/
+            offsets/neighborhood field.
+    """
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise CorruptSessionError(
+            f"invalid JSON: {error}", path=path) from error
+    if not isinstance(data, dict) or data.get("kind") != "session-wire":
+        raise CorruptSessionError(
+            f"not a session wire envelope (kind={data.get('kind')!r} "
+            f"if it is an object at all)" if isinstance(data, dict)
+            else f"expected a JSON object, got {type(data).__name__}",
+            path=path)
+    if data.get("version") != _WIRE_VERSION:
+        raise CorruptSessionError(
+            f"unsupported wire envelope version {data.get('version')!r} "
+            f"(this build reads version {_WIRE_VERSION})", path=path)
+    try:
+        session_id = data["session_id"]
+        schedule = schedule_from_dict(data["schedule"], path=path)
+        recorded = data["digest"]
+        window = data["window"]
+        config = data["config"]
+    except KeyError as error:
+        raise CorruptSessionError(
+            f"missing required field {error.args[0]!r}", path=path) from error
+    offsets = data.get("offsets")
+    neighborhood_data = data.get("neighborhood")
+    actual = schedule_digest(schedule)
+    if recorded != actual:
+        raise CorruptSessionError(
+            f"schedule digest mismatch: envelope records {recorded!r} but "
+            f"the payload hashes to {actual!r}", path=path)
+    if not isinstance(session_id, str):
+        raise CorruptSessionError(
+            f"session_id must be a string, got {type(session_id).__name__}",
+            path=path)
+    if config is not None and not isinstance(config, dict):
+        raise CorruptSessionError(
+            f"config must be an object or null, "
+            f"got {type(config).__name__}", path=path)
+    if window is not None:
+        try:
+            window = [tuple(int(coord) for coord in point)
+                      for point in window]
+        except (TypeError, ValueError) as error:
+            raise CorruptSessionError(
+                f"malformed window: {error}", path=path) from error
+    if offsets is not None:
+        try:
+            offsets = [tuple(int(coord) for coord in point)
+                       for point in offsets]
+        except (TypeError, ValueError) as error:
+            raise CorruptSessionError(
+                f"malformed offsets: {error}", path=path) from error
+    neighborhood = (None if neighborhood_data is None
+                    else schedule_from_dict(neighborhood_data, path=path))
+    return session_id, schedule, window, config, offsets, neighborhood
 
 
 def schedule_digest(schedule: Schedule) -> str:

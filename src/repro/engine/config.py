@@ -33,7 +33,7 @@ import dataclasses
 from contextlib import ExitStack, contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass
-from typing import Any, Iterator
+from typing import Any, Iterator, Mapping
 
 __all__ = [
     "EngineConfig",
@@ -144,6 +144,28 @@ class EngineConfig:
     def replace(self, **changes: Any) -> EngineConfig:
         """A copy with some fields changed (the dataclass ``replace``)."""
         return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> dict[str, Any]:
+        """The config as a JSON-able dict (round-trips via
+        :meth:`from_dict`) — how configs travel inside the service
+        transport's session wire envelopes."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> EngineConfig:
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown keys are rejected (a typo'd knob silently ignored is a
+        config-hygiene bug); field values re-validate through
+        ``__post_init__`` like any constructor call.
+        """
+        fields = {field.name for field in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - fields)
+        if unknown:
+            raise ValueError(
+                f"unknown EngineConfig field(s) {unknown}; expected a "
+                f"subset of {sorted(fields)}")
+        return cls(**dict(data))
 
     @classmethod
     def from_env(cls) -> EngineConfig:

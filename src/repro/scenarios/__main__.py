@@ -122,6 +122,12 @@ def main(argv: list[str] | None = None) -> int:
     service.add_argument("--backends", default=None,
                          help="comma list (default: all available)")
     service.add_argument("--max-batch", type=int, default=32)
+    service.add_argument("--transport", choices=("inproc", "wire"),
+                         default="inproc",
+                         help="wire: replay through the socket front "
+                              "end over a consistent-hash worker pool")
+    service.add_argument("--wire-workers", type=int, default=2,
+                         help="pool size for --transport wire")
     service.add_argument("--json", metavar="PATH", default=None,
                          help="also write a JSON report")
 
@@ -188,7 +194,9 @@ def _run_service_command(parser, args) -> int:
     backends = tuple(args.backends.split(",")) if args.backends else None
 
     kwargs = {"seed": args.seed, "count": args.count,
-              "backends": backends, "max_batch": args.max_batch}
+              "backends": backends, "max_batch": args.max_batch,
+              "transport": args.transport,
+              "wire_workers": args.wire_workers}
     if families:
         kwargs["families"] = families
     report = run_differential(**kwargs)
@@ -197,9 +205,12 @@ def _run_service_command(parser, args) -> int:
         print(f"[FAIL] {mismatch['spec']} backend={mismatch['backend']} "
               f"response={mismatch['response']}")
     status = "OK" if report["ok"] else "FAIL"
+    transport_note = (
+        f"wire transport, {report['wire_workers']} worker(s)"
+        if report["transport"] == "wire" else "in-process")
     print(f"[{status}] {report['specs']} spec(s) x "
           f"{len(report['backends'])} backend(s) "
-          f"({', '.join(report['backends'])}) — "
+          f"({', '.join(report['backends'])}; {transport_note}) — "
           f"{report['responses_compared']} responses compared, "
           f"{report['batched_dispatches']} batched dispatches, "
           f"{len(report['mismatches'])} mismatch(es)")

@@ -5,27 +5,50 @@ Commands:
 * ``bench`` — run the deterministic load generator in drain mode,
   batched and unbatched, and report throughput/latency/speedup (the
   CI smoke leg runs this with ``--check``: non-zero batched dispatches,
-  zero failures, clean shutdown, or exit 1).
+  zero failures, clean shutdown, or exit 1).  ``--transport wire``
+  runs the same workload through the socket front end instead.
 * ``differential`` — replay a scenario corpus through the service and
-  directly, diff every canonical response, exit 1 on any mismatch.
+  directly, diff every canonical response, exit 1 on any mismatch
+  (``--transport wire`` replays through the socket front end over a
+  consistent-hash worker pool).
+* ``serve`` — bind a wire server and serve until a ``shutdown`` op or
+  SIGINT: one in-process service by default, or ``--workers N`` for a
+  thread-mode pool behind one router socket.  ``--announce`` prints a
+  ``{"host": ..., "port": ...}`` JSON line once bound — the handshake
+  process-mode pools parse.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 from typing import Any
 
 from repro.service import differential, loadgen
 
 
+def _finite(value: float | None) -> float | None:
+    """JSON-safe latency: ``inf`` (histogram overflow) becomes None."""
+    if value is None or math.isinf(value):
+        return None
+    return value
+
+
 def _bench_report(args: argparse.Namespace) -> dict[str, Any]:
     workload = loadgen.build_workload(
         args.seed, sessions=args.sessions, requests=args.requests)
-    batched = loadgen.execute(workload, max_batch=args.max_batch,
-                              batch_window=args.batch_window)
-    unbatched = loadgen.execute(workload, max_batch=1)
+    if args.transport == "wire":
+        batched = loadgen.execute_wire(workload, max_batch=args.max_batch,
+                                       batch_window=args.batch_window,
+                                       workers=args.wire_workers)
+        unbatched = loadgen.execute_wire(workload, max_batch=1,
+                                         workers=args.wire_workers)
+    else:
+        batched = loadgen.execute(workload, max_batch=args.max_batch,
+                                  batch_window=args.batch_window)
+        unbatched = loadgen.execute(workload, max_batch=1)
     speedup = (batched.throughput_rps / unbatched.throughput_rps
                if unbatched.throughput_rps > 0 else 0.0)
     verify_latency = batched.metrics.latencies.get("assign")
@@ -34,11 +57,16 @@ def _bench_report(args: argparse.Namespace) -> dict[str, Any]:
         "sessions": args.sessions,
         "requests": args.requests,
         "max_batch": args.max_batch,
+        "transport": args.transport,
+        "wire_workers": (args.wire_workers
+                         if args.transport == "wire" else 0),
         "batched": batched.to_dict(),
         "unbatched": unbatched.to_dict(),
         "batching_speedup": speedup,
-        "assign_p50_s": verify_latency.p50 if verify_latency else 0.0,
-        "assign_p99_s": verify_latency.p99 if verify_latency else 0.0,
+        "assign_p50_s": (_finite(verify_latency.p50)
+                         if verify_latency else 0.0),
+        "assign_p99_s": (_finite(verify_latency.p99)
+                         if verify_latency else 0.0),
     }
 
 
@@ -66,7 +94,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 def _cmd_differential(args: argparse.Namespace) -> int:
     report = differential.run_differential(
         families=tuple(args.families), seed=args.seed, count=args.count,
-        backends=args.backends or None, max_batch=args.max_batch)
+        backends=args.backends or None, max_batch=args.max_batch,
+        transport=args.transport, wire_workers=args.wire_workers)
     print(json.dumps(report, indent=None if args.json else 2,
                      sort_keys=True))
     if not report["ok"]:
@@ -76,10 +105,53 @@ def _cmd_differential(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import SchedulingService
+    from repro.service.store import SessionStore
+    from repro.service.transport.pool import RouterSink, WorkerPool
+    from repro.service.transport.server import WireServer
+
+    pool = service = None
+    if args.workers > 1:
+        pool = WorkerPool(args.workers, mode="thread",
+                          max_batch=args.max_batch,
+                          batch_window=args.batch_window,
+                          max_queue=args.max_queue,
+                          default_timeout=args.default_timeout)
+        server = WireServer(sink=RouterSink(pool), host=args.host,
+                            port=args.port)
+    else:
+        service = SchedulingService(
+            SessionStore(capacity=args.capacity),
+            max_queue=args.max_queue, max_batch=args.max_batch,
+            batch_window=args.batch_window,
+            default_timeout=args.default_timeout)
+        server = WireServer(service, host=args.host, port=args.port)
+    host, port = server.address
+    if args.announce:
+        print(json.dumps({"host": host, "port": port}), flush=True)
+    else:
+        print(f"serving on {host}:{port} "
+              f"({args.workers if args.workers > 1 else 1} worker(s)); "
+              f"stop with a shutdown op or Ctrl-C", file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+        if service is not None:
+            service.close()
+        if pool is not None:
+            pool.close()
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.service",
-        description="Scheduling-service load generator and oracle.")
+        description="Scheduling-service load generator, oracle and "
+                    "wire server.")
     commands = parser.add_subparsers(dest="command", required=True)
 
     bench = commands.add_parser(
@@ -89,6 +161,13 @@ def main(argv: list[str] | None = None) -> int:
     bench.add_argument("--requests", type=int, default=512)
     bench.add_argument("--max-batch", type=int, default=64)
     bench.add_argument("--batch-window", type=float, default=0.002)
+    bench.add_argument("--transport", choices=("inproc", "wire"),
+                       default="inproc",
+                       help="inproc: drain mode on a paused service; "
+                            "wire: pipelined bursts over the socket "
+                            "front end")
+    bench.add_argument("--wire-workers", type=int, default=1,
+                       help="pool size for --transport wire")
     bench.add_argument("--json", action="store_true",
                        help="single-line JSON output")
     bench.add_argument("--check", action="store_true",
@@ -107,8 +186,33 @@ def main(argv: list[str] | None = None) -> int:
     diff.add_argument("--backends", nargs="*", default=None,
                       help="engine backends (default: all available)")
     diff.add_argument("--max-batch", type=int, default=32)
+    diff.add_argument("--transport", choices=("inproc", "wire"),
+                      default="inproc",
+                      help="wire: replay through the socket front end "
+                           "over a consistent-hash worker pool")
+    diff.add_argument("--wire-workers", type=int, default=2,
+                      help="pool size for --transport wire")
     diff.add_argument("--json", action="store_true")
     diff.set_defaults(run=_cmd_differential)
+
+    serve = commands.add_parser(
+        "serve", help="bind a wire server and serve until shutdown")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="0 binds a free port (see --announce)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help=">1: a thread-mode worker pool behind one "
+                            "router socket")
+    serve.add_argument("--max-batch", type=int, default=64)
+    serve.add_argument("--batch-window", type=float, default=0.002)
+    serve.add_argument("--max-queue", type=int, default=1024)
+    serve.add_argument("--default-timeout", type=float, default=None)
+    serve.add_argument("--capacity", type=int, default=None,
+                       help="session-store LRU capacity (single-worker "
+                            "mode only)")
+    serve.add_argument("--announce", action="store_true",
+                       help="print a {host, port} JSON line once bound")
+    serve.set_defaults(run=_cmd_serve)
 
     args = parser.parse_args(argv)
     return args.run(args)

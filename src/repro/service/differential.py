@@ -38,8 +38,8 @@ from repro.scenarios.spec import ScenarioSpec
 from repro.service.server import EditAck, RestrictAck, SchedulingService
 from repro.service.store import SessionStore
 
-__all__ = ["replay_direct", "replay_specs", "run_differential",
-           "default_backends"]
+__all__ = ["replay_direct", "replay_specs", "replay_specs_wire",
+           "run_differential", "default_backends"]
 
 _DEFAULT_FAMILIES = ("grid_sweep", "churn", "mobile")
 _DEFAULT_SEED = 2008
@@ -178,17 +178,78 @@ def replay_specs(specs: list[ScenarioSpec],
         service.close()
 
 
+def replay_specs_wire(specs: list[ScenarioSpec],
+                      config: EngineConfig | None = None, *,
+                      max_batch: int = 32,
+                      batch_window: float = 0.002,
+                      workers: int = 2) -> dict[str, list[Any]]:
+    """Every spec's script over the socket front end, canonicalized.
+
+    The wire twin of :func:`replay_specs`: sessions open on a
+    consistent-hash :class:`~repro.service.transport.pool.WorkerPool`
+    through the digest-checked wire envelope, and every script ships
+    as one pipelined burst per owning worker — submitted before any
+    result is awaited, so the dispatchers coalesce across sessions
+    over the wire exactly as in-process, while each session's stream
+    stays FIFO on its single owner.
+    """
+    # Imported here: the transport depends on this module's canonical
+    # forms at doc level only, but keeping the oracle importable
+    # without sockets is worth the local import.
+    from repro.service.transport.pool import PoolClient, WorkerPool
+    from repro.service.transport.wire import encode_request
+
+    pool = WorkerPool(workers, max_batch=max_batch,
+                      batch_window=batch_window,
+                      max_queue=max(1024, 64 * len(specs)))
+    client = PoolClient(pool)
+    try:
+        requests: list[dict[str, Any]] = []
+        order: list[str] = []
+        for spec in specs:
+            session_id = spec.label()
+            client.open_session(session_id,
+                                spec.base_session(config=config))
+            for op, payload in _script(spec):
+                requests.append(encode_request(op, session_id, payload))
+                order.append(session_id)
+        results = client.pipeline(requests)
+        responses: dict[str, list[Any]] = {}
+        for session_id, result in zip(order, results):
+            if isinstance(result, BaseException):
+                raise result
+            responses.setdefault(session_id, []).append(
+                _canonical_response(result))
+        batched = client.metrics().counter("batch.batched_dispatches")
+        responses["__batched_dispatches__"] = [batched]
+        return responses
+    finally:
+        client.close()
+        pool.close()
+
+
 def run_differential(*, families: tuple[str, ...] = _DEFAULT_FAMILIES,
                      seed: int = _DEFAULT_SEED, count: int = 2,
                      backends: list[str] | None = None,
-                     max_batch: int = 32) -> dict[str, Any]:
+                     max_batch: int = 32, transport: str = "inproc",
+                     wire_workers: int = 2) -> dict[str, Any]:
     """Replay a corpus through both legs on every backend and diff.
+
+    ``transport="inproc"`` exercises :func:`replay_specs` (direct
+    submit on one service); ``transport="wire"`` exercises
+    :func:`replay_specs_wire` (the socket front end over a
+    ``wire_workers``-worker consistent-hash pool).  Either way the
+    oracle is the same: every canonical response must equal the direct
+    session's, field for field, counters included.
 
     Returns a JSON-able report: per-backend spec counts, the total
     number of compared responses, any mismatches (each naming the spec,
     backend, response index and both canonical values), and whether the
     service actually coalesced dispatches during the run.
     """
+    if transport not in ("inproc", "wire"):
+        raise ValueError(
+            f"transport must be 'inproc' or 'wire', got {transport!r}")
     backends = default_backends() if backends is None else backends
     specs = list(iter_corpus(families, seed, count))
     mismatches: list[dict[str, Any]] = []
@@ -196,7 +257,13 @@ def run_differential(*, families: tuple[str, ...] = _DEFAULT_FAMILIES,
     batched_total = 0
     for backend in backends:
         config = EngineConfig(backend=backend)
-        service_legs = replay_specs(specs, config, max_batch=max_batch)
+        if transport == "wire":
+            service_legs = replay_specs_wire(specs, config,
+                                             max_batch=max_batch,
+                                             workers=wire_workers)
+        else:
+            service_legs = replay_specs(specs, config,
+                                        max_batch=max_batch)
         batched_total += service_legs.pop("__batched_dispatches__")[0]
         for spec in specs:
             direct = replay_direct(spec, config)
@@ -218,6 +285,8 @@ def run_differential(*, families: tuple[str, ...] = _DEFAULT_FAMILIES,
                     "direct": len(direct), "service": len(service)})
     return {
         "families": list(families), "seed": seed, "count": count,
+        "transport": transport,
+        "wire_workers": wire_workers if transport == "wire" else 0,
         "backends": backends, "specs": len(specs),
         "responses_compared": compared,
         "batched_dispatches": batched_total,

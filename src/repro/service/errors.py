@@ -13,6 +13,7 @@ __all__ = [
     "ServiceClosedError",
     "ServiceDeadlineError",
     "ServiceOverloadError",
+    "TransportError",
     "UnknownSessionError",
 ]
 
@@ -49,6 +50,17 @@ class ServiceDeadlineError(ServiceError):
 
 class ServiceClosedError(ServiceError):
     """The service is shut down (or shutting down); nothing is admitted."""
+
+
+class TransportError(ServiceError):
+    """The wire layer failed: malformed/truncated frames, dead peers,
+    protocol violations, or a connection-level timeout.
+
+    The transport's contract mirrors admission control's: a broken
+    frame or dead socket always surfaces as this one typed error —
+    never a hang, never a raw ``OSError``/``JSONDecodeError`` soup —
+    so callers can retry or fail over without parsing exception guts.
+    """
 
 
 class UnknownSessionError(ServiceError, KeyError):

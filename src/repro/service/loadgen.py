@@ -37,7 +37,8 @@ from repro.service.server import SchedulingService
 from repro.service.store import SessionStore
 from repro.utils.rng import StreamRNG, label_stream
 
-__all__ = ["Op", "Workload", "LoadResult", "build_workload", "execute"]
+__all__ = ["Op", "Workload", "LoadResult", "build_workload", "execute",
+           "execute_wire"]
 
 #: Tiling sessions verify/assign over this window.
 _TILING_WINDOW = Box((0, 0), (7, 7))
@@ -243,3 +244,70 @@ def execute(workload: Workload, *, max_batch: int = 64,
         rejected=rejected, elapsed_s=elapsed,
         throughput_rps=completed / elapsed if elapsed > 0 else 0.0,
         metrics=metrics)
+
+
+def _encode_op(op: Op) -> dict[str, Any]:
+    from repro.service.transport.wire import encode_request
+    if op.op == "assign":
+        payload: dict[str, Any] = {"points": list(op.payload)}
+    elif op.op == "edit":
+        payload = {"updates": {tuple(point): slot
+                               for point, slot in op.payload}}
+    else:
+        payload = {"window": None, "offsets": None, "use_cache": True,
+                   "stream_chunk": None}
+    return encode_request(op.op, op.session_id, payload)
+
+
+def execute_wire(workload: Workload, *, max_batch: int = 64,
+                 batch_window: float = 0.002, workers: int = 1,
+                 pipeline_depth: int = 128) -> LoadResult:
+    """Run a workload through the socket front end and time it.
+
+    The wire twin of :func:`execute`: sessions open on a thread-mode
+    :class:`~repro.service.transport.pool.WorkerPool` (``workers=1``
+    is a single service behind one socket), then the scripted requests
+    ship as pipelined bursts of ``pipeline_depth`` — each burst is one
+    ``bulk`` frame per owning worker, submitted server-side before any
+    result is awaited, so dispatcher coalescing fires over the wire.
+    The timer covers the whole streamed run, framing and routing
+    included, which is exactly what the ``service/wire-throughput``
+    benchmark row wants to price relative to in-process drain mode.
+
+    Typed failures (a deadline, an overload) count as ``failed``;
+    transport-level failures count as ``failed`` too — the generator
+    only ever runs against a pool it just started, so any
+    ``TransportError`` here is a finding, not noise.
+    """
+    from repro.service.transport.pool import PoolClient, WorkerPool
+
+    if pipeline_depth < 1:
+        raise ValueError(
+            f"pipeline_depth must be >= 1, got {pipeline_depth!r}")
+    pool = WorkerPool(workers, max_batch=max_batch,
+                      batch_window=batch_window,
+                      max_queue=len(workload.ops) + 16)
+    client = PoolClient(pool)
+    try:
+        for session_id, kind in workload.session_kinds:
+            client.open_session(session_id, _make_session(kind))
+        encoded = [_encode_op(op) for op in workload.ops]
+        completed = failed = 0
+        started = time.perf_counter()
+        for begin in range(0, len(encoded), pipeline_depth):
+            burst = encoded[begin:begin + pipeline_depth]
+            for result in client.pipeline(burst):
+                if isinstance(result, BaseException):
+                    failed += 1
+                else:
+                    completed += 1
+        elapsed = time.perf_counter() - started
+        metrics = client.metrics()
+        return LoadResult(
+            requests=len(workload.ops), completed=completed,
+            failed=failed, rejected=0, elapsed_s=elapsed,
+            throughput_rps=completed / elapsed if elapsed > 0 else 0.0,
+            metrics=metrics)
+    finally:
+        client.close()
+        pool.close()

@@ -15,12 +15,15 @@ measured durations in.
 from __future__ import annotations
 
 import json
+import math
 import threading
 from bisect import bisect_left
+from collections.abc import Sequence
 from dataclasses import dataclass
 from typing import Mapping
 
-__all__ = ["LatencyHistogram", "ServiceMetrics", "MetricsRecorder"]
+__all__ = ["LatencyHistogram", "ServiceMetrics", "MetricsRecorder",
+           "merge_metrics"]
 
 
 def _log_bounds() -> tuple[float, ...]:
@@ -60,20 +63,28 @@ class LatencyHistogram:
 
         Resolved to the upper bound of the bucket holding the rank —
         a deterministic, conservative estimate (never under-reports a
-        latency by more than one bucket width, ~78% in log space).
+        latency by more than one bucket width, ~78% in log space).  A
+        rank landing in the overflow bucket (observations above the
+        last bound) reports ``float("inf")``: the histogram genuinely
+        does not know how slow those requests were, and reporting the
+        last bound would under-report by an unbounded amount.
         """
         if not 0 <= q <= 1:
             raise ValueError(f"quantile must be in [0, 1], got {q!r}")
         if self.total == 0:
             return 0.0
-        rank = max(1, int(q * self.total + 0.999999))
+        # math.ceil, not int(x + 0.999999): once q * total is an exact
+        # integer large enough that adding 0.999999 crosses the float
+        # rounding step (or an inexact product sits just under one),
+        # the additive trick lands on the wrong rank.
+        rank = max(1, math.ceil(q * self.total))
         seen = 0
         for index, count in enumerate(self.counts):
             seen += count
             if seen >= rank:
                 return (self.bounds[index] if index < len(self.bounds)
-                        else self.bounds[-1])
-        return self.bounds[-1]
+                        else math.inf)
+        return math.inf
 
     @property
     def p50(self) -> float:
@@ -89,7 +100,8 @@ class LatencyHistogram:
 
     def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
         """The combined distribution (buckets must be aligned)."""
-        if self.bounds != other.bounds:
+        if self.bounds != other.bounds \
+                or len(self.counts) != len(other.counts):
             raise ValueError("cannot merge histograms with different "
                              "bucket bounds")
         return LatencyHistogram(
@@ -99,13 +111,63 @@ class LatencyHistogram:
             total=self.total + other.total,
             sum_seconds=self.sum_seconds + other.sum_seconds)
 
+    @property
+    def overflow(self) -> int:
+        """Observations above the last bound (the unbounded bucket)."""
+        return self.counts[-1] if len(self.counts) > len(self.bounds) else 0
+
     def to_dict(self) -> dict:
+        """JSON-able form, carrying the raw buckets.
+
+        ``bounds``/``counts``/``sum_s`` make the payload lossless:
+        :meth:`from_dict` reconstructs the histogram exactly, which is
+        how cross-process metrics aggregation merges worker histograms
+        instead of averaging their quantiles.  Infinite quantiles (the
+        rank fell in the overflow bucket) serialize as ``None`` —
+        strict JSON has no ``Infinity`` — with the ``overflow`` count
+        carrying the honest story.
+        """
         return {
             "total": self.total,
             "mean_s": self.mean,
-            "p50_s": self.p50,
-            "p99_s": self.p99,
+            "p50_s": _json_seconds(self.p50),
+            "p99_s": _json_seconds(self.p99),
+            "overflow": self.overflow,
+            "sum_s": self.sum_seconds,
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "LatencyHistogram":
+        """Rebuild a histogram from :meth:`to_dict` output.
+
+        Raises:
+            ValueError: when the payload is missing the raw buckets or
+                they disagree with the recorded total.
+        """
+        try:
+            bounds = tuple(float(bound) for bound in data["bounds"])
+            counts = tuple(int(count) for count in data["counts"])
+            total = int(data["total"])
+            sum_seconds = float(data["sum_s"])
+        except (KeyError, TypeError, ValueError) as error:
+            raise ValueError(
+                f"not a histogram payload: {error!r}") from error
+        if len(counts) not in (len(bounds), len(bounds) + 1):
+            raise ValueError(
+                f"counts/bounds misaligned: {len(counts)} counts for "
+                f"{len(bounds)} bounds")
+        if sum(counts) != total:
+            raise ValueError(
+                f"counts sum to {sum(counts)} but total records {total}")
+        return cls(counts=counts, bounds=bounds, total=total,
+                   sum_seconds=sum_seconds)
+
+
+def _json_seconds(value: float) -> float | None:
+    """A strict-JSON-safe seconds value (``inf`` becomes ``None``)."""
+    return None if math.isinf(value) else value
 
 
 @dataclass(frozen=True)
@@ -147,6 +209,55 @@ class ServiceMetrics:
     def to_json(self) -> str:
         """The JSON metrics endpoint payload."""
         return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ServiceMetrics":
+        """Rebuild a snapshot from :meth:`to_dict` output.
+
+        The latency payloads must carry their raw ``bounds``/``counts``
+        (every snapshot this build emits does) — quantiles alone cannot
+        reconstruct a mergeable histogram.
+        """
+        try:
+            counters = {str(k): int(v)
+                        for k, v in dict(data["counters"]).items()}
+            latencies = {str(k): LatencyHistogram.from_dict(v)
+                         for k, v in dict(data["latencies"]).items()}
+            gauges = {str(k): int(v)
+                      for k, v in dict(data["gauges"]).items()}
+        except (KeyError, TypeError, ValueError) as error:
+            raise ValueError(
+                f"not a metrics payload: {error!r}") from error
+        return cls(counters=counters, latencies=latencies, gauges=gauges)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ServiceMetrics":
+        return cls.from_dict(json.loads(text))
+
+
+def merge_metrics(snapshots: Sequence[ServiceMetrics]) -> ServiceMetrics:
+    """One aggregate snapshot over many workers' snapshots.
+
+    Counters and gauges sum (every gauge the service emits — queue
+    depths, open sessions, cache counters — is additive across
+    workers); latency histograms merge bucket-wise, so the aggregate
+    p50/p99 are computed over the *combined* distribution rather than
+    averaging per-worker quantiles.
+    """
+    counters: dict[str, int] = {}
+    gauges: dict[str, int] = {}
+    latencies: dict[str, LatencyHistogram] = {}
+    for snapshot in snapshots:
+        for name, value in snapshot.counters.items():
+            counters[name] = counters.get(name, 0) + value
+        for name, value in snapshot.gauges.items():
+            gauges[name] = gauges.get(name, 0) + value
+        for name, histogram in snapshot.latencies.items():
+            merged = latencies.get(name)
+            latencies[name] = (histogram if merged is None
+                               else merged.merge(histogram))
+    return ServiceMetrics(counters=counters, latencies=latencies,
+                          gauges=gauges)
 
 
 class MetricsRecorder:

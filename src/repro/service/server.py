@@ -487,6 +487,14 @@ class SchedulingService:
         per-request answer exactly.  A failed bulk dispatch retries
         with exponential backoff, then the per-request lane isolates
         the failure to the request that caused it.
+
+        Deadlines are re-checked when the bulk result is sliced back
+        per request (and before each serial-fallback dispatch): a
+        request whose deadline lapses *mid-batch* — admitted in time,
+        but stuck behind slow batchmates in the coalesced dispatch —
+        must fail with :class:`ServiceDeadlineError`, not be served
+        late.  Assigns are pointwise-pure, so failing after the bulk
+        dispatch ran loses nothing.
         """
         point_lists = [list(r.payload.get("points", ())) for r in requests]
         if len(requests) == 1:
@@ -509,6 +517,8 @@ class SchedulingService:
             # Serial fallback lane: dispatch per request so the failure
             # lands only on the request(s) that actually provoke it.
             for request, points in zip(requests, point_lists):
+                if self._expire_if_late(request):
+                    continue
                 self._finish(request,
                              lambda points=points: session.assign(points))
             return
@@ -518,6 +528,8 @@ class SchedulingService:
         for request, points in zip(requests, point_lists):
             slots = bulk.slots[offset:offset + len(points)]
             offset += len(points)
+            if self._expire_if_late(request):
+                continue
             self._complete(request, SlotAssignment(
                 points=points, slots=slots, num_slots=bulk.num_slots,
                 backend=bulk.backend))

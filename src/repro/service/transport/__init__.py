@@ -1,0 +1,77 @@
+"""Wire transport for the scheduling service: sockets, workers, scale-out.
+
+:mod:`repro.service` (PR 9) put a concurrent :class:`~repro.service.
+server.SchedulingService` in front of the single-caller
+:class:`repro.api.Session` — in one process.  This package is the next
+rung of the ROADMAP's scale-out ladder: the same service surface over a
+real socket, and the same sessions sharded across worker *processes*.
+
+* :mod:`~repro.service.transport.wire` — the protocol: length-prefixed
+  canonical-JSON frames, request/response/error encoding, and the typed
+  :class:`~repro.service.errors.TransportError` contract (a malformed
+  or truncated frame is always a typed error, never a hang).
+* :mod:`~repro.service.transport.server` — :class:`WireServer`: a
+  threaded TCP front end that dispatches decoded requests into a local
+  :class:`~repro.service.server.SchedulingService` (pipelined frames
+  reach the dispatcher together, so cross-session coalescing works
+  over the wire too) or routes them across a worker pool.
+* :mod:`~repro.service.transport.client` — :class:`ServiceClient`: the
+  typed client, method-for-method the `SchedulingService` surface;
+  every typed service error round-trips the socket and re-raises as
+  itself (``ServiceOverloadError`` keeps ``queue_depth``/``max_queue``,
+  ``ServiceDeadlineError`` keeps ``timeout``, …).
+* :mod:`~repro.service.transport.pool` — :class:`WorkerPool`:
+  multi-process scale-out.  Each worker owns its ``SessionStore``;
+  sessions place by consistent hash of ``session_id`` (so per-session
+  FIFO order survives sharding), and rebalancing moves sessions
+  between workers through the session wire envelope with warm-state
+  handoff.
+
+The acceptance gate is unchanged from PR 9: every response served over
+the wire is bit-identical to the same call made directly on the
+session — pinned by the differential oracle's wire leg
+(``python -m repro.scenarios service --transport wire``).
+"""
+
+from repro.service.errors import TransportError
+from repro.service.transport.client import ServiceClient
+from repro.service.transport.pool import (
+    PoolClient,
+    RouterSink,
+    WorkerPool,
+    hash_ring,
+    place,
+)
+from repro.service.transport.server import ServiceSink, WireServer
+from repro.service.transport.wire import (
+    MAX_FRAME_BYTES,
+    decode_error,
+    decode_request,
+    decode_result,
+    encode_error,
+    encode_request,
+    encode_result,
+    read_frame,
+    write_frame,
+)
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "PoolClient",
+    "RouterSink",
+    "ServiceClient",
+    "ServiceSink",
+    "TransportError",
+    "WireServer",
+    "WorkerPool",
+    "decode_error",
+    "decode_request",
+    "decode_result",
+    "encode_error",
+    "encode_request",
+    "encode_result",
+    "hash_ring",
+    "place",
+    "read_frame",
+    "write_frame",
+]

@@ -1,0 +1,566 @@
+"""Multi-process scale-out: consistent hashing, worker pool, routing.
+
+A :class:`WorkerPool` runs N independent scheduling services — each
+with its *own* :class:`~repro.service.store.SessionStore` — behind N
+:class:`~repro.service.transport.server.WireServer` sockets.  Workers
+are either in-process threads (``mode="thread"``: cheap, the default
+for tests and the differential oracle) or real subprocesses
+(``mode="process"``: ``python -m repro.service serve --announce`` per
+worker, true multi-core scale-out).  Both modes speak the identical
+wire protocol, so everything above the socket cannot tell them apart.
+
+**Placement** is a consistent hash of ``session_id`` over a ring of
+virtual nodes (:func:`hash_ring` / :func:`place`).  One session lives
+on exactly one worker, which is what preserves the service's
+per-session FIFO guarantee across the pool: all of a session's
+requests route to the same single-dispatcher service, in submission
+order.  Consistent hashing (rather than ``hash % N``) keeps the map
+stable under resize — growing w0..w2 to w0..w3 moves only the ~1/4 of
+sessions whose ring segment the new worker claims.
+
+**Rebalancing** (:meth:`WorkerPool.rebalance`) moves exactly those
+sessions, through the wire envelope with warm-state handoff: the old
+worker exports (and closes) the session, the new worker imports it —
+caches, counters, certificate and pending deltas riding along
+best-effort, cold-on-failure, so a moved session keeps answering
+bit-identically either way.
+
+**Routing** happens in one of two places: :class:`PoolClient` routes
+on the client side (each caller holds a connection per worker), or a
+front :class:`~repro.service.transport.server.WireServer` over a
+:class:`RouterSink` gives the whole pool one port
+(``python -m repro.service serve --workers N``).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import json
+import os
+import subprocess
+import sys
+import threading
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.api import Session, SlotAssignment, VerificationReport
+from repro.service.errors import TransportError
+from repro.service.metrics import ServiceMetrics, merge_metrics
+from repro.service.server import (
+    EditAck,
+    LoadAck,
+    RestrictAck,
+    SchedulingService,
+)
+from repro.service.store import SessionStore
+from repro.service.transport.client import ServiceClient
+from repro.service.transport.server import WireServer
+from repro.service.transport.wire import (
+    encode_bulk,
+    encode_error,
+    encode_result,
+)
+
+__all__ = ["PoolClient", "RouterSink", "WorkerPool", "hash_ring", "place"]
+
+#: Ops owned by exactly one worker (routed by session_id).
+_ROUTED_OPS = frozenset({
+    "assign", "verify", "edit", "restrict", "save", "load",
+    "close_session", "handoff_export",
+})
+
+
+# -- consistent hashing ------------------------------------------------
+def hash_ring(worker_names: Sequence[str],
+              replicas: int = 64) -> list[tuple[int, str]]:
+    """A consistent-hash ring: ``replicas`` virtual nodes per worker.
+
+    Ring points are the first 8 bytes of sha256 — deterministic across
+    processes and Python builds (unlike ``hash()``, which is seeded),
+    which matters because client-side and server-side routing must
+    agree on placement without talking to each other.
+    """
+    if not worker_names:
+        raise ValueError("hash_ring needs at least one worker name")
+    if replicas < 1:
+        raise ValueError(f"replicas must be >= 1, got {replicas!r}")
+    ring = []
+    for name in worker_names:
+        for replica in range(replicas):
+            digest = hashlib.sha256(
+                f"{name}#{replica}".encode("utf-8")).digest()
+            ring.append((int.from_bytes(digest[:8], "big"), name))
+    ring.sort()
+    return ring
+
+
+def place(session_id: str, ring: Sequence[tuple[int, str]]) -> str:
+    """The worker owning a session: first ring point clockwise of it."""
+    if not ring:
+        raise ValueError("cannot place on an empty ring")
+    point = int.from_bytes(
+        hashlib.sha256(session_id.encode("utf-8")).digest()[:8], "big")
+    # First entry strictly past the session's point, wrapping.  The
+    # 1-tuple compares below every (key, name) with the same key, so
+    # bisect_left((point + 1,)) is exactly "first key > point".
+    index = bisect.bisect_left(ring, (point + 1,)) % len(ring)
+    return ring[index][1]
+
+
+# -- the pool ----------------------------------------------------------
+@dataclass
+class _Worker:
+    """One pool member: its address, control client, and owned runtime."""
+
+    name: str
+    address: tuple[str, int]
+    client: ServiceClient
+    #: Thread mode: the in-process service + wire server this pool owns.
+    service: SchedulingService | None = None
+    server: WireServer | None = None
+    #: Process mode: the worker subprocess.
+    process: subprocess.Popen | None = None
+
+
+class WorkerPool:
+    """N scheduling-service workers behind one consistent-hash ring.
+
+    Args:
+        workers: initial worker count.
+        mode: ``"thread"`` (in-process services; cheap, single-core) or
+            ``"process"`` (``python -m repro.service serve``
+            subprocesses; real multi-core scale-out).
+        replicas: virtual nodes per worker on the ring.
+        max_batch / batch_window / max_queue / default_timeout: passed
+            through to every worker's :class:`SchedulingService`.
+    """
+
+    def __init__(self, workers: int = 2, *, mode: str = "thread",
+                 replicas: int = 64, max_batch: int = 64,
+                 batch_window: float = 0.001, max_queue: int = 1024,
+                 default_timeout: float | None = None) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers!r}")
+        if mode not in ("thread", "process"):
+            raise ValueError(
+                f"mode must be 'thread' or 'process', got {mode!r}")
+        self._mode = mode
+        self._replicas = replicas
+        self._service_options = {
+            "max_batch": max_batch, "batch_window": batch_window,
+            "max_queue": max_queue, "default_timeout": default_timeout,
+        }
+        self._lock = threading.Lock()
+        self._workers: dict[str, _Worker] = {}
+        self._next_index = 0
+        for _ in range(workers):
+            self._start_worker()
+        self._ring = hash_ring(self.worker_names(), replicas)
+
+    # -- topology ------------------------------------------------------
+    @property
+    def mode(self) -> str:
+        return self._mode
+
+    def worker_names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._workers,
+                          key=lambda name: int(name.lstrip("w")))
+
+    def address_of(self, name: str) -> tuple[str, int]:
+        with self._lock:
+            return self._workers[name].address
+
+    def client_for(self, name: str) -> ServiceClient:
+        """The pool's control client for a worker (shared; serialized)."""
+        with self._lock:
+            return self._workers[name].client
+
+    def worker_for(self, session_id: str) -> str:
+        """The worker owning a session under the current ring."""
+        with self._lock:
+            ring = self._ring
+        return place(session_id, ring)
+
+    # -- worker lifecycle ----------------------------------------------
+    def _start_worker(self) -> _Worker:
+        name = f"w{self._next_index}"
+        self._next_index += 1
+        if self._mode == "thread":
+            service = SchedulingService(SessionStore(),
+                                        **self._service_options)
+            server = WireServer(service).start()
+            host, port = server.address
+            client = ServiceClient(host, port)
+            worker = _Worker(name=name, address=(host, port),
+                             client=client, service=service, server=server)
+        else:
+            worker = self._spawn_process_worker(name)
+        with self._lock:
+            self._workers[name] = worker
+        return worker
+
+    def _spawn_process_worker(self, name: str) -> _Worker:
+        import repro
+        src_dir = os.path.dirname(os.path.dirname(
+            os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            src_dir + os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH") else src_dir)
+        options = self._service_options
+        command = [sys.executable, "-m", "repro.service", "serve",
+                   "--host", "127.0.0.1", "--port", "0", "--announce",
+                   "--max-batch", str(options["max_batch"]),
+                   "--batch-window", str(options["batch_window"]),
+                   "--max-queue", str(options["max_queue"])]
+        if options["default_timeout"] is not None:
+            command += ["--default-timeout",
+                        str(options["default_timeout"])]
+        process = subprocess.Popen(command, stdout=subprocess.PIPE,
+                                   env=env, text=True)
+        line = process.stdout.readline() if process.stdout else ""
+        if not line:
+            process.kill()
+            raise TransportError(
+                f"worker {name!r} exited before announcing its address "
+                f"(exit code {process.wait()})")
+        try:
+            announced = json.loads(line)
+            host, port = announced["host"], int(announced["port"])
+        except (json.JSONDecodeError, KeyError, TypeError,
+                ValueError) as error:
+            process.kill()
+            raise TransportError(
+                f"worker {name!r} announced garbage {line!r}: {error}"
+            ) from error
+        client = ServiceClient(host, port)
+        return _Worker(name=name, address=(host, port), client=client,
+                       process=process)
+
+    def _stop_worker(self, worker: _Worker) -> None:
+        try:
+            worker.client.shutdown()
+        except TransportError:
+            pass
+        worker.client.close()
+        if worker.server is not None:
+            worker.server.close()
+        if worker.service is not None:
+            worker.service.close()
+        if worker.process is not None:
+            try:
+                worker.process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                worker.process.kill()
+                worker.process.wait()
+
+    # -- rebalancing ---------------------------------------------------
+    def rebalance(self, workers: int) -> dict[str, str]:
+        """Resize the pool; move only ownership-changed sessions.
+
+        Grows by starting fresh workers, shrinks by retiring the
+        highest-numbered ones.  Every session whose ring owner changes
+        is exported from its old worker (envelope + warm blob, which
+        also closes it there — exactly one owner at all times) and
+        imported on its new one.  Per-session FIFO is preserved
+        because the caller rebalances between requests, never racing
+        a session's own in-flight stream.
+
+        Returns:
+            moved ``session_id -> new worker name``.
+        """
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers!r}")
+        old_names = self.worker_names()
+        if workers > len(old_names):
+            for _ in range(workers - len(old_names)):
+                self._start_worker()
+        new_names = self.worker_names()[:workers]
+        retiring = [name for name in self.worker_names()
+                    if name not in new_names]
+        new_ring = hash_ring(new_names, self._replicas)
+        moved: dict[str, str] = {}
+        for name in old_names:
+            source = self.client_for(name)
+            for session_id in source.session_ids():
+                target = place(session_id, new_ring)
+                if target == name:
+                    continue
+                handoff = source.handoff_export(session_id)
+                self.client_for(target).handoff_import(
+                    handoff["envelope"], warm=handoff.get("warm"))
+                moved[session_id] = target
+        with self._lock:
+            self._ring = new_ring
+            retired = [self._workers.pop(name) for name in retiring]
+        for worker in retired:
+            self._stop_worker(worker)
+        return moved
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            workers = list(self._workers.values())
+            self._workers.clear()
+        for worker in workers:
+            self._stop_worker(worker)
+
+    def __enter__(self) -> WorkerPool:
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+# -- client-side routing -----------------------------------------------
+class PoolClient:
+    """The typed service surface over a whole pool, routed client-side.
+
+    Session-scoped calls go to the session's ring owner; ``metrics``
+    merges every worker's snapshot (:func:`~repro.service.metrics.
+    merge_metrics`); ``session_ids`` is the union.  :meth:`pipeline`
+    splits a burst by owner — per-worker sub-bursts keep their
+    submission order, so per-session FIFO survives — ships the
+    sub-bursts concurrently, and reassembles results in request order.
+    """
+
+    def __init__(self, pool: WorkerPool, *,
+                 timeout: float | None = None) -> None:
+        self._pool = pool
+        self._timeout = timeout
+        self._clients: dict[str, ServiceClient] = {}
+        self._lock = threading.Lock()
+
+    def _client(self, worker: str) -> ServiceClient:
+        with self._lock:
+            client = self._clients.get(worker)
+            if client is None:
+                host, port = self._pool.address_of(worker)
+                client = ServiceClient(host, port, timeout=self._timeout)
+                self._clients[worker] = client
+            return client
+
+    def _route(self, session_id: str) -> ServiceClient:
+        return self._client(self._pool.worker_for(session_id))
+
+    def close(self) -> None:
+        with self._lock:
+            clients = list(self._clients.values())
+            self._clients.clear()
+        for client in clients:
+            client.close()
+
+    def __enter__(self) -> PoolClient:
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- routed surface ------------------------------------------------
+    def assign(self, session_id: str, points: Iterable[Sequence[int]],
+               *, timeout: float | None = None) -> SlotAssignment:
+        return self._route(session_id).assign(session_id, points,
+                                              timeout=timeout)
+
+    def verify(self, session_id: str, window: Any = None, *,
+               offsets: Any = None, use_cache: bool = True,
+               stream_chunk: int | None = None,
+               timeout: float | None = None) -> VerificationReport:
+        return self._route(session_id).verify(
+            session_id, window, offsets=offsets, use_cache=use_cache,
+            stream_chunk=stream_chunk, timeout=timeout)
+
+    def edit(self, session_id: str,
+             updates: Mapping[Sequence[int], int], *,
+             timeout: float | None = None) -> EditAck:
+        return self._route(session_id).edit(session_id, updates,
+                                            timeout=timeout)
+
+    def restrict(self, session_id: str, window: Any = None, *,
+                 timeout: float | None = None) -> RestrictAck:
+        return self._route(session_id).restrict(session_id, window,
+                                                timeout=timeout)
+
+    def save(self, session_id: str, *,
+             timeout: float | None = None) -> str:
+        return self._route(session_id).save(session_id, timeout=timeout)
+
+    def load(self, session_id: str, text: str, *, window: Any = None,
+             timeout: float | None = None) -> LoadAck:
+        return self._route(session_id).load(session_id, text,
+                                            window=window,
+                                            timeout=timeout)
+
+    def open_session(self, session_id: str, session: Session) -> None:
+        self._route(session_id).open_session(session_id, session)
+
+    def close_session(self, session_id: str) -> None:
+        self._route(session_id).close_session(session_id)
+
+    def session_ids(self) -> list[str]:
+        ids: list[str] = []
+        for name in self._pool.worker_names():
+            ids.extend(self._client(name).session_ids())
+        return sorted(ids)
+
+    def metrics(self) -> ServiceMetrics:
+        return merge_metrics([self._client(name).metrics()
+                              for name in self._pool.worker_names()])
+
+    def ping(self) -> bool:
+        return all(self._client(name).ping()
+                   for name in self._pool.worker_names())
+
+    def pipeline(self, requests: Sequence[dict[str, Any]]) -> list[Any]:
+        """Route one burst of encoded requests across the pool.
+
+        Same contract as :meth:`ServiceClient.pipeline`: one entry per
+        request in the original order, each a decoded result or the
+        typed exception it failed with.
+        """
+        groups: dict[str, list[tuple[int, dict[str, Any]]]] = {}
+        results: list[Any] = [None] * len(requests)
+        for index, request in enumerate(requests):
+            session_id = request.get("session_id")
+            if not isinstance(session_id, str):
+                results[index] = TransportError(
+                    f"pipelined request {index} has no session_id to "
+                    f"route by (op {request.get('op')!r})")
+                continue
+            worker = self._pool.worker_for(session_id)
+            groups.setdefault(worker, []).append((index, request))
+
+        def run(worker: str,
+                items: list[tuple[int, dict[str, Any]]]) -> None:
+            try:
+                answers = self._client(worker).pipeline(
+                    [request for _, request in items])
+            except Exception as error:
+                for index, _ in items:
+                    results[index] = error
+                return
+            for (index, _), answer in zip(items, answers):
+                results[index] = answer
+
+        threads = [threading.Thread(target=run, args=(worker, items))
+                   for worker, items in groups.items()]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return results
+
+
+# -- server-side routing -----------------------------------------------
+class RouterSink:
+    """A front-door sink: one socket for the whole pool.
+
+    Plugs into a :class:`~repro.service.transport.server.WireServer`
+    and forwards raw frames to the owning worker — session ops by ring
+    placement, ``open``/``handoff_import`` by the session id inside
+    their envelope, ``metrics``/``session_ids``/``ping`` fanned out
+    and merged.  A ``bulk`` frame splits into per-worker bulks (order
+    within each worker preserved — FIFO again) and reassembles.
+    """
+
+    def __init__(self, pool: WorkerPool) -> None:
+        self._pool = pool
+        self._shutdown = threading.Event()
+
+    @property
+    def shutdown_requested(self) -> bool:
+        return self._shutdown.is_set()
+
+    def handle(self, frame: dict[str, Any]) -> dict[str, Any]:
+        try:
+            return self._handle(frame)
+        except Exception as error:
+            return {"ok": False, "error": encode_error(error)}
+
+    def _target_of(self, frame: dict[str, Any]) -> str:
+        op = frame.get("op")
+        if op in ("open", "handoff_import"):
+            payload = frame.get("payload")
+            envelope = (payload or {}).get("envelope")
+            try:
+                session_id = json.loads(envelope)["session_id"]
+            except (TypeError, ValueError, KeyError) as error:
+                raise TransportError(
+                    f"cannot route {op!r}: envelope has no readable "
+                    f"session_id ({error!r})") from error
+        else:
+            session_id = frame.get("session_id")
+        if not isinstance(session_id, str):
+            raise TransportError(
+                f"cannot route op {op!r} without a session_id")
+        return self._pool.worker_for(session_id)
+
+    def _handle(self, frame: dict[str, Any]) -> dict[str, Any]:
+        op = frame.get("op")
+        if op == "bulk":
+            return self._handle_bulk(frame)
+        if op == "ping":
+            for name in self._pool.worker_names():
+                self._pool.client_for(name).ping()
+            return {"ok": True, "result": encode_result(None)}
+        if op == "metrics":
+            merged = merge_metrics(
+                [self._pool.client_for(name).metrics()
+                 for name in self._pool.worker_names()])
+            return {"ok": True, "result": encode_result(merged)}
+        if op == "session_ids":
+            ids: list[str] = []
+            for name in self._pool.worker_names():
+                ids.extend(self._pool.client_for(name).session_ids())
+            return {"ok": True, "result": encode_result(sorted(ids))}
+        if op == "shutdown":
+            self._shutdown.set()
+            return {"ok": True, "result": encode_result(None)}
+        worker = self._target_of(frame)
+        return self._pool.client_for(worker).request_raw(frame)
+
+    def _handle_bulk(self, frame: dict[str, Any]) -> dict[str, Any]:
+        raw_requests = frame.get("requests")
+        if not isinstance(raw_requests, list):
+            raise TransportError("bulk frame carries no request list")
+        groups: dict[str, list[tuple[int, dict[str, Any]]]] = {}
+        items: list[Any] = [None] * len(raw_requests)
+        for index, raw in enumerate(raw_requests):
+            try:
+                if not isinstance(raw, dict):
+                    raise TransportError(
+                        f"bulk item must be a request object, got "
+                        f"{type(raw).__name__}")
+                worker = self._target_of(raw)
+            except TransportError as error:
+                items[index] = {"ok": False, "error": encode_error(error)}
+                continue
+            groups.setdefault(worker, []).append((index, raw))
+
+        def run(worker: str,
+                grouped: list[tuple[int, dict[str, Any]]]) -> None:
+            try:
+                response = self._pool.client_for(worker).request_raw(
+                    encode_bulk([raw for _, raw in grouped]))
+                answers = response.get("results")
+                if not response.get("ok") or not isinstance(answers, list):
+                    raise TransportError(
+                        f"malformed bulk response from worker "
+                        f"{worker!r}")
+            except Exception as error:
+                body = {"ok": False, "error": encode_error(error)}
+                for index, _ in grouped:
+                    items[index] = body
+                return
+            for (index, _), answer in zip(grouped, answers):
+                items[index] = answer
+
+        threads = [threading.Thread(target=run, args=(worker, grouped))
+                   for worker, grouped in groups.items()]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return {"ok": True, "results": items}

@@ -11,6 +11,11 @@ available engine backend.
 
 from __future__ import annotations
 
+import json
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
 from repro.engine.backend import numpy_available
@@ -20,6 +25,7 @@ from repro.service.differential import (
     default_backends,
     replay_direct,
     replay_specs,
+    replay_specs_wire,
     run_differential,
 )
 
@@ -56,6 +62,70 @@ def test_run_differential_report_clean():
     assert report["specs"] == len(FAMILIES)
     assert report["responses_compared"] > 0
     assert report["backends"] == BACKENDS
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_wire_transport_replay_bit_identical_to_direct(corpus, backend):
+    """The tentpole acceptance gate: the same corpus, replayed through
+    the socket front end over a consistent-hash worker pool — sessions
+    serialized through the wire envelope, requests pipelined in bulk
+    frames across worker connections — must still answer bit for bit
+    what direct ``Session`` calls answer, counters included."""
+    config = EngineConfig(backend=backend)
+    wire_legs = replay_specs_wire(corpus, config, max_batch=32, workers=2)
+    wire_legs.pop("__batched_dispatches__")
+    for spec in corpus:
+        direct = replay_direct(spec, config)
+        served = wire_legs[spec.label()]
+        assert len(served) == len(direct), spec.label()
+        for index, (expected, actual) in enumerate(zip(direct, served)):
+            assert actual == expected, (
+                f"{spec.label()} response {index} diverged over the "
+                f"wire on {backend}")
+
+
+def test_run_differential_wire_report_clean():
+    report = run_differential(families=FAMILIES, seed=SEED, count=1,
+                              backends=BACKENDS, transport="wire",
+                              wire_workers=2)
+    assert report["ok"], report["mismatches"]
+    assert report["transport"] == "wire"
+    assert report["wire_workers"] == 2
+    assert report["responses_compared"] > 0
+
+
+def test_serve_entry_point_over_a_real_process_boundary(tmp_path):
+    """``python -m repro.service serve --announce`` in a subprocess:
+    the handshake line announces the bound port, a client drives the
+    full surface over the socket, and ``shutdown`` exits cleanly."""
+    from repro.api import Box, Session
+    from repro.service.transport import ServiceClient
+    import repro
+
+    src_dir = str(Path(repro.__file__).resolve().parents[1])
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.service", "serve",
+         "--port", "0", "--announce"],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+        text=True, env={"PYTHONPATH": src_dir, "PATH": "/usr/bin:/bin"},
+        cwd=tmp_path)
+    try:
+        handshake = json.loads(process.stdout.readline())
+        with ServiceClient(handshake["host"], handshake["port"],
+                           timeout=30) as client:
+            session = Session.for_chebyshev(1, window=Box((0, 0), (5, 5)))
+            client.open_session("s", session)
+            served = client.assign("s", [(0, 0), (3, 4)])
+            direct = session.assign([(0, 0), (3, 4)])
+            assert [int(s) for s in served.slots] == \
+                [int(s) for s in direct.slots]
+            assert client.save("s") == session.save()
+            assert client.shutdown()
+        assert process.wait(timeout=30) == 0
+    finally:
+        if process.poll() is None:
+            process.kill()
+        process.stdout.close()
 
 
 def test_default_backends_match_availability():

@@ -220,6 +220,39 @@ class TestAdmissionControl:
         svc.close()
         assert metrics.counter("rejected.deadline") == 1
 
+    def test_deadline_enforced_inside_coalesced_run(self):
+        """A deadline that lapses *mid-batch* must fail the request.
+
+        Regression: the dispatcher checked deadlines only on entry to a
+        run, so a request admitted in time but stuck behind a slow
+        coalesced bulk dispatch was served late instead of raising
+        ``ServiceDeadlineError``.  The slicing loop now re-checks each
+        request after the bulk answer lands."""
+        class SlowSession(Session):
+            def assign(self, points):
+                time.sleep(0.2)  # slower than the 50ms deadline below
+                return super().assign(points)
+
+        svc = SchedulingService(SessionStore(), max_queue=16,
+                                max_batch=8, autostart=False)
+        svc.open_session("s", SlowSession.for_chebyshev(1, window=WINDOW))
+        patient = svc.submit("assign", "s", {"points": [(0, 0)]})
+        hurried = svc.submit("assign", "s", {"points": [(1, 1)]},
+                             timeout=0.05)
+        svc.start()
+        direct = make_tiling_session().assign([(0, 0)])
+        assert canonical_slots(patient.result(timeout=30)) == \
+            canonical_slots(direct)
+        with pytest.raises(ServiceDeadlineError) as excinfo:
+            hurried.result(timeout=30)
+        assert excinfo.value.timeout == pytest.approx(0.05)
+        metrics = svc.metrics()
+        svc.close()
+        assert metrics.counter("rejected.deadline") == 1
+        # Proves the pair actually coalesced into one bulk dispatch —
+        # the expiry happened inside the run, not at admission.
+        assert metrics.counter("batch.batched_dispatches") == 1
+
     def test_closed_service_rejects_typed(self, service):
         service.open_session("s", make_tiling_session())
         service.close()
